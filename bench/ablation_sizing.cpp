@@ -1,0 +1,62 @@
+// Ablation E4: what cut-based sizing buys Gscale.  Compares the full
+// algorithm against sizing disabled (== iterated CVS) and against a
+// random separator, then sweeps maxIter (the paper uses 10).
+#include <cstdio>
+
+#include "benchgen/mcnc.hpp"
+#include "core/gscale.hpp"
+
+int main() {
+  const dvs::Library lib = dvs::build_compass_library();
+
+  std::printf("Ablation E4a — Gscale cut selection "
+              "(balanced circuits, where sizing is everything)\n");
+  std::printf("%-10s | %-14s %6s %8s %8s %8s\n", "circuit", "variant",
+              "low", "resized", "areaInc", "improv%");
+  for (const char* name : {"C1355", "C499", "mux", "f51m", "alu2"}) {
+    const dvs::McncDescriptor* d = dvs::find_mcnc(name);
+    dvs::Network net = dvs::build_mcnc_circuit(lib, *d);
+    dvs::Design baseline(net, lib);
+    const double org = baseline.run_power().total();
+
+    dvs::GscaleOptions full;
+    dvs::GscaleOptions no_sizing;
+    no_sizing.enable_sizing = false;
+    dvs::GscaleOptions random_cut;
+    random_cut.selector = dvs::GscaleOptions::CutSelector::kRandomCut;
+    const std::pair<const char*, dvs::GscaleOptions> variants[] = {
+        {"min-separator", full},
+        {"no-sizing", no_sizing},
+        {"random-cut", random_cut}};
+    for (const auto& [vname, options] : variants) {
+      dvs::Design design(net, lib);
+      const dvs::GscaleResult r = run_gscale(design, options);
+      std::printf("%-10s | %-14s %6d %8d %8.3f %8.2f\n", name, vname,
+                  design.count_low(), r.num_resized,
+                  r.area_increase_ratio,
+                  100.0 * (org - design.run_power().total()) / org);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\nAblation E4b — maxIter sweep (paper uses 10)\n");
+  std::printf("%-10s | %7s %6s %8s %8s\n", "circuit", "maxIter", "low",
+              "iters", "improv%");
+  for (const char* name : {"C1355", "alu2"}) {
+    const dvs::McncDescriptor* d = dvs::find_mcnc(name);
+    dvs::Network net = dvs::build_mcnc_circuit(lib, *d);
+    dvs::Design baseline(net, lib);
+    const double org = baseline.run_power().total();
+    for (int max_iter : {0, 1, 3, 10, 30}) {
+      dvs::GscaleOptions options;
+      options.max_iter = max_iter;
+      dvs::Design design(net, lib);
+      const dvs::GscaleResult r = run_gscale(design, options);
+      std::printf("%-10s | %7d %6d %8d %8.2f\n", name, max_iter,
+                  design.count_low(), r.iterations,
+                  100.0 * (org - design.run_power().total()) / org);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Microbenchmarks E7: engine throughput backing the paper's complexity
+// discussion (§2.1 O(ne log(n^2/e)) for the MWIS step, §3.1 O(ne^2) for
+// Edmonds-Karp).  Google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/mcnc.hpp"
+#include "core/cvs.hpp"
+#include "graph/antichain.hpp"
+#include "graph/separator.hpp"
+#include "power/activity.hpp"
+#include "support/rng.hpp"
+#include "timing/sta.hpp"
+
+namespace {
+
+const dvs::Library& lib() {
+  static const dvs::Library kLib = dvs::build_compass_library();
+  return kLib;
+}
+
+const dvs::Network& circuit(const std::string& name) {
+  static std::map<std::string, dvs::Network> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const dvs::McncDescriptor* d = dvs::find_mcnc(name);
+    it = cache.emplace(name, dvs::build_mcnc_circuit(lib(), *d)).first;
+  }
+  return it->second;
+}
+
+const char* kByIndex[] = {"x2", "b9", "apex7", "alu4", "k2", "C7552"};
+
+void BM_Sta(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dvs::run_sta(net, lib(), -1.0));
+  state.SetLabel(circuit(kByIndex[state.range(0)]).name());
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_Sta)->DenseRange(0, 5);
+
+void BM_ActivityEstimation(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  dvs::ActivityOptions options;
+  options.num_vectors = 1024;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dvs::estimate_activity(net, options));
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_ActivityEstimation)->DenseRange(0, 5);
+
+/// Circuit-shaped antichain instance: the whole netlist DAG with random
+/// positive weights on a third of the nodes.
+dvs::AntichainProblem antichain_instance(const dvs::Network& net) {
+  dvs::AntichainProblem p;
+  p.num_nodes = net.size();
+  p.weight.assign(net.size(), 0.0);
+  dvs::Rng rng(11);
+  net.for_each_node([&](const dvs::Node& n) {
+    if (rng.next_bool(0.33)) p.weight[n.id] = 0.1 + rng.next_double();
+    for (dvs::NodeId fo : n.fanouts) p.edges.emplace_back(n.id, fo);
+  });
+  return p;
+}
+
+void BM_AntichainDinic(benchmark::State& state) {
+  const auto p = antichain_instance(circuit(kByIndex[state.range(0)]));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        dvs::max_weight_antichain(p, dvs::FlowAlgo::kDinic));
+}
+BENCHMARK(BM_AntichainDinic)->DenseRange(0, 5);
+
+void BM_AntichainEdmondsKarp(benchmark::State& state) {
+  const auto p = antichain_instance(circuit(kByIndex[state.range(0)]));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        dvs::max_weight_antichain(p, dvs::FlowAlgo::kEdmondsKarp));
+}
+BENCHMARK(BM_AntichainEdmondsKarp)->DenseRange(0, 5);
+
+void BM_Cvs(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  for (auto _ : state) {
+    dvs::Design design(net, lib());
+    benchmark::DoNotOptimize(dvs::run_cvs(design));
+  }
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_Cvs)->DenseRange(0, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

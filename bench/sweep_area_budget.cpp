@@ -1,0 +1,33 @@
+// Sweep E6: the paper caps Gscale's area increase at 10%.  This sweep
+// shows the saving-vs-area curve that makes 10% a sensible knee.
+#include <cstdio>
+
+#include "benchgen/mcnc.hpp"
+#include "core/gscale.hpp"
+
+int main() {
+  const dvs::Library lib = dvs::build_compass_library();
+
+  std::printf("Sweep E6 — Gscale area budget\n");
+  std::printf("%-10s | %7s | %6s %8s %8s %8s\n", "circuit", "budget",
+              "low", "resized", "areaInc", "improv%");
+
+  for (const char* name : {"C1355", "C432", "alu2", "k2"}) {
+    const dvs::McncDescriptor* d = dvs::find_mcnc(name);
+    dvs::Network net = dvs::build_mcnc_circuit(lib, *d);
+    dvs::Design baseline(net, lib);
+    const double org = baseline.run_power().total();
+    for (double budget : {0.0, 0.02, 0.05, 0.10, 0.20, 0.40}) {
+      dvs::GscaleOptions options;
+      options.area_budget_ratio = budget;
+      dvs::Design design(net, lib);
+      const dvs::GscaleResult r = run_gscale(design, options);
+      std::printf("%-10s | %6.0f%% | %6d %8d %8.3f %8.2f\n", name,
+                  100.0 * budget, design.count_low(), r.num_resized,
+                  r.area_increase_ratio,
+                  100.0 * (org - design.run_power().total()) / org);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Table 1 of the paper: per-circuit original power and the
+// power improvement of CVS / Dscale / Gscale, with the published numbers
+// printed next to the measured ones.  Columns match DESIGN.md E1.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchgen/mcnc.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  const dvs::Library lib = dvs::build_compass_library();
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::printf("Table 1 — power improvement over the single-supply "
+              "original (paper: DAC'99, Yeh et al.)\n");
+  std::printf("voltages (%.1fV, %.1fV), 20 MHz random-simulation power, "
+              "Tspec = mapped delay, area cap 10%%\n\n",
+              lib.vdd_high(), lib.vdd_low());
+  std::fputs(dvs::format_table1_header().c_str(), stdout);
+
+  std::vector<dvs::CircuitRunResult> rows;
+  std::vector<std::optional<dvs::PaperRow>> papers;
+  for (const dvs::McncDescriptor& d : dvs::mcnc_suite()) {
+    if (quick && d.gates > 300) continue;
+    dvs::Network net = dvs::build_mcnc_circuit(lib, d);
+    dvs::FlowOptions options;
+    options.activity.num_vectors = 4096;
+    const dvs::CircuitRunResult row =
+        dvs::run_paper_flow(net, lib, options);
+    rows.push_back(row);
+    papers.emplace_back(d.paper);
+    std::fputs(dvs::format_table1_row(row, papers.back()).c_str(),
+               stdout);
+    std::fflush(stdout);
+  }
+  std::fputs(dvs::format_table1_footer(rows, papers).c_str(), stdout);
+  return 0;
+}

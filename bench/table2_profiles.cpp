@@ -1,0 +1,38 @@
+// Reproduces Table 2 of the paper: per-circuit low-voltage gate counts
+// and ratios for CVS / Dscale / Gscale, plus Gscale's sizing profile.
+// Columns match DESIGN.md E2.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchgen/mcnc.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  const dvs::Library lib = dvs::build_compass_library();
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::printf("Table 2 — profiles: low-Vdd gates per algorithm and "
+              "Gscale sizing (paper: DAC'99, Yeh et al.)\n\n");
+  std::fputs(dvs::format_table2_header().c_str(), stdout);
+
+  std::vector<dvs::CircuitRunResult> rows;
+  std::vector<std::optional<dvs::PaperRow>> papers;
+  for (const dvs::McncDescriptor& d : dvs::mcnc_suite()) {
+    if (quick && d.gates > 300) continue;
+    dvs::Network net = dvs::build_mcnc_circuit(lib, d);
+    dvs::FlowOptions options;
+    options.activity.num_vectors = 4096;
+    const dvs::CircuitRunResult row =
+        dvs::run_paper_flow(net, lib, options);
+    rows.push_back(row);
+    papers.emplace_back(d.paper);
+    std::fputs(dvs::format_table2_row(row, papers.back()).c_str(),
+               stdout);
+    std::fflush(stdout);
+  }
+  std::fputs(dvs::format_table2_footer(rows, papers).c_str(), stdout);
+  return 0;
+}

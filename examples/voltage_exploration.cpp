@@ -1,0 +1,56 @@
+// Design-space exploration: for one circuit, sweep the low supply and
+// report the saving each algorithm reaches, the delay penalty per gate,
+// and how many converters Dscale pays for.  Shows why the paper's 4.3V
+// (a mild 9% delay penalty) is a sweet spot when the circuit has little
+// slack to spend.
+//
+//   $ ./voltage_exploration [circuit-name]   (default: term1)
+#include <cstdio>
+#include <string>
+
+#include "benchgen/mcnc.hpp"
+#include "core/dscale.hpp"
+#include "core/gscale.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "term1";
+  const dvs::McncDescriptor* descriptor = dvs::find_mcnc(name);
+  if (descriptor == nullptr) {
+    std::fprintf(stderr, "unknown circuit '%s'\n", name.c_str());
+    return 1;
+  }
+
+  std::printf("voltage exploration on %s (%d gates)\n",
+              descriptor->name, descriptor->gates);
+  std::printf("%5s | %12s %12s | %8s %8s %8s | %5s\n", "Vlow",
+              "delay+%/gate", "energy-%", "CVS%", "Dscale%", "Gscale%",
+              "LCs");
+
+  for (double vlow = 4.7; vlow >= 3.29; vlow -= 0.2) {
+    dvs::Library lib = dvs::build_compass_library();
+    lib.set_supplies(5.0, vlow);
+    dvs::Network net = dvs::build_mcnc_circuit(lib, *descriptor);
+
+    dvs::Design baseline(net, lib);
+    const double org = baseline.run_power().total();
+    auto improvement = [&](dvs::Design& d) {
+      return 100.0 * (org - d.run_power().total()) / org;
+    };
+
+    dvs::Design cvs(net, lib);
+    dvs::run_cvs(cvs);
+    dvs::Design dscale(net, lib);
+    dvs::run_dscale(dscale);
+    dvs::Design gscale(net, lib);
+    dvs::run_gscale(gscale);
+
+    const dvs::VoltageModel& vm = lib.voltage_model();
+    std::printf("%5.1f | %11.1f%% %11.1f%% | %8.2f %8.2f %8.2f | %5d\n",
+                vlow, 100.0 * (vm.delay_factor(vlow) - 1.0),
+                100.0 * (1.0 - vm.energy_factor(vlow)),
+                improvement(cvs), improvement(dscale),
+                improvement(gscale), dscale.count_lcs());
+  }
+  std::printf("\n(the paper uses Vlow = 4.3V)\n");
+  return 0;
+}

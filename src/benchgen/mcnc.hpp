@@ -1,0 +1,51 @@
+// The 39-circuit MCNC benchmark suite of the paper, as deterministic
+// generator-backed stand-ins (see DESIGN.md "Substitutions").  Each entry
+// carries the published Table 1 / Table 2 values for side-by-side
+// reporting, plus the structural family chosen to reproduce the circuit's
+// qualitative profile:
+//   kBalanced — every output path critical (the paper's CVS=0 circuits)
+//   kAdder    — ripple-carry adder (my_adder)
+//   kHybrid   — zero-slack core + slack-rich random logic; the critical
+//               fraction is calibrated from the paper's CVS low ratio
+// `maxed_sizes` marks circuits mapped to their largest drive variants,
+// which reproduces the paper's circuits where Gscale finds nothing to
+// resize (i2, i3, pcle).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "library/library.hpp"
+#include "netlist/network.hpp"
+#include "support/paper_ref.hpp"
+
+namespace dvs {
+
+enum class CircuitFamily { kBalanced, kAdder, kHybrid };
+
+struct McncDescriptor {
+  const char* name;
+  int gates;  // paper Table 2, "Org"
+  int pis;
+  int pos;
+  CircuitFamily family;
+  bool maxed_sizes;
+  std::uint64_t seed;
+  PaperRow paper;
+};
+
+/// All 39 circuits, in the paper's table order.
+std::span<const McncDescriptor> mcnc_suite();
+
+/// Descriptor by circuit name, or nullptr.
+const McncDescriptor* find_mcnc(std::string_view name);
+
+/// Builds the mapped stand-in circuit for one descriptor.
+Network build_mcnc_circuit(const Library& lib,
+                           const McncDescriptor& descriptor);
+
+/// Critical fraction used for kHybrid circuits, derived from the paper's
+/// CVS low-voltage ratio (exposed for tests and calibration benches).
+double hybrid_critical_fraction(const McncDescriptor& descriptor);
+
+}  // namespace dvs

@@ -1,0 +1,31 @@
+// Hybrid circuit generator: a zero-slack balanced "grid" core (critical
+// fraction) plus a shallower random-logic region rich in timing slack.
+// The critical fraction dials the CVS low-voltage ratio, which is how the
+// MCNC stand-ins reproduce each circuit's Table 2 profile shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "library/library.hpp"
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+struct HybridSpec {
+  int gates = 200;
+  int pis = 20;
+  int pos = 10;
+  /// Fraction of gates in the zero-slack core (0 = all slack-rich random
+  /// logic, 1 = fully balanced).
+  double critical_fraction = 0.5;
+  /// Slack-branch share within the core (see GridSpec).
+  double slack_branch_fraction = 0.06;
+  bool maxed_sizes = false;
+  std::uint64_t seed = 1;
+};
+
+Network build_hybrid_circuit(const Library& lib, const HybridSpec& spec,
+                             std::string name);
+
+}  // namespace dvs

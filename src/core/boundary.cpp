@@ -1,0 +1,66 @@
+#include "core/boundary.hpp"
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+bool lc_needed(const Design& design, NodeId id) {
+  const Network& net = design.network();
+  if (!net.is_valid(id) || !net.node(id).is_gate()) return false;
+  if (design.level(id) != VddLevel::kLow) return false;
+  for (NodeId fo : net.node(id).fanouts) {
+    const Node& sink = net.node(fo);
+    if (sink.is_gate() && design.level(fo) == VddLevel::kHigh) return true;
+  }
+  return false;
+}
+
+void recompute_boundary(Design& design) {
+  design.network().for_each_node([&](const Node& n) {
+    design.lc_flags_[n.id] = lc_needed(design, n.id) ? 1 : 0;
+  });
+}
+
+void refresh_boundary_around(Design& design, NodeId id) {
+  design.lc_flags_[id] = lc_needed(design, id) ? 1 : 0;
+  for (NodeId fi : design.network().node(id).fanins)
+    design.lc_flags_[fi] = lc_needed(design, fi) ? 1 : 0;
+}
+
+Network materialize_level_converters(const Design& design,
+                                     std::vector<char>* low_mask_out) {
+  Network net = design.network();  // deep copy
+  const Library& lib = design.library();
+  const int lc_cell = lib.level_converter();
+  DVS_EXPECTS(lc_cell >= 0);
+
+  const int original_size = net.size();
+  std::vector<char> low(original_size, 0);
+  for (NodeId id = 0; id < original_size; ++id)
+    if (net.is_valid(id) && net.node(id).is_gate() &&
+        design.level(id) == VddLevel::kLow)
+      low[id] = 1;
+
+  for (NodeId id = 0; id < original_size; ++id) {
+    if (!design.needs_lc(id)) continue;
+    // Gate fanouts still at vdd_high move behind one shared converter.
+    std::vector<NodeId> moved;
+    for (NodeId fo : net.node(id).fanouts) {
+      const Node& sink = net.node(fo);
+      if (sink.is_gate() && !low[fo] && fo < original_size)
+        moved.push_back(fo);
+    }
+    DVS_ASSERT(!moved.empty());
+    net.insert_between(id, moved, {}, tt_buf(), lc_cell,
+                       net.node(id).name + "_lc");
+  }
+  net.check();
+  if (low_mask_out != nullptr) {
+    low_mask_out->assign(net.size(), 0);
+    for (NodeId id = 0; id < original_size; ++id)
+      (*low_mask_out)[id] = low[id];
+  }
+  return net;
+}
+
+}  // namespace dvs

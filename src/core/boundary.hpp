@@ -1,0 +1,31 @@
+// Level-converter boundary bookkeeping.  A gate needs a converter on its
+// output exactly when it runs at vdd_low and at least one fanout gate runs
+// at vdd_high (the DC-leakage "driving incompatibility" of the paper).
+// Primary outputs are block boundaries: restoration there belongs to the
+// surrounding system (flip-flop style converters, as in Usami-Horowitz),
+// so driving a port never sets the flag.
+#pragma once
+
+#include "core/design.hpp"
+
+namespace dvs {
+
+/// True under the current assignment (pure query, no caching).
+bool lc_needed(const Design& design, NodeId id);
+
+/// Rewrites every LC flag from scratch.
+void recompute_boundary(Design& design);
+
+/// Refreshes the flags that can change when `id`'s level flips: its own
+/// and those of its gate fanins.
+void refresh_boundary_around(Design& design, NodeId id);
+
+/// Produces a copy of the design's network with the virtual converters
+/// instantiated as real `lvlconv` gates in front of their high-voltage
+/// fanouts.  Returns the new network; `low_mask_out`, when non-null,
+/// receives the per-node low flags of the new network (converters and
+/// high gates are false).
+Network materialize_level_converters(const Design& design,
+                                     std::vector<char>* low_mask_out);
+
+}  // namespace dvs

@@ -1,0 +1,68 @@
+#include "core/cvs.hpp"
+
+#include "netlist/topo.hpp"
+#include "support/contracts.hpp"
+#include "timing/incremental.hpp"
+#include "timing/tcb.hpp"
+
+namespace dvs {
+
+namespace {
+
+/// All gate fanouts already low?  (Port fanouts are block boundaries and
+/// do not block lowering.)
+bool fanouts_all_low(const Design& design, const Node& gate) {
+  for (NodeId fo : gate.fanouts) {
+    const Node& sink = design.network().node(fo);
+    if (sink.is_gate() && design.level(fo) != VddLevel::kLow) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CvsResult run_cvs(Design& design, const CvsOptions& options) {
+  const Network& net = design.network();
+  CvsResult result;
+
+  // The breadth-first traversal from the POs is realized as one reverse
+  // topological sweep: every gate is visited after all of its fanouts, so
+  // the "all fanouts low" cluster test sees final decisions.  Timing is
+  // re-analyzed (incrementally) after each acceptance, which keeps every
+  // acceptance sound against the *committed* state (the paper's
+  // incurred-penalty check).
+  IncrementalSta timer(design.timing_context(), design.tspec());
+  const std::vector<NodeId> order = topo_order(net);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Node& gate = net.node(*it);
+    if (!gate.is_gate() || gate.cell < 0) continue;
+    if (design.level(gate.id) == VddLevel::kLow) continue;
+    if (!fanouts_all_low(design, gate)) continue;
+    const StaResult& sta = timer.result();
+    const double increase = worst_delay_increase(
+        design.library(), design.library().cell(gate.cell),
+        design.library().vdd_high(), design.library().vdd_low(),
+        sta.load[gate.id]);
+    if (increase + options.slack_margin > sta.slack[gate.id]) continue;
+    design.set_level(gate.id, VddLevel::kLow);
+    DVS_ASSERT(!design.needs_lc(gate.id));  // cluster rule: never an LC
+    timer.on_node_changed(gate.id);
+    DVS_ASSERT(timer.result().meets_constraint(1e-6));
+    ++result.num_lowered;
+  }
+  result.tcb = compute_tcb(design.timing_context(), timer.result());
+  return result;
+}
+
+bool cvs_cluster_invariant_holds(const Design& design) {
+  const Network& net = design.network();
+  bool ok = true;
+  net.for_each_gate([&](const Node& gate) {
+    if (design.level(gate.id) != VddLevel::kLow) return;
+    if (!fanouts_all_low(design, gate)) ok = false;
+    if (design.needs_lc(gate.id)) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace dvs

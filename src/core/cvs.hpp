@@ -1,0 +1,33 @@
+// Clustered Voltage Scaling (Usami & Horowitz, ISLPED'95) — the paper's
+// baseline and the inner engine of Gscale.  Traverses from the primary
+// outputs; a gate may be lowered only when every gate fanout is already
+// low (keeping the low cluster contingent to the POs, so no internal
+// level converter is ever needed) and the added delay fits in its slack.
+#pragma once
+
+#include <vector>
+
+#include "core/design.hpp"
+
+namespace dvs {
+
+struct CvsOptions {
+  /// Safety margin subtracted from the slack before accepting (ns).
+  double slack_margin = 1e-9;
+};
+
+struct CvsResult {
+  int num_lowered = 0;  // gates lowered by this invocation
+  /// Timing-critical boundary at exit (see timing/tcb.hpp).
+  std::vector<NodeId> tcb;
+};
+
+/// Runs CVS on the design's current state; safe to call repeatedly (Gscale
+/// re-invokes it after every sizing step to push the TCB).
+CvsResult run_cvs(Design& design, const CvsOptions& options = {});
+
+/// Invariant checker used by tests: every low gate's gate-fanouts are all
+/// low (cluster contingency), and no level converter flag is set.
+bool cvs_cluster_invariant_holds(const Design& design);
+
+}  // namespace dvs

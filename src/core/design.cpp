@@ -1,0 +1,130 @@
+#include "core/design.hpp"
+
+#include "core/boundary.hpp"
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+Design::Design(Network net, const Library& lib, double tspec)
+    : net_(std::move(net)), lib_(&lib) {
+  const int n = net_.size();
+  levels_.assign(n, VddLevel::kHigh);
+  node_vdd_.assign(n, lib.vdd_high());
+  lc_flags_.assign(n, 0);
+  original_cells_.assign(n, -1);
+  net_.for_each_gate([&](const Node& g) {
+    original_cells_[g.id] = g.cell;
+    if (g.cell >= 0) original_area_ += lib.cell(g.cell).area;
+  });
+  if (tspec < 0.0) {
+    const StaResult sta = run_timing();
+    tspec_ = sta.worst_arrival;
+  } else {
+    tspec_ = tspec;
+  }
+}
+
+VddLevel Design::level(NodeId id) const {
+  DVS_EXPECTS(id >= 0 && id < static_cast<NodeId>(levels_.size()));
+  return levels_[id];
+}
+
+void Design::set_level(NodeId id, VddLevel level) {
+  DVS_EXPECTS(net_.is_valid(id) && net_.node(id).is_gate());
+  levels_[id] = level;
+  node_vdd_[id] =
+      level == VddLevel::kHigh ? lib_->vdd_high() : lib_->vdd_low();
+  // The boundary can change at this node and at each gate fanin.
+  refresh_boundary_around(*this, id);
+}
+
+int Design::count_low() const {
+  int count = 0;
+  net_.for_each_gate([&](const Node& g) {
+    if (levels_[g.id] == VddLevel::kLow) ++count;
+  });
+  return count;
+}
+
+int Design::count_lcs() const {
+  int count = 0;
+  net_.for_each_gate([&](const Node& g) {
+    if (lc_flags_[g.id]) ++count;
+  });
+  return count;
+}
+
+void Design::refresh_boundary() { recompute_boundary(*this); }
+
+void Design::sync_with_network() {
+  const int n = net_.size();
+  levels_.resize(n, VddLevel::kHigh);
+  node_vdd_.resize(n, lib_->vdd_high());
+  lc_flags_.resize(n, 0);
+  original_cells_.resize(n, -1);
+  activity_valid_ = false;
+  refresh_boundary();
+}
+
+int Design::original_cell(NodeId id) const {
+  DVS_EXPECTS(id >= 0 && id < static_cast<NodeId>(original_cells_.size()));
+  return original_cells_[id];
+}
+
+int Design::count_resized() const {
+  int count = 0;
+  net_.for_each_gate([&](const Node& g) {
+    if (original_cells_[g.id] >= 0 && g.cell != original_cells_[g.id])
+      ++count;
+  });
+  return count;
+}
+
+TimingContext Design::timing_context() const {
+  TimingContext ctx;
+  ctx.net = &net_;
+  ctx.lib = lib_;
+  ctx.node_vdd = node_vdd_;
+  ctx.lc_on_output = lc_flags_;
+  return ctx;
+}
+
+StaResult Design::run_timing() const {
+  return run_sta(timing_context(), tspec_);
+}
+
+const Activity& Design::activity() const {
+  if (!activity_valid_) {
+    activity_ = estimate_activity(net_, activity_options_);
+    activity_valid_ = true;
+  }
+  return activity_;
+}
+
+void Design::set_activity_options(const ActivityOptions& options) {
+  activity_options_ = options;
+  activity_valid_ = false;
+}
+
+PowerBreakdown Design::run_power() const {
+  PowerContext ctx;
+  ctx.net = &net_;
+  ctx.lib = lib_;
+  ctx.node_vdd = node_vdd_;
+  ctx.lc_on_output = lc_flags_;
+  ctx.alpha01 = activity().alpha01;
+  ctx.freq_mhz = freq_mhz_;
+  return compute_power(ctx);
+}
+
+double Design::total_area() const {
+  double area = 0.0;
+  const int lc = lib_->level_converter();
+  net_.for_each_gate([&](const Node& g) {
+    if (g.cell >= 0) area += lib_->cell(g.cell).area;
+    if (lc_flags_[g.id] && lc >= 0) area += lib_->cell(lc).area;
+  });
+  return area;
+}
+
+}  // namespace dvs

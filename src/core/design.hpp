@@ -1,0 +1,105 @@
+// Design: the central context object for dual-Vdd optimization.  Bundles
+// the mapped network, the library, the per-gate supply assignment, the
+// timing constraint, and the derived level-converter bookkeeping, and
+// offers timing / power / area evaluation of the *current* state.
+//
+// Level converters are kept virtual (per-node flags consumed by the STA
+// and the power model) so algorithms can retarget voltages freely;
+// `materialize_level_converters` (boundary.hpp) instantiates them as real
+// gates for export.
+#pragma once
+
+#include <vector>
+
+#include "library/library.hpp"
+#include "netlist/network.hpp"
+#include "power/activity.hpp"
+#include "power/power_model.hpp"
+#include "timing/sta.hpp"
+
+namespace dvs {
+
+enum class VddLevel : std::uint8_t { kHigh, kLow };
+
+class Design {
+ public:
+  /// Takes ownership of the mapped network.  Every gate starts at
+  /// vdd_high.  `tspec < 0` (default) freezes the constraint at the
+  /// network's own mapped delay — the paper's experimental setup.
+  Design(Network net, const Library& lib, double tspec = -1.0);
+
+  const Network& network() const { return net_; }
+  Network& network() { return net_; }
+  const Library& library() const { return *lib_; }
+
+  double tspec() const { return tspec_; }
+  void set_tspec(double tspec) { tspec_ = tspec; }
+
+  // ---- voltage assignment ----------------------------------------------
+  VddLevel level(NodeId id) const;
+  /// Sets the level and refreshes boundary flags incrementally around the
+  /// node (its own LC flag and its fanins').
+  void set_level(NodeId id, VddLevel level);
+  int count_low() const;
+
+  /// Per-node supply voltage vector consumed by STA/power (non-gates run
+  /// at vdd_high by convention; their entries are never used in arcs).
+  const std::vector<double>& node_vdd() const { return node_vdd_; }
+  /// Level-converter-on-output flags (derived from the assignment).
+  const std::vector<char>& lc_flags() const { return lc_flags_; }
+
+  /// True iff this node currently needs a level converter on its output.
+  bool needs_lc(NodeId id) const { return lc_flags_[id] != 0; }
+  int count_lcs() const;
+
+  /// Recomputes all LC flags from scratch (after bulk edits).
+  void refresh_boundary();
+
+  /// Called after structural network edits (node insertion, sizing does
+  /// not require it) to resize the per-node vectors.
+  void sync_with_network();
+
+  // ---- sizing ------------------------------------------------------------
+  /// Cell each gate carried when the Design was constructed.
+  int original_cell(NodeId id) const;
+  /// Number of gates whose current cell differs from the original.
+  int count_resized() const;
+
+  // ---- evaluation ---------------------------------------------------------
+  TimingContext timing_context() const;
+  StaResult run_timing() const;
+
+  /// Switching activity is a function of logic only, so it is computed
+  /// once (lazily) and reused across voltage/size changes.
+  const Activity& activity() const;
+  void set_activity_options(const ActivityOptions& options);
+
+  PowerBreakdown run_power() const;
+
+  /// Total cell area including virtual level converters (um^2).
+  double total_area() const;
+  /// Area of the original, all-high, unsized design.
+  double original_area() const { return original_area_; }
+
+  double freq_mhz() const { return freq_mhz_; }
+  void set_freq_mhz(double f) { freq_mhz_ = f; }
+
+ private:
+  friend void recompute_boundary(Design& design);
+  friend void refresh_boundary_around(Design& design, NodeId id);
+
+  Network net_;
+  const Library* lib_;
+  double tspec_ = 0.0;
+  double freq_mhz_ = 20.0;
+  std::vector<VddLevel> levels_;
+  std::vector<double> node_vdd_;
+  std::vector<char> lc_flags_;
+  std::vector<int> original_cells_;
+  double original_area_ = 0.0;
+  ActivityOptions activity_options_;
+  mutable Activity activity_;
+  mutable bool activity_valid_ = false;
+};
+
+}  // namespace dvs

@@ -1,0 +1,271 @@
+#include "core/dscale.hpp"
+
+#include <algorithm>
+
+#include "graph/antichain.hpp"
+#include "graph/reachability.hpp"
+#include "support/contracts.hpp"
+#include "support/units.hpp"
+#include "timing/loads.hpp"
+
+namespace dvs {
+
+namespace {
+
+/// What lowering one gate would change, evaluated against the current
+/// committed state (conservative, per the paper's check_timing).
+struct LoweringEffect {
+  bool feasible = false;      // fits the slack
+  double gross_gain_uw = 0.0; // voltage-scaling gain on the gate alone
+  double net_gain_uw = 0.0;   // gross gain minus level-converter cost
+  double delay_increase = 0.0;
+};
+
+LoweringEffect evaluate_lowering(const Design& design, const StaResult& sta,
+                                 const Activity& activity, NodeId id,
+                                 double slack_margin) {
+  const Network& net = design.network();
+  const Library& lib = design.library();
+  const Node& gate = net.node(id);
+  DVS_EXPECTS(gate.is_gate() && gate.cell >= 0);
+  const Cell& cell = lib.cell(gate.cell);
+  const double vh = lib.vdd_high();
+  const double vl = lib.vdd_low();
+  const VoltageModel& vm = lib.voltage_model();
+  const Cell* lc = lib.level_converter() >= 0
+                       ? &lib.cell(lib.level_converter())
+                       : nullptr;
+
+  // ---- fanout split after lowering -------------------------------------
+  // Gate fanouts still high move behind a converter; low gates and output
+  // ports stay direct.
+  double direct_pins = 0.0;
+  double lc_pins = 0.0;
+  int direct_count = 0;
+  int lc_count = 0;
+  for (std::size_t k = 0; k < gate.fanouts.size(); ++k) {
+    const NodeId fo = gate.fanouts[k];
+    bool seen_before = false;  // multi-pin sinks appear once per pin
+    for (std::size_t j = 0; j < k; ++j)
+      if (gate.fanouts[j] == fo) seen_before = true;
+    if (seen_before) continue;
+    const Node& sink = net.node(fo);
+    for (std::size_t pin = 0; pin < sink.fanins.size(); ++pin) {
+      if (sink.fanins[pin] != id) continue;
+      const double cap = sink.cell >= 0
+                             ? lib.cell(sink.cell).input_cap[pin]
+                             : 6.0;
+      if (sink.is_gate() && design.level(fo) == VddLevel::kHigh) {
+        lc_pins += cap;
+        ++lc_count;
+      } else {
+        direct_pins += cap;
+        ++direct_count;
+      }
+    }
+  }
+  for (const OutputPort& port : net.outputs()) {
+    if (port.driver == id) {
+      direct_pins += 25.0;  // keep in sync with TimingContext default
+      ++direct_count;
+    }
+  }
+  const bool needs_lc = lc_count > 0;
+  if (needs_lc && lc == nullptr)
+    return {};  // no converter available: infeasible
+
+  double new_direct = direct_pins;
+  int new_direct_count = direct_count;
+  double new_lc_load = 0.0;
+  if (needs_lc) {
+    new_direct += lc->input_cap[0];
+    ++new_direct_count;
+    new_lc_load = lc_pins + lib.wire_load().wire_cap(lc_count);
+  }
+  new_direct += lib.wire_load().wire_cap(new_direct_count);
+
+  // ---- timing -----------------------------------------------------------
+  const double f_high = vm.delay_factor(vh);
+  const double f_low = vm.delay_factor(vl);
+  double self_increase = 0.0;
+  for (const TimingArc& arc : cell.arcs) {
+    const double old_rise =
+        f_high * (arc.intrinsic_rise + arc.resistance_rise * sta.load[id]);
+    const double old_fall =
+        f_high * (arc.intrinsic_fall + arc.resistance_fall * sta.load[id]);
+    const double new_rise =
+        f_low * (arc.intrinsic_rise + arc.resistance_rise * new_direct);
+    const double new_fall =
+        f_low * (arc.intrinsic_fall + arc.resistance_fall * new_direct);
+    self_increase = std::max(self_increase, new_rise - old_rise);
+    self_increase = std::max(self_increase, new_fall - old_fall);
+  }
+  double lc_delay = 0.0;
+  if (needs_lc) {
+    const RiseFall d = arc_delay(lib, *lc, 0, vh, new_lc_load);
+    lc_delay = d.max();
+  }
+  LoweringEffect effect;
+  effect.delay_increase = std::max(0.0, self_increase) + lc_delay;
+  effect.feasible =
+      effect.delay_increase + slack_margin <= sta.slack[id];
+
+  // ---- power ------------------------------------------------------------
+  const double a = activity.alpha01[id];
+  const double f = design.freq_mhz();
+  const double vh2 = vh * vh;
+  const double vl2 = vl * vl;
+  const double before =
+      a * f * (sta.load[id] + cell.internal_cap) * vh2 *
+          kSwitchPowerToMicrowatt +
+      cell.leakage * vm.leakage_factor(vh);
+  const double after_gate =
+      a * f * (new_direct + cell.internal_cap) * vl2 *
+          kSwitchPowerToMicrowatt +
+      cell.leakage * vm.leakage_factor(vl);
+  double lc_cost = 0.0;
+  if (needs_lc) {
+    // Everything behind the converter (the rerouted pins, its wire, its
+    // internal node) still swings at vdd_high, plus the converter leaks.
+    lc_cost = a * f * (new_lc_load + lc->internal_cap) * vh2 *
+                  kSwitchPowerToMicrowatt +
+              lc->leakage;
+  }
+  // Paper-literal weight: "the power reduction when Vlow is applied" —
+  // the gate's present switched capacitance scaled by Vh^2 - Vl^2.
+  effect.gross_gain_uw = a * f * (sta.load[id] + cell.internal_cap) *
+                         (vh2 - vl2) * kSwitchPowerToMicrowatt;
+  // True delta including the converter overhead and the load reshuffle.
+  effect.net_gain_uw = before - after_gate - lc_cost;
+  return effect;
+}
+
+struct Candidate {
+  NodeId id;
+  double gain;
+};
+
+/// Raises low->high boundary drivers back to vdd_high while doing so
+/// reduces total power.  Raising a gate speeds it up, but a converter can
+/// migrate onto a still-low fanin, so timing is re-verified per raise;
+/// the fixpoint loop then reconsiders the migrated boundary.
+int trim_unprofitable_boundary(Design& design) {
+  int raised_total = 0;
+  double power = design.run_power().total();
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::vector<NodeId> boundary;
+    design.network().for_each_gate([&](const Node& g) {
+      if (design.needs_lc(g.id)) boundary.push_back(g.id);
+    });
+    for (NodeId id : boundary) {
+      design.set_level(id, VddLevel::kHigh);
+      const double trial = design.run_power().total();
+      if (trial < power - 1e-12 &&
+          design.run_timing().meets_constraint(1e-9)) {
+        power = trial;
+        ++raised_total;
+        changed = true;
+      } else {
+        design.set_level(id, VddLevel::kLow);
+      }
+    }
+  }
+  return raised_total;
+}
+
+/// Lowers the selected gates, then verifies the constraint and reverts the
+/// cheapest members if the conservative per-candidate model missed a
+/// second-order interaction (e.g. a fanin's converter losing load).
+int commit_with_repair(Design& design, std::vector<Candidate> selected) {
+  if (selected.empty()) return 0;
+  for (const Candidate& c : selected)
+    design.set_level(c.id, VddLevel::kLow);
+  std::sort(selected.begin(), selected.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.gain < b.gain;
+            });
+  StaResult sta = design.run_timing();
+  std::size_t reverted = 0;
+  while (!sta.meets_constraint(1e-9) && reverted < selected.size()) {
+    design.set_level(selected[reverted].id, VddLevel::kHigh);
+    ++reverted;
+    sta = design.run_timing();
+  }
+  DVS_ASSERT(sta.meets_constraint(1e-6));
+  return static_cast<int>(selected.size() - reverted);
+}
+
+}  // namespace
+
+DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
+  DscaleResult result;
+  if (options.run_initial_cvs)
+    result.cvs_lowered = run_cvs(design, options.cvs).num_lowered;
+
+  const Network& net = design.network();
+  const Activity& activity = design.activity();
+
+  for (;;) {
+    if (options.max_rounds > 0 && result.rounds >= options.max_rounds)
+      break;
+    const StaResult sta = design.run_timing();
+
+    // getSlkSet + check_timing + weight_with_power_gain, fused: collect
+    // every high gate whose lowering fits its slack with positive gain.
+    std::vector<Candidate> candidates;
+    net.for_each_gate([&](const Node& gate) {
+      if (gate.cell < 0 || design.level(gate.id) == VddLevel::kLow) return;
+      if (sta.slack[gate.id] <= options.slack_margin) return;
+      const LoweringEffect effect = evaluate_lowering(
+          design, sta, activity, gate.id, options.slack_margin);
+      const double weight = options.lc_aware_weights ? effect.net_gain_uw
+                                                     : effect.gross_gain_uw;
+      if (effect.feasible && weight > options.min_gain_uw)
+        candidates.push_back({gate.id, weight});
+    });
+    if (candidates.empty()) break;
+    ++result.rounds;
+
+    std::vector<Candidate> selected;
+    if (options.selector == DscaleOptions::Selector::kMwisFlow) {
+      // Maximum-weight independent set on the transitive graph == maximum
+      // weight antichain w.r.t. netlist reachability.  Building the flow
+      // network over the original DAG keeps it O(n + e).
+      AntichainProblem problem;
+      problem.num_nodes = net.size();
+      problem.weight.assign(net.size(), 0.0);
+      for (const Candidate& c : candidates)
+        problem.weight[c.id] = c.gain;
+      net.for_each_node([&](const Node& n) {
+        for (NodeId fo : n.fanouts) problem.edges.emplace_back(n.id, fo);
+      });
+      const AntichainResult mwis =
+          max_weight_antichain(problem, options.flow_algo);
+      for (int v : mwis.selected)
+        selected.push_back({v, problem.weight[v]});
+    } else {
+      // Greedy baseline for the ablation: highest gain first, skip
+      // anything comparable to an already-picked node.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.gain > b.gain;
+                });
+      const Reachability reach(net);
+      for (const Candidate& c : candidates) {
+        bool independent = true;
+        for (const Candidate& s : selected)
+          if (reach.comparable(c.id, s.id)) independent = false;
+        if (independent) selected.push_back(c);
+      }
+    }
+    const int committed = commit_with_repair(design, std::move(selected));
+    result.mwis_lowered += committed;
+    if (committed == 0) break;  // nothing stuck: avoid spinning
+  }
+  if (options.trim_unprofitable)
+    result.mwis_lowered -= trim_unprofitable_boundary(design);
+  return result;
+}
+
+}  // namespace dvs

@@ -1,0 +1,82 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+namespace {
+
+double improvement_pct(double original, double optimized) {
+  return original > 0.0 ? 100.0 * (original - optimized) / original : 0.0;
+}
+
+Design make_design(const Network& mapped, const Library& lib,
+                   const FlowOptions& options, double tspec) {
+  Design design(mapped, lib, tspec);
+  design.set_activity_options(options.activity);
+  design.set_freq_mhz(options.freq_mhz);
+  return design;
+}
+
+}  // namespace
+
+CircuitRunResult run_paper_flow(const Network& mapped, const Library& lib,
+                                const FlowOptions& options) {
+  CircuitRunResult row;
+  row.name = mapped.name();
+  row.num_gates = mapped.num_gates();
+
+  // The constraint: the mapped circuit's own delay (possibly relaxed).
+  const StaResult base_sta = run_sta(mapped, lib, -1.0);
+  const double tspec =
+      base_sta.worst_arrival * (1.0 + options.tspec_relax);
+  row.tspec_ns = tspec;
+
+  // Original power: everything at vdd_high.
+  Design original = make_design(mapped, lib, options, tspec);
+  row.org_power_uw = original.run_power().total();
+
+  // CVS baseline.
+  {
+    Design design = make_design(mapped, lib, options, tspec);
+    run_cvs(design, options.cvs);
+    row.cvs_low = design.count_low();
+    row.cvs_improve_pct =
+        improvement_pct(row.org_power_uw, design.run_power().total());
+    DVS_ASSERT(design.run_timing().meets_constraint(1e-6));
+  }
+  // Dscale.
+  {
+    Design design = make_design(mapped, lib, options, tspec);
+    DscaleOptions dscale = options.dscale;
+    dscale.cvs = options.cvs;
+    run_dscale(design, dscale);
+    row.dscale_low = design.count_low();
+    row.dscale_lcs = design.count_lcs();
+    row.dscale_improve_pct =
+        improvement_pct(row.org_power_uw, design.run_power().total());
+    DVS_ASSERT(design.run_timing().meets_constraint(1e-6));
+  }
+  // Gscale (timed: the paper's CPU column reports Gscale).
+  {
+    Design design = make_design(mapped, lib, options, tspec);
+    GscaleOptions gscale = options.gscale;
+    gscale.cvs = options.cvs;
+    const auto start = std::chrono::steady_clock::now();
+    const GscaleResult res = run_gscale(design, gscale);
+    const auto stop = std::chrono::steady_clock::now();
+    row.gscale_seconds =
+        std::chrono::duration<double>(stop - start).count();
+    row.gscale_low = design.count_low();
+    row.gscale_resized = res.num_resized;
+    row.gscale_area_increase = res.area_increase_ratio;
+    row.gscale_improve_pct =
+        improvement_pct(row.org_power_uw, design.run_power().total());
+    DVS_ASSERT(design.run_timing().meets_constraint(1e-6));
+  }
+  return row;
+}
+
+}  // namespace dvs

@@ -1,0 +1,135 @@
+#include "core/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dvs {
+
+namespace {
+
+std::string line(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_table1_header() {
+  return line("%-10s %10s | %8s %8s | %8s %8s | %8s %8s | %7s\n"
+              "%-10s %10s | %8s %8s | %8s %8s | %8s %8s | %7s\n",
+              "circuit", "OrgPwr(uW)", "CVS%", "paper", "Dscale%", "paper",
+              "Gscale%", "paper", "CPU(s)", "-------", "----------",
+              "-----", "-----", "-------", "-----", "-------", "-----",
+              "------");
+}
+
+std::string format_table1_row(const CircuitRunResult& row,
+                              const std::optional<PaperRow>& paper) {
+  auto ref = [&](double measured, double published) {
+    (void)measured;
+    return paper ? line("%8.2f", published) : std::string(8, ' ');
+  };
+  return line("%-10s %10.2f | %8.2f %s | %8.2f %s | %8.2f %s | %7.2f\n",
+              row.name.c_str(), row.org_power_uw, row.cvs_improve_pct,
+              ref(row.cvs_improve_pct,
+                  paper ? paper->cvs_pct : 0.0).c_str(),
+              row.dscale_improve_pct,
+              ref(row.dscale_improve_pct,
+                  paper ? paper->dscale_pct : 0.0).c_str(),
+              row.gscale_improve_pct,
+              ref(row.gscale_improve_pct,
+                  paper ? paper->gscale_pct : 0.0).c_str(),
+              row.gscale_seconds);
+}
+
+std::string format_table1_footer(
+    const std::vector<CircuitRunResult>& rows,
+    const std::vector<std::optional<PaperRow>>& papers) {
+  double cvs = 0, dscale = 0, gscale = 0;
+  double pcvs = 0, pdscale = 0, pgscale = 0;
+  int n = 0, pn = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    cvs += rows[i].cvs_improve_pct;
+    dscale += rows[i].dscale_improve_pct;
+    gscale += rows[i].gscale_improve_pct;
+    ++n;
+    if (i < papers.size() && papers[i]) {
+      pcvs += papers[i]->cvs_pct;
+      pdscale += papers[i]->dscale_pct;
+      pgscale += papers[i]->gscale_pct;
+      ++pn;
+    }
+  }
+  std::string out =
+      line("%-10s %10s | %8.2f %8s | %8.2f %8s | %8.2f %8s |\n", "average",
+           "", cvs / n, pn ? line("%8.2f", pcvs / pn).c_str() : "",
+           dscale / n, pn ? line("%8.2f", pdscale / pn).c_str() : "",
+           gscale / n, pn ? line("%8.2f", pgscale / pn).c_str() : "");
+  out += line("(paper averages: CVS 10.27, Dscale 12.09, Gscale 19.12)\n");
+  return out;
+}
+
+std::string format_table2_header() {
+  return line("%-10s %5s | %5s %5s %6s | %5s %5s %6s | %5s %5s %6s | "
+              "%5s %6s %6s\n",
+              "circuit", "gates", "cvs#", "ratio", "paper", "dsc#", "ratio",
+              "paper", "gsc#", "ratio", "paper", "sized", "areaInc",
+              "paper");
+}
+
+std::string format_table2_row(const CircuitRunResult& row,
+                              const std::optional<PaperRow>& paper) {
+  auto ratio_ref = [&](double published) {
+    return paper ? line("%6.2f", published) : std::string(6, ' ');
+  };
+  return line("%-10s %5d | %5d %5.2f %s | %5d %5.2f %s | %5d %5.2f %s | "
+              "%5d %6.2f %s\n",
+              row.name.c_str(), row.num_gates, row.cvs_low,
+              row.cvs_low_ratio(),
+              ratio_ref(paper ? paper->cvs_ratio : 0.0).c_str(),
+              row.dscale_low, row.dscale_low_ratio(),
+              ratio_ref(paper ? paper->dscale_ratio : 0.0).c_str(),
+              row.gscale_low, row.gscale_low_ratio(),
+              ratio_ref(paper ? paper->gscale_ratio : 0.0).c_str(),
+              row.gscale_resized, row.gscale_area_increase,
+              ratio_ref(paper ? paper->area_increase : 0.0).c_str());
+}
+
+std::string format_table2_footer(
+    const std::vector<CircuitRunResult>& rows,
+    const std::vector<std::optional<PaperRow>>& papers) {
+  double cvs = 0, dscale = 0, gscale = 0, area = 0;
+  double pcvs = 0, pdscale = 0, pgscale = 0, parea = 0;
+  int n = 0, pn = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    cvs += rows[i].cvs_low_ratio();
+    dscale += rows[i].dscale_low_ratio();
+    gscale += rows[i].gscale_low_ratio();
+    area += rows[i].gscale_area_increase;
+    ++n;
+    if (i < papers.size() && papers[i]) {
+      pcvs += papers[i]->cvs_ratio;
+      pdscale += papers[i]->dscale_ratio;
+      pgscale += papers[i]->gscale_ratio;
+      parea += papers[i]->area_increase;
+      ++pn;
+    }
+  }
+  std::string out = line(
+      "%-10s %5s | %5s %5.2f %6s | %5s %5.2f %6s | %5s %5.2f %6s | "
+      "%5s %6.2f %6s\n",
+      "average", "", "", cvs / n,
+      pn ? line("%6.2f", pcvs / pn).c_str() : "", "", dscale / n,
+      pn ? line("%6.2f", pdscale / pn).c_str() : "", "", gscale / n,
+      pn ? line("%6.2f", pgscale / pn).c_str() : "", "", area / n,
+      pn ? line("%6.2f", parea / pn).c_str() : "");
+  out += line("(paper averages: CVS 0.37, Dscale 0.45, Gscale 0.70, "
+              "area 0.01)\n");
+  return out;
+}
+
+}  // namespace dvs

@@ -1,0 +1,30 @@
+// Table formatting for the two experiment benches.  Layouts mirror the
+// paper's Table 1 (power improvement) and Table 2 (profiles); when a
+// paper-reference row is supplied the measured and published values are
+// printed side by side.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "support/paper_ref.hpp"
+
+namespace dvs {
+
+std::string format_table1_header();
+std::string format_table1_row(const CircuitRunResult& row,
+                              const std::optional<PaperRow>& paper);
+std::string format_table1_footer(
+    const std::vector<CircuitRunResult>& rows,
+    const std::vector<std::optional<PaperRow>>& papers);
+
+std::string format_table2_header();
+std::string format_table2_row(const CircuitRunResult& row,
+                              const std::optional<PaperRow>& paper);
+std::string format_table2_footer(
+    const std::vector<CircuitRunResult>& rows,
+    const std::vector<std::optional<PaperRow>>& papers);
+
+}  // namespace dvs

@@ -1,0 +1,81 @@
+// Dinic's algorithm: BFS level graph + DFS blocking flow.  The library's
+// default max-flow engine (the paper's complexity discussion assumes
+// Goldberg-Tarjan-class performance; Dinic is near-linear on the shallow,
+// unit-ish networks our reductions produce).
+#include <queue>
+
+#include "graph/flow_network.hpp"
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+namespace {
+
+class Dinic {
+ public:
+  Dinic(FlowNetwork& net, int source, int sink)
+      : net_(net), source_(source), sink_(sink) {}
+
+  double run() {
+    double total = 0.0;
+    while (build_levels()) {
+      iter_.assign(net_.num_vertices(), 0);
+      for (;;) {
+        const double pushed = push(source_, kFlowInf);
+        if (pushed <= kFlowEps) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+ private:
+  bool build_levels() {
+    level_.assign(net_.num_vertices(), -1);
+    std::queue<int> queue;
+    level_[source_] = 0;
+    queue.push(source_);
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      for (const FlowNetwork::Arc& arc : net_.arcs_of(v)) {
+        if (arc.cap > kFlowEps && level_[arc.to] < 0) {
+          level_[arc.to] = level_[v] + 1;
+          queue.push(arc.to);
+        }
+      }
+    }
+    return level_[sink_] >= 0;
+  }
+
+  double push(int v, double limit) {
+    if (v == sink_) return limit;
+    for (int& i = iter_[v]; i < static_cast<int>(net_.arcs_of(v).size());
+         ++i) {
+      FlowNetwork::Arc& arc = net_.arcs_of(v)[i];
+      if (arc.cap <= kFlowEps || level_[arc.to] != level_[v] + 1) continue;
+      const double pushed = push(arc.to, std::min(limit, arc.cap));
+      if (pushed > kFlowEps) {
+        arc.cap -= pushed;
+        net_.arcs_of(arc.to)[arc.rev].cap += pushed;
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  FlowNetwork& net_;
+  int source_;
+  int sink_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace
+
+double dinic_max_flow(FlowNetwork& net, int source, int sink) {
+  DVS_EXPECTS(source != sink);
+  return Dinic(net, source, sink).run();
+}
+
+}  // namespace dvs

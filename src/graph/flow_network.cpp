@@ -1,0 +1,52 @@
+#include "graph/flow_network.hpp"
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+int FlowNetwork::add_vertex() {
+  adj_.emplace_back();
+  return num_vertices() - 1;
+}
+
+int FlowNetwork::add_vertices(int count) {
+  DVS_EXPECTS(count >= 0);
+  const int first = num_vertices();
+  adj_.resize(adj_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+int FlowNetwork::add_arc(int from, int to, double cap) {
+  DVS_EXPECTS(from >= 0 && from < num_vertices());
+  DVS_EXPECTS(to >= 0 && to < num_vertices());
+  DVS_EXPECTS(cap >= 0.0);
+  const int fwd = static_cast<int>(adj_[from].size());
+  const int bwd = static_cast<int>(adj_[to].size()) + (from == to ? 1 : 0);
+  adj_[from].push_back(Arc{to, cap, bwd});
+  adj_[to].push_back(Arc{from, 0.0, fwd});
+  return fwd;
+}
+
+double FlowNetwork::flow_on(int from, int index) const {
+  const Arc& arc = adj_[from][index];
+  return adj_[arc.to][arc.rev].cap;
+}
+
+std::vector<char> FlowNetwork::residual_reachable(int source) const {
+  std::vector<char> seen(num_vertices(), 0);
+  std::vector<int> stack{source};
+  seen[source] = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : adj_[v]) {
+      if (arc.cap > kFlowEps && !seen[arc.to]) {
+        seen[arc.to] = 1;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace dvs

@@ -1,0 +1,57 @@
+// Residual flow network shared by the Dinic and Edmonds-Karp solvers.
+// Capacities are doubles (the algorithms' termination bounds are
+// structural, not capacity-dependent), compared against kFlowEps.
+#pragma once
+
+#include <vector>
+
+namespace dvs {
+
+inline constexpr double kFlowEps = 1e-9;
+inline constexpr double kFlowInf = 1e18;
+
+class FlowNetwork {
+ public:
+  struct Arc {
+    int to = 0;
+    double cap = 0.0;  // remaining residual capacity
+    int rev = 0;       // index of the reverse arc in arcs_of(to)
+  };
+
+  int add_vertex();
+  int add_vertices(int count);
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+
+  /// Adds a directed arc and its zero-capacity residual twin.
+  /// Returns the arc's index within arcs_of(from).
+  int add_arc(int from, int to, double cap);
+
+  const std::vector<Arc>& arcs_of(int v) const { return adj_[v]; }
+  std::vector<Arc>& arcs_of(int v) { return adj_[v]; }
+
+  /// Flow currently pushed through the arc `index` of vertex `from`
+  /// (reverse twin's accumulated capacity).
+  double flow_on(int from, int index) const;
+
+  /// Vertices reachable from `source` through arcs with residual capacity;
+  /// after a max-flow run this is the source side of a minimum cut.
+  std::vector<char> residual_reachable(int source) const;
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+};
+
+/// Interface both solvers implement; returns the max-flow value and leaves
+/// the network holding the residual state.
+double dinic_max_flow(FlowNetwork& net, int source, int sink);
+double edmonds_karp_max_flow(FlowNetwork& net, int source, int sink);
+
+enum class FlowAlgo { kDinic, kEdmondsKarp };
+
+inline double max_flow(FlowNetwork& net, int source, int sink,
+                       FlowAlgo algo) {
+  return algo == FlowAlgo::kDinic ? dinic_max_flow(net, source, sink)
+                                  : edmonds_karp_max_flow(net, source, sink);
+}
+
+}  // namespace dvs

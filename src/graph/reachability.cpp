@@ -1,0 +1,34 @@
+#include "graph/reachability.hpp"
+
+#include "netlist/topo.hpp"
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+Reachability::Reachability(const Network& net) {
+  const int n = net.size();
+  words_ = (n + 63) / 64;
+  bits_.assign(static_cast<std::size_t>(n) * words_, 0);
+  // Reverse topological sweep: a node reaches itself plus everything its
+  // fanouts reach.
+  const std::vector<NodeId> order = topo_order(net);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    std::uint64_t* row = &bits_[static_cast<std::size_t>(v) * words_];
+    row[v / 64] |= 1ULL << (v % 64);
+    for (NodeId fo : net.node(v).fanouts) {
+      const std::uint64_t* src = &bits_[static_cast<std::size_t>(fo) * words_];
+      for (int w = 0; w < words_; ++w) row[w] |= src[w];
+    }
+  }
+}
+
+bool Reachability::reaches(NodeId from, NodeId to) const {
+  DVS_EXPECTS(from >= 0 && to >= 0);
+  DVS_EXPECTS(static_cast<std::size_t>(from) * words_ < bits_.size());
+  return (bits_[static_cast<std::size_t>(from) * words_ + to / 64] >>
+          (to % 64)) &
+         1ULL;
+}
+
+}  // namespace dvs

@@ -1,0 +1,31 @@
+// Bitset transitive closure over a Network, used by the Dscale tests to
+// verify the antichain property and available to clients that need
+// explicit "same path" queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+class Reachability {
+ public:
+  explicit Reachability(const Network& net);
+
+  /// True iff there is a directed path from `from` to `to` (reflexive:
+  /// reaches(v, v) is true).
+  bool reaches(NodeId from, NodeId to) const;
+
+  /// True iff the two nodes lie on a common directed path.
+  bool comparable(NodeId a, NodeId b) const {
+    return reaches(a, b) || reaches(b, a);
+  }
+
+ private:
+  int words_ = 0;
+  std::vector<std::uint64_t> bits_;  // bits_[v * words_ ...] = cone of v
+};
+
+}  // namespace dvs

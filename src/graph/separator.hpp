@@ -1,0 +1,41 @@
+// Minimum-weight vertex separator on a DAG (paper §3,
+// min_weight_separator): the cheapest set of nodes whose removal
+// disconnects every source-to-sink path.  Gscale resizes such a separator
+// of the critical-path network so that every critical path is sped up
+// while no path donates two resized gates.
+//
+// Classic node-splitting reduction to edge min-cut: v becomes
+// (v_in -> v_out) with capacity w(v); DAG edges get infinite capacity.
+// Source and sink nodes are themselves eligible separator members (their
+// split arcs carry finite weight like everyone else's).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/flow_network.hpp"
+
+namespace dvs {
+
+struct SeparatorProblem {
+  int num_nodes = 0;
+  std::vector<std::pair<int, int>> edges;  // DAG edges (from, to)
+  std::vector<double> weight;              // > 0 for every node
+  std::vector<int> sources;
+  std::vector<int> sinks;
+};
+
+struct SeparatorResult {
+  std::vector<int> selected;  // ascending node indices
+  double total_weight = 0.0;
+};
+
+SeparatorResult min_weight_separator(const SeparatorProblem& problem,
+                                     FlowAlgo algo = FlowAlgo::kDinic);
+
+/// True iff removing `cut` disconnects all source->sink paths; used by
+/// tests and kept cheap enough for release-mode assertions.
+bool is_separator(const SeparatorProblem& problem,
+                  const std::vector<int>& cut);
+
+}  // namespace dvs

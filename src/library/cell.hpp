@@ -1,0 +1,51 @@
+// Standard-cell model: per-pin capacitance, pin-to-pin timing arcs with a
+// linear (intrinsic + resistance * load) delay model, area, and internal
+// switching capacitance.  Timing numbers are characterized at the library's
+// nominal supply; the VoltageModel scales them to other supplies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+enum class ArcSense : std::uint8_t {
+  kPositiveUnate,  // input rise -> output rise
+  kNegativeUnate,  // input rise -> output fall
+  kNonUnate,       // either transition can cause either edge (e.g. XOR)
+};
+
+/// Pin-to-pin delay arc, one per input pin.  Units: ns, ns/fF.
+struct TimingArc {
+  ArcSense sense = ArcSense::kNegativeUnate;
+  double intrinsic_rise = 0.0;
+  double intrinsic_fall = 0.0;
+  double resistance_rise = 0.0;  // output-rise drive resistance
+  double resistance_fall = 0.0;
+};
+
+struct Cell {
+  std::string name;       // unique, e.g. "nand2_d1"
+  std::string base_name;  // function family, e.g. "nand2"
+  int drive_index = 0;    // 0 = smallest
+  TruthTable function;
+  double area = 0.0;                // um^2
+  std::vector<double> input_cap;    // fF, one per pin
+  std::vector<TimingArc> arcs;      // one per pin
+  double internal_cap = 0.0;        // fF of internal switching capacitance
+  double leakage = 0.0;             // uW at nominal supply
+  bool is_level_converter = false;
+
+  int num_inputs() const { return function.num_vars; }
+  bool inverting() const {
+    // A cell is "inverting" if its function is negative unate in every
+    // input (NAND/NOR/AOI/OAI/INV family).
+    for (int i = 0; i < function.num_vars; ++i)
+      if (!is_negative_unate(function, i)) return false;
+    return function.num_vars > 0;
+  }
+};
+
+}  // namespace dvs

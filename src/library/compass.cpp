@@ -1,0 +1,170 @@
+// Builds the 72-cell analytic stand-in for the COMPASS 0.6um single-poly
+// double-metal library used in the paper (see DESIGN.md "Substitutions").
+//
+// Cell families and drive-variant policy follow the paper: cells with
+// inverted outputs carry three sizes (d0/d1/d2), cells with non-inverted
+// outputs carry two (d0/d1).  Electrical numbers are representative of a
+// 0.6um process: minimum inverter ~0.1ns intrinsic, ~6 ohm-k equivalent
+// drive (0.006 ns/fF), ~6 fF of input capacitance.  The exact values do
+// not matter to the algorithms; their monotone structure (stacks are
+// slower, bigger drives are faster but heavier) does.
+#include <cmath>
+
+#include "library/library.hpp"
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+namespace {
+
+struct BaseSpec {
+  std::string name;
+  TruthTable function;
+  double intrinsic;    // ns, d0 nominal
+  double resistance;   // ns/fF, d0
+  double pin_cap;      // fF, d0
+  double area;         // um^2, d0
+  double internal_cap; // fF, d0
+  int num_sizes;
+};
+
+/// Per-size scaling of the d0 numbers.
+struct SizeScale {
+  double res;   // divide resistance
+  double cap;   // multiply pin + internal caps
+  double area;  // multiply area
+};
+
+// Drive steps trade output resistance for modest input-capacitance and
+// area growth (output-stage sizing; the input gate poly grows much less
+// than the drive).  Keeping the cap growth small is what makes Gscale's
+// size-for-slack trade profitable, mirroring the paper's tiny (~1%)
+// area overhead for its sizing.
+constexpr SizeScale kSizes[3] = {
+    {1.0, 1.0, 1.0}, {1.7, 1.12, 1.25}, {2.6, 1.25, 1.55}};
+
+ArcSense sense_of(const TruthTable& tt, int var) {
+  const bool pos = is_positive_unate(tt, var);
+  const bool neg = is_negative_unate(tt, var);
+  if (pos && !neg) return ArcSense::kPositiveUnate;
+  if (neg && !pos) return ArcSense::kNegativeUnate;
+  return ArcSense::kNonUnate;
+}
+
+void add_family(Library& lib, const BaseSpec& spec) {
+  for (int size = 0; size < spec.num_sizes; ++size) {
+    const SizeScale& s = kSizes[size];
+    Cell c;
+    c.name = spec.name + "_d" + std::to_string(size);
+    c.base_name = spec.name;
+    c.drive_index = size;
+    c.function = spec.function;
+    c.area = spec.area * s.area;
+    c.internal_cap = spec.internal_cap * s.cap;
+    c.leakage = 0.004 * spec.area * s.area / 20.0;  // ~leakage per area
+    const int k = spec.function.num_vars;
+    for (int pin = 0; pin < k; ++pin) {
+      // Later pins sit closer to the output transistor: slightly less
+      // intrinsic delay, matching typical datasheet pin ordering.
+      const double pin_skew = 1.0 + 0.04 * (k - 1 - pin);
+      c.input_cap.push_back(spec.pin_cap * s.cap);
+      TimingArc arc;
+      arc.sense = sense_of(spec.function, pin);
+      arc.intrinsic_rise = spec.intrinsic * pin_skew * 1.10;
+      arc.intrinsic_fall = spec.intrinsic * pin_skew * 0.90;
+      arc.resistance_rise = spec.resistance / s.res * 1.15;
+      arc.resistance_fall = spec.resistance / s.res * 0.85;
+      c.arcs.push_back(arc);
+    }
+    lib.add_cell(std::move(c));
+  }
+}
+
+/// NAND-style stack penalty: k series transistors on one network.
+double stack(double base, int k, double per_stage) {
+  return base * (1.0 + per_stage * (k - 1));
+}
+
+}  // namespace
+
+Library build_compass_library() {
+  Library lib("compass06-like");
+  lib.voltage_model() = VoltageModel{5.0, 0.8, 1.3};
+  lib.set_supplies(5.0, 4.3);
+
+  const double kInvIntr = 0.10;   // ns
+  const double kInvRes = 0.0060;  // ns/fF
+  const double kCap = 6.0;        // fF
+
+  std::vector<BaseSpec> bases;
+
+  // ---- inverting families: three sizes --------------------------------
+  bases.push_back({"inv", tt_inv(), kInvIntr, kInvRes, kCap, 20, 2.0, 3});
+  for (int k = 2; k <= 5; ++k) {
+    bases.push_back({"nand" + std::to_string(k), tt_nand(k),
+                     stack(kInvIntr, k, 0.22), stack(kInvRes, k, 0.28),
+                     kCap * 1.05, 18.0 + 9.0 * k, 2.0 + 0.8 * k, 3});
+    bases.push_back({"nor" + std::to_string(k), tt_nor(k),
+                     stack(kInvIntr, k, 0.30), stack(kInvRes, k, 0.40),
+                     kCap * 1.10, 20.0 + 10.0 * k, 2.2 + 0.9 * k, 3});
+  }
+  bases.push_back({"aoi21", tt_aoi21(), 0.16, 0.0090, 6.6, 46, 3.6, 3});
+  bases.push_back({"oai21", tt_oai21(), 0.16, 0.0092, 6.6, 46, 3.6, 3});
+  bases.push_back({"aoi22", tt_aoi22(), 0.19, 0.0102, 6.8, 58, 4.4, 3});
+  bases.push_back({"oai22", tt_oai22(), 0.19, 0.0104, 6.8, 58, 4.4, 3});
+  bases.push_back({"aoi211", tt_aoi211(), 0.21, 0.0112, 6.9, 64, 4.8, 3});
+  bases.push_back({"oai211", tt_oai211(), 0.21, 0.0114, 6.9, 64, 4.8, 3});
+  bases.push_back({"xnor2", tt_xnor(2), 0.20, 0.0100, 9.0, 62, 5.0, 3});
+  bases.push_back({"xnor3", tt_xnor(3), 0.30, 0.0135, 9.5, 96, 7.5, 3});
+
+  // ---- non-inverting families: two sizes -------------------------------
+  bases.push_back({"buf", tt_buf(), 0.20, 0.0052, 5.4, 32, 3.2, 2});
+  for (int k = 2; k <= 4; ++k) {
+    bases.push_back({"and" + std::to_string(k), tt_and(k),
+                     stack(kInvIntr, k, 0.20) + 0.11,
+                     kInvRes * 1.05, 5.6, 30.0 + 9.0 * k,
+                     3.4 + 0.8 * k, 2});
+    bases.push_back({"or" + std::to_string(k), tt_or(k),
+                     stack(kInvIntr, k, 0.27) + 0.11,
+                     kInvRes * 1.05, 5.8, 32.0 + 10.0 * k,
+                     3.6 + 0.9 * k, 2});
+  }
+  bases.push_back({"xor2", tt_xor(2), 0.22, 0.0096, 8.6, 64, 5.2, 2});
+  bases.push_back({"mux2", tt_mux2(), 0.24, 0.0094, 7.4, 70, 5.4, 2});
+  bases.push_back({"maj3", tt_maj3(), 0.26, 0.0100, 7.8, 78, 5.8, 2});
+
+  // ---- single-size filler to land on exactly 72 combinational cells ----
+  bases.push_back({"xor3", tt_xor(3), 0.33, 0.0128, 9.2, 100, 7.8, 1});
+
+  for (const BaseSpec& spec : bases) add_family(lib, spec);
+  DVS_ENSURES(lib.num_cells() == 72);
+
+  // ---- level converter (not one of the 72 combinational cells) ---------
+  // Compact pass-transistor restoring driver in the style of Wang et al.
+  // [10]: light input, small internal node, moderate delay.  The paper's
+  // own data implies cheap converters (Dscale's extra gates nearly all
+  // turn into savings on cluster-shaped regions).
+  {
+    Cell lc;
+    lc.name = "lvlconv";
+    lc.base_name = "lvlconv";
+    lc.drive_index = 0;
+    lc.function = tt_buf();
+    lc.area = 34.0;
+    lc.internal_cap = 1.0;
+    lc.leakage = 0.01;
+    lc.is_level_converter = true;
+    lc.input_cap.push_back(2.2);
+    TimingArc arc;
+    arc.sense = ArcSense::kPositiveUnate;
+    arc.intrinsic_rise = 0.20;
+    arc.intrinsic_fall = 0.17;
+    arc.resistance_rise = 0.0066;
+    arc.resistance_fall = 0.0058;
+    lc.arcs.push_back(arc);
+    lib.set_level_converter(lib.add_cell(std::move(lc)));
+  }
+  return lib;
+}
+
+}  // namespace dvs

@@ -1,0 +1,30 @@
+#include "library/level_converter.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+#include "timing/sta.hpp"
+
+namespace dvs {
+
+bool has_level_converter(const Library& lib) {
+  return lib.level_converter() >= 0;
+}
+
+const Cell& level_converter_cell(const Library& lib) {
+  DVS_EXPECTS(has_level_converter(lib));
+  return lib.cell(lib.level_converter());
+}
+
+double level_converter_delay(const Library& lib, double load_ff) {
+  const Cell& lc = level_converter_cell(lib);
+  const RiseFall d = arc_delay(lib, lc, 0, lib.vdd_high(), load_ff);
+  return d.max();
+}
+
+double level_converter_overhead_cap(const Library& lib) {
+  const Cell& lc = level_converter_cell(lib);
+  return lc.internal_cap + lc.input_cap[0];
+}
+
+}  // namespace dvs

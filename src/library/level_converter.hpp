@@ -1,0 +1,21 @@
+// Convenience queries for the library's designated level-converter cell.
+#pragma once
+
+#include "library/library.hpp"
+
+namespace dvs {
+
+/// True iff the library provides a level converter.
+bool has_level_converter(const Library& lib);
+
+/// The converter cell; precondition: has_level_converter(lib).
+const Cell& level_converter_cell(const Library& lib);
+
+/// Worst-case converter delay into `load_ff` at the library's vdd_high.
+double level_converter_delay(const Library& lib, double load_ff);
+
+/// Energy-equivalent capacitance the converter adds per driver transition
+/// (its internal node plus its input pin), in fF.
+double level_converter_overhead_cap(const Library& lib);
+
+}  // namespace dvs

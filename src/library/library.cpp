@@ -1,0 +1,85 @@
+#include "library/library.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+int Library::add_cell(Cell cell) {
+  DVS_EXPECTS(!cell.name.empty());
+  DVS_EXPECTS(by_name_.find(cell.name) == by_name_.end());
+  DVS_EXPECTS(static_cast<int>(cell.input_cap.size()) ==
+              cell.function.num_vars);
+  DVS_EXPECTS(cell.input_cap.size() == cell.arcs.size());
+  const int id = static_cast<int>(cells_.size());
+  by_name_.emplace(cell.name, id);
+  std::vector<int>& group = groups_[cell.base_name];
+  group.push_back(id);
+  cells_.push_back(std::move(cell));
+  std::sort(group.begin(), group.end(), [this](int a, int b) {
+    return cells_[a].drive_index < cells_[b].drive_index;
+  });
+  return id;
+}
+
+const Cell& Library::cell(int id) const {
+  DVS_EXPECTS(id >= 0 && id < num_cells());
+  return cells_[id];
+}
+
+int Library::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+std::span<const int> Library::variants_of(int cell_id) const {
+  const Cell& c = cell(cell_id);
+  auto it = groups_.find(c.base_name);
+  DVS_ASSERT(it != groups_.end());
+  return it->second;
+}
+
+int Library::upsize(int cell_id) const {
+  const auto group = variants_of(cell_id);
+  auto it = std::find(group.begin(), group.end(), cell_id);
+  DVS_ASSERT(it != group.end());
+  return std::next(it) == group.end() ? -1 : *std::next(it);
+}
+
+int Library::downsize(int cell_id) const {
+  const auto group = variants_of(cell_id);
+  auto it = std::find(group.begin(), group.end(), cell_id);
+  DVS_ASSERT(it != group.end());
+  return it == group.begin() ? -1 : *std::prev(it);
+}
+
+std::vector<int> Library::cells_matching(const TruthTable& tt) const {
+  std::vector<int> result;
+  for (int id = 0; id < num_cells(); ++id) {
+    const Cell& c = cells_[id];
+    if (c.drive_index == 0 && !c.is_level_converter && c.function == tt)
+      result.push_back(id);
+  }
+  return result;
+}
+
+int Library::smallest_of(std::string_view base_name) const {
+  auto it = groups_.find(std::string(base_name));
+  if (it == groups_.end() || it->second.empty()) return -1;
+  return it->second.front();
+}
+
+void Library::set_supplies(double vdd_high, double vdd_low) {
+  DVS_EXPECTS(vdd_high > vdd_low);
+  DVS_EXPECTS(vdd_low > vmodel_.vt);
+  vdd_high_ = vdd_high;
+  vdd_low_ = vdd_low;
+}
+
+void Library::set_level_converter(int cell_id) {
+  DVS_EXPECTS(cell(cell_id).is_level_converter);
+  lc_cell_ = cell_id;
+}
+
+}  // namespace dvs

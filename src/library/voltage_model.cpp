@@ -1,0 +1,27 @@
+#include "library/voltage_model.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+double VoltageModel::delay_factor(double vdd) const {
+  DVS_EXPECTS(vdd > vt);
+  const double nominal = vdd_nominal / std::pow(vdd_nominal - vt, alpha);
+  const double scaled = vdd / std::pow(vdd - vt, alpha);
+  return scaled / nominal;
+}
+
+double VoltageModel::energy_factor(double vdd) const {
+  DVS_EXPECTS(vdd > 0.0);
+  const double r = vdd / vdd_nominal;
+  return r * r;
+}
+
+double VoltageModel::leakage_factor(double vdd) const {
+  DVS_EXPECTS(vdd > 0.0);
+  return vdd / vdd_nominal;
+}
+
+}  // namespace dvs

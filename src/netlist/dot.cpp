@@ -1,0 +1,39 @@
+#include "netlist/dot.hpp"
+
+#include <sstream>
+
+namespace dvs {
+
+std::string write_dot(const Network& net, const DotStyler& styler) {
+  std::ostringstream out;
+  out << "digraph \"" << net.name() << "\" {\n  rankdir=LR;\n";
+  net.for_each_node([&](const Node& n) {
+    DotStyle style;
+    if (styler) style = styler(n);
+    out << "  n" << n.id << " [label=\"" << n.name << style.label_suffix
+        << "\"";
+    if (n.is_input())
+      out << ", shape=triangle";
+    else if (n.is_constant())
+      out << ", shape=diamond";
+    else
+      out << ", shape=box";
+    if (!style.fill_color.empty())
+      out << ", style=filled, fillcolor=\"" << style.fill_color << "\"";
+    out << "];\n";
+  });
+  net.for_each_node([&](const Node& n) {
+    for (NodeId f : n.fanins) out << "  n" << f << " -> n" << n.id << ";\n";
+  });
+  int port_index = 0;
+  for (const OutputPort& port : net.outputs()) {
+    out << "  po" << port_index << " [label=\"" << port.name
+        << "\", shape=invtriangle];\n";
+    out << "  n" << port.driver << " -> po" << port_index << ";\n";
+    ++port_index;
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace dvs

@@ -1,0 +1,22 @@
+// Graphviz export for debugging and documentation.  Nodes can be annotated
+// with a per-node label suffix and fill colour via the callback, which the
+// dual-Vdd reports use to paint low-voltage clusters.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+struct DotStyle {
+  std::string label_suffix;  // appended to the node name
+  std::string fill_color;    // empty = default
+};
+
+using DotStyler = std::function<DotStyle(const Node&)>;
+
+std::string write_dot(const Network& net, const DotStyler& styler = {});
+
+}  // namespace dvs

@@ -1,0 +1,343 @@
+#include "netlist/network.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dvs {
+
+namespace {
+
+/// Removes the first occurrence of `value` from `vec`.
+void erase_one(std::vector<NodeId>& vec, NodeId value) {
+  auto it = std::find(vec.begin(), vec.end(), value);
+  DVS_ASSERT(it != vec.end());
+  vec.erase(it);
+}
+
+}  // namespace
+
+bool is_positive_unate(const TruthTable& tt, int var) {
+  DVS_EXPECTS(var >= 0 && var < tt.num_vars);
+  const std::uint32_t patterns = 1u << tt.num_vars;
+  for (std::uint32_t p = 0; p < patterns; ++p) {
+    if (p & (1u << var)) continue;
+    const bool lo = tt.eval(p);
+    const bool hi = tt.eval(p | (1u << var));
+    if (lo && !hi) return false;
+  }
+  return true;
+}
+
+bool is_negative_unate(const TruthTable& tt, int var) {
+  DVS_EXPECTS(var >= 0 && var < tt.num_vars);
+  const std::uint32_t patterns = 1u << tt.num_vars;
+  for (std::uint32_t p = 0; p < patterns; ++p) {
+    if (p & (1u << var)) continue;
+    const bool lo = tt.eval(p);
+    const bool hi = tt.eval(p | (1u << var));
+    if (!lo && hi) return false;
+  }
+  return true;
+}
+
+NodeId Network::new_node(NodeKind kind, std::string name) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.kind = kind;
+  n.name = name.empty() ? "n" + std::to_string(n.id) : std::move(name);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId Network::add_input(std::string name) {
+  const NodeId id = new_node(NodeKind::kInput, std::move(name));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Network::add_constant(bool value, std::string name) {
+  const NodeId id = new_node(NodeKind::kConstant, std::move(name));
+  nodes_[id].constant_value = value;
+  nodes_[id].function = tt_const(value);
+  return id;
+}
+
+NodeId Network::add_gate(TruthTable function, std::vector<NodeId> fanins,
+                         int cell, std::string name) {
+  DVS_EXPECTS(function.num_vars == static_cast<int>(fanins.size()));
+  DVS_EXPECTS(function.num_vars <= kMaxGateInputs);
+  for (NodeId f : fanins) DVS_EXPECTS(is_valid(f));
+  const NodeId id = new_node(NodeKind::kGate, std::move(name));
+  nodes_[id].function = function;
+  nodes_[id].cell = cell;
+  nodes_[id].fanins = std::move(fanins);
+  for (NodeId f : nodes_[id].fanins) nodes_[f].fanouts.push_back(id);
+  return id;
+}
+
+void Network::add_output(std::string port_name, NodeId driver) {
+  DVS_EXPECTS(is_valid(driver));
+  outputs_.push_back(OutputPort{std::move(port_name), driver});
+}
+
+const Node& Network::node(NodeId id) const {
+  DVS_EXPECTS(id >= 0 && id < size());
+  return nodes_[id];
+}
+
+Node& Network::node(NodeId id) {
+  DVS_EXPECTS(id >= 0 && id < size());
+  return nodes_[id];
+}
+
+int Network::num_gates() const {
+  int count = 0;
+  for_each_gate([&](const Node&) { ++count; });
+  return count;
+}
+
+int Network::num_live_nodes() const {
+  int count = 0;
+  for_each_node([&](const Node&) { ++count; });
+  return count;
+}
+
+void Network::set_cell(NodeId id, int cell) {
+  DVS_EXPECTS(is_valid(id) && nodes_[id].is_gate());
+  nodes_[id].cell = cell;
+}
+
+void Network::replace_fanin(NodeId node_id, NodeId old_fanin,
+                            NodeId new_fanin) {
+  DVS_EXPECTS(is_valid(node_id) && is_valid(new_fanin));
+  Node& n = nodes_[node_id];
+  auto it = std::find(n.fanins.begin(), n.fanins.end(), old_fanin);
+  DVS_EXPECTS(it != n.fanins.end());
+  *it = new_fanin;
+  erase_one(nodes_[old_fanin].fanouts, node_id);
+  nodes_[new_fanin].fanouts.push_back(node_id);
+}
+
+void Network::replace_uses(NodeId old_node, NodeId new_node) {
+  DVS_EXPECTS(is_valid(old_node) && is_valid(new_node));
+  DVS_EXPECTS(old_node != new_node);
+  // Copy: replace_fanin mutates the fanout list we are iterating.
+  const std::vector<NodeId> fanouts = nodes_[old_node].fanouts;
+  for (NodeId fo : fanouts) replace_fanin(fo, old_node, new_node);
+  for (OutputPort& port : outputs_)
+    if (port.driver == old_node) port.driver = new_node;
+  remove_node(old_node);
+}
+
+NodeId Network::insert_between(NodeId driver,
+                               const std::vector<NodeId>& moved,
+                               const std::vector<int>& moved_ports,
+                               TruthTable function, int cell,
+                               std::string name) {
+  DVS_EXPECTS(is_valid(driver));
+  DVS_EXPECTS(function.num_vars == 1);
+  const NodeId mid = add_gate(function, {driver}, cell, std::move(name));
+  for (NodeId m : moved) {
+    DVS_EXPECTS(is_valid(m));
+    replace_fanin(m, driver, mid);
+  }
+  for (int port_index : moved_ports) {
+    DVS_EXPECTS(port_index >= 0 &&
+                port_index < static_cast<int>(outputs_.size()));
+    DVS_EXPECTS(outputs_[port_index].driver == driver);
+    outputs_[port_index].driver = mid;
+  }
+  return mid;
+}
+
+void Network::remove_node(NodeId id) {
+  DVS_EXPECTS(is_valid(id));
+  Node& n = nodes_[id];
+  DVS_EXPECTS(n.fanouts.empty());
+  for (const OutputPort& port : outputs_) DVS_EXPECTS(port.driver != id);
+  for (NodeId f : n.fanins) erase_one(nodes_[f].fanouts, id);
+  n.fanins.clear();
+  if (n.is_input()) erase_one(inputs_, id);
+  n.dead = true;
+}
+
+int Network::sweep_dangling() {
+  int removed = 0;
+  // Iterate to fixpoint: removing one dangling gate can strand its fanins.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Node& n : nodes_) {
+      if (n.dead || !n.is_gate() || !n.fanouts.empty()) continue;
+      bool drives_port = false;
+      for (const OutputPort& port : outputs_)
+        if (port.driver == n.id) drives_port = true;
+      if (drives_port) continue;
+      remove_node(n.id);
+      ++removed;
+      changed = true;
+    }
+  }
+  return removed;
+}
+
+void Network::compact() {
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  std::vector<Node> live;
+  live.reserve(nodes_.size());
+  for (Node& n : nodes_) {
+    if (n.dead) continue;
+    remap[n.id] = static_cast<NodeId>(live.size());
+    live.push_back(std::move(n));
+  }
+  for (Node& n : live) {
+    n.id = remap[n.id];
+    for (NodeId& f : n.fanins) f = remap[f];
+    for (NodeId& f : n.fanouts) f = remap[f];
+  }
+  nodes_ = std::move(live);
+  for (NodeId& id : inputs_) id = remap[id];
+  for (OutputPort& port : outputs_) port.driver = remap[port.driver];
+}
+
+void Network::check() const {
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    DVS_ASSERT(n.function.num_vars == static_cast<int>(n.fanins.size()) ||
+               !n.is_gate());
+    for (NodeId f : n.fanins) {
+      DVS_ASSERT(is_valid(f));
+      const auto& fo = nodes_[f].fanouts;
+      DVS_ASSERT(std::count(fo.begin(), fo.end(), n.id) ==
+                 std::count(n.fanins.begin(), n.fanins.end(), f));
+    }
+    for (NodeId f : n.fanouts) DVS_ASSERT(is_valid(f));
+  }
+  for (NodeId id : inputs_) DVS_ASSERT(is_valid(id));
+  for (const OutputPort& port : outputs_) DVS_ASSERT(is_valid(port.driver));
+
+  // Acyclicity via iterative DFS with colors.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(nodes_.size(), kWhite);
+  std::vector<std::pair<NodeId, int>> stack;
+  for (const Node& root : nodes_) {
+    if (root.dead || color[root.id] != kWhite) continue;
+    stack.emplace_back(root.id, 0);
+    color[root.id] = kGray;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Node& n = nodes_[id];
+      if (next < static_cast<int>(n.fanins.size())) {
+        const NodeId child = n.fanins[next++];
+        DVS_ASSERT(color[child] != kGray);  // gray->gray edge == cycle
+        if (color[child] == kWhite) {
+          color[child] = kGray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[id] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+// ---- truth-table constructors ---------------------------------------
+
+TruthTable tt_const(bool value) {
+  return TruthTable{value ? 1ULL : 0ULL, 0};
+}
+
+TruthTable tt_buf() { return TruthTable{0b10ULL, 1}; }
+TruthTable tt_inv() { return TruthTable{0b01ULL, 1}; }
+
+TruthTable tt_and(int n) {
+  DVS_EXPECTS(n >= 1 && n <= kMaxGateInputs);
+  TruthTable tt{0, n};
+  tt.bits = 1ULL << ((1u << n) - 1);
+  return tt;
+}
+
+TruthTable tt_or(int n) {
+  DVS_EXPECTS(n >= 1 && n <= kMaxGateInputs);
+  TruthTable tt{0, n};
+  tt.bits = tt.mask() & ~1ULL;
+  return tt;
+}
+
+TruthTable tt_nand(int n) {
+  TruthTable tt = tt_and(n);
+  tt.bits = ~tt.bits & tt.mask();
+  return tt;
+}
+
+TruthTable tt_nor(int n) {
+  TruthTable tt = tt_or(n);
+  tt.bits = ~tt.bits & tt.mask();
+  return tt;
+}
+
+TruthTable tt_xor(int n) {
+  DVS_EXPECTS(n >= 1 && n <= kMaxGateInputs);
+  TruthTable tt{0, n};
+  for (std::uint32_t p = 0; p < (1u << n); ++p)
+    if (__builtin_popcount(p) & 1) tt.bits |= 1ULL << p;
+  return tt;
+}
+
+TruthTable tt_xnor(int n) {
+  TruthTable tt = tt_xor(n);
+  tt.bits = ~tt.bits & tt.mask();
+  return tt;
+}
+
+namespace {
+
+/// Builds a truth table from a lambda over the input pattern bits.
+template <typename Fn>
+TruthTable tt_from(int n, Fn&& fn) {
+  TruthTable tt{0, n};
+  for (std::uint32_t p = 0; p < (1u << n); ++p) {
+    auto bit = [&](int i) { return (p >> i) & 1u; };
+    if (fn(bit)) tt.bits |= 1ULL << p;
+  }
+  return tt;
+}
+
+}  // namespace
+
+TruthTable tt_mux2() {
+  return tt_from(3, [](auto b) { return b(2) ? b(1) : b(0); });
+}
+
+TruthTable tt_aoi21() {
+  return tt_from(3, [](auto b) { return !((b(0) & b(1)) | b(2)); });
+}
+
+TruthTable tt_oai21() {
+  return tt_from(3, [](auto b) { return !((b(0) | b(1)) & b(2)); });
+}
+
+TruthTable tt_aoi22() {
+  return tt_from(4, [](auto b) { return !((b(0) & b(1)) | (b(2) & b(3))); });
+}
+
+TruthTable tt_oai22() {
+  return tt_from(4, [](auto b) { return !((b(0) | b(1)) & (b(2) | b(3))); });
+}
+
+TruthTable tt_aoi211() {
+  return tt_from(4, [](auto b) { return !((b(0) & b(1)) | b(2) | b(3)); });
+}
+
+TruthTable tt_oai211() {
+  return tt_from(4, [](auto b) { return !((b(0) | b(1)) & b(2) & b(3)); });
+}
+
+TruthTable tt_maj3() {
+  return tt_from(3, [](auto b) {
+    return (b(0) & b(1)) | (b(0) & b(2)) | (b(1) & b(2));
+  });
+}
+
+}  // namespace dvs

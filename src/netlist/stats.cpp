@@ -1,0 +1,47 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/topo.hpp"
+
+namespace dvs {
+
+NetworkStats network_stats(const Network& net) {
+  NetworkStats s;
+  s.num_inputs = static_cast<int>(net.inputs().size());
+  s.num_outputs = static_cast<int>(net.outputs().size());
+  long fanin_sum = 0;
+  long fanout_sum = 0;
+  int fanout_nodes = 0;
+  net.for_each_node([&](const Node& n) {
+    if (n.is_gate()) {
+      ++s.num_gates;
+      fanin_sum += static_cast<long>(n.fanins.size());
+    } else if (n.is_constant()) {
+      ++s.num_constants;
+    }
+    if (!n.fanouts.empty()) {
+      ++fanout_nodes;
+      fanout_sum += static_cast<long>(n.fanouts.size());
+      s.max_fanout =
+          std::max(s.max_fanout, static_cast<int>(n.fanouts.size()));
+    }
+  });
+  s.depth = logic_depth(net);
+  if (s.num_gates > 0)
+    s.avg_fanin = static_cast<double>(fanin_sum) / s.num_gates;
+  if (fanout_nodes > 0)
+    s.avg_fanout = static_cast<double>(fanout_sum) / fanout_nodes;
+  return s;
+}
+
+std::string describe(const NetworkStats& s) {
+  std::ostringstream out;
+  out << "pi=" << s.num_inputs << " po=" << s.num_outputs
+      << " gates=" << s.num_gates << " depth=" << s.depth << " avg_fanin="
+      << s.avg_fanin << " max_fanout=" << s.max_fanout;
+  return out.str();
+}
+
+}  // namespace dvs

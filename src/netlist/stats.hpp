@@ -1,0 +1,26 @@
+// Structural statistics of a network, for reports and benchmark tables.
+#pragma once
+
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+struct NetworkStats {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int num_gates = 0;
+  int num_constants = 0;
+  int depth = 0;             // logic levels, inputs at level 0
+  double avg_fanin = 0.0;    // over gates
+  double avg_fanout = 0.0;   // over nodes with fanout
+  int max_fanout = 0;
+};
+
+NetworkStats network_stats(const Network& net);
+
+/// One-line human-readable summary.
+std::string describe(const NetworkStats& stats);
+
+}  // namespace dvs

@@ -1,0 +1,89 @@
+#include "netlist/topo.hpp"
+
+#include <algorithm>
+
+namespace dvs {
+
+std::vector<NodeId> topo_order(const Network& net) {
+  const int n = net.size();
+  std::vector<int> pending(n, 0);
+  std::vector<NodeId> ready;
+  ready.reserve(n);
+  net.for_each_node([&](const Node& node) {
+    pending[node.id] = static_cast<int>(node.fanins.size());
+    if (node.fanins.empty()) ready.push_back(node.id);
+  });
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  // `ready` doubles as a worklist; nodes already emitted stay in `order`.
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const NodeId id = ready[head];
+    order.push_back(id);
+    for (NodeId fo : net.node(id).fanouts)
+      if (--pending[fo] == 0) ready.push_back(fo);
+  }
+  DVS_ENSURES(static_cast<int>(order.size()) == net.num_live_nodes());
+  return order;
+}
+
+std::vector<int> logic_levels(const Network& net) {
+  std::vector<int> level(net.size(), -1);
+  for (NodeId id : topo_order(net)) {
+    const Node& n = net.node(id);
+    int lv = 0;
+    for (NodeId f : n.fanins) lv = std::max(lv, level[f] + 1);
+    level[id] = lv;
+  }
+  return level;
+}
+
+int logic_depth(const Network& net) {
+  const std::vector<int> level = logic_levels(net);
+  int depth = 0;
+  for (const OutputPort& port : net.outputs())
+    depth = std::max(depth, level[port.driver]);
+  return depth;
+}
+
+namespace {
+
+template <bool kForward>
+std::vector<char> reach(const Network& net, const std::vector<NodeId>& roots) {
+  std::vector<char> mark(net.size(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    DVS_EXPECTS(net.is_valid(r));
+    if (!mark[r]) {
+      mark[r] = 1;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = net.node(id);
+    const std::vector<NodeId>& next = kForward ? n.fanouts : n.fanins;
+    for (NodeId m : next) {
+      if (!mark[m]) {
+        mark[m] = 1;
+        stack.push_back(m);
+      }
+    }
+  }
+  return mark;
+}
+
+}  // namespace
+
+std::vector<char> transitive_fanin(const Network& net,
+                                   const std::vector<NodeId>& roots) {
+  return reach<false>(net, roots);
+}
+
+std::vector<char> transitive_fanout(const Network& net,
+                                    const std::vector<NodeId>& roots) {
+  return reach<true>(net, roots);
+}
+
+}  // namespace dvs

@@ -1,0 +1,31 @@
+// Topological utilities over Network: evaluation order, logic depth,
+// fanin/fanout cones.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+/// Live nodes in topological order (fanins before fanouts).  Inputs and
+/// constants come first.  Aborts if the network is cyclic.
+std::vector<NodeId> topo_order(const Network& net);
+
+/// Logic level of every node: inputs/constants are 0, gates are
+/// 1 + max(level of fanins).  Indexed by NodeId; dead slots hold -1.
+std::vector<int> logic_levels(const Network& net);
+
+/// Maximum logic level over output-port drivers.
+int logic_depth(const Network& net);
+
+/// Marks (indexed by NodeId) every node in the transitive fanin cone of
+/// `roots`, roots included.
+std::vector<char> transitive_fanin(const Network& net,
+                                   const std::vector<NodeId>& roots);
+
+/// Marks every node in the transitive fanout cone of `roots`, included.
+std::vector<char> transitive_fanout(const Network& net,
+                                    const std::vector<NodeId>& roots);
+
+}  // namespace dvs

@@ -1,0 +1,24 @@
+// Structural Verilog export for mapped netlists, the handoff format a
+// downstream place-and-route flow would consume.  Mapped gates become
+// cell instances with positional-convention pin names (.o for the
+// output, .i0/.i1/... for the inputs, matching the library pin order);
+// unmapped gates are emitted as `assign` sum-of-products so any network
+// can be exported.  Names are sanitized to Verilog identifiers and
+// uniquified.
+#pragma once
+
+#include <string>
+
+#include "library/library.hpp"
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+/// Serializes the network as a structural Verilog module.  `lib` resolves
+/// mapped cell names; pass the library the network was mapped with.
+std::string write_verilog_string(const Network& net, const Library& lib);
+
+void write_verilog_file(const Network& net, const Library& lib,
+                        const std::string& path);
+
+}  // namespace dvs

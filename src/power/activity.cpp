@@ -1,0 +1,107 @@
+#include "power/activity.hpp"
+
+#include <bit>
+
+#include "netlist/topo.hpp"
+#include "sim/bitsim.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace dvs {
+
+Activity estimate_activity(const Network& net,
+                           const ActivityOptions& options) {
+  DVS_EXPECTS(options.num_vectors >= 2);
+  const int n = net.size();
+  Activity act;
+  act.alpha01.assign(n, 0.0);
+  act.prob_one.assign(n, 0.0);
+
+  BitSimulator sim(net);
+  Rng rng(options.seed);
+  const int num_words = (options.num_vectors + 63) / 64;
+
+  std::vector<std::uint64_t> inputs(net.inputs().size());
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> last_bits(n, 0);
+  std::vector<long> rises(n, 0);
+  std::vector<long> ones(n, 0);
+  long cycles = 0;
+
+  auto random_word = [&]() {
+    if (options.input_one_probability == 0.5) return rng.next_u64();
+    std::uint64_t w = 0;
+    for (int b = 0; b < 64; ++b)
+      if (rng.next_bool(options.input_one_probability)) w |= 1ULL << b;
+    return w;
+  };
+
+  for (int word = 0; word < num_words; ++word) {
+    for (auto& in : inputs) in = random_word();
+    sim.simulate_into(inputs, values);
+    const int bits_this_word =
+        std::min(64, options.num_vectors - word * 64);
+    const std::uint64_t live_mask =
+        bits_this_word == 64 ? ~0ULL : ((1ULL << bits_this_word) - 1);
+    net.for_each_node([&](const Node& node) {
+      const std::uint64_t v = values[node.id] & live_mask;
+      // Transitions between adjacent patterns within the word, plus the
+      // seam from the previous word's last pattern.
+      std::uint64_t prev = v << 1;
+      if (word > 0) prev |= last_bits[node.id];
+      const std::uint64_t considered =
+          word == 0 ? (live_mask & ~1ULL) : live_mask;
+      rises[node.id] +=
+          std::popcount(~prev & v & considered);
+      ones[node.id] += std::popcount(v);
+      last_bits[node.id] = (values[node.id] >> (bits_this_word - 1)) & 1ULL;
+    });
+    cycles += bits_this_word;
+  }
+
+  const long transitions = cycles - 1;
+  net.for_each_node([&](const Node& node) {
+    act.alpha01[node.id] =
+        static_cast<double>(rises[node.id]) / transitions;
+    act.prob_one[node.id] = static_cast<double>(ones[node.id]) / cycles;
+  });
+  return act;
+}
+
+Activity propagate_probabilities(const Network& net,
+                                 double input_one_probability) {
+  DVS_EXPECTS(input_one_probability >= 0.0 &&
+              input_one_probability <= 1.0);
+  const int n = net.size();
+  Activity act;
+  act.alpha01.assign(n, 0.0);
+  act.prob_one.assign(n, 0.0);
+
+  for (NodeId id : topo_order(net)) {
+    const Node& node = net.node(id);
+    double p = 0.0;
+    if (node.is_input()) {
+      p = input_one_probability;
+    } else if (node.is_constant()) {
+      p = node.constant_value ? 1.0 : 0.0;
+    } else {
+      const int k = node.function.num_vars;
+      for (std::uint32_t pattern = 0; pattern < (1u << k); ++pattern) {
+        if (!node.function.eval(pattern)) continue;
+        double term = 1.0;
+        for (int i = 0; i < k; ++i) {
+          const double pi = act.prob_one[node.fanins[i]];
+          term *= ((pattern >> i) & 1u) ? pi : (1.0 - pi);
+        }
+        p += term;
+      }
+    }
+    act.prob_one[id] = p;
+    // Temporal independence: P(0 then 1) = (1-p) * p.  Constants and any
+    // fully-settled node get zero activity automatically.
+    act.alpha01[id] = p * (1.0 - p);
+  }
+  return act;
+}
+
+}  // namespace dvs

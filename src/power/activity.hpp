@@ -1,0 +1,38 @@
+// Switching-activity estimation.  The paper uses the generic SIS power
+// estimator: random simulation at 20 MHz.  `estimate_activity` reproduces
+// that (zero-delay random-vector simulation, counting 0->1 transitions per
+// net); `propagate_probabilities` is a fast correlation-free analytic
+// alternative used for cross-checks and as a cheap estimator in examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+struct ActivityOptions {
+  int num_vectors = 4096;          // simulated clock cycles
+  std::uint64_t seed = 1;          // RNG seed (deterministic runs)
+  double input_one_probability = 0.5;
+};
+
+struct Activity {
+  /// Average number of 0->1 transitions per clock cycle, per node output
+  /// (the alpha_{0->1} of the paper's equation (1)).
+  std::vector<double> alpha01;
+  /// Signal probability P(node == 1), per node.
+  std::vector<double> prob_one;
+};
+
+/// Random-simulation estimate (SIS-like).
+Activity estimate_activity(const Network& net,
+                           const ActivityOptions& options = {});
+
+/// Analytic estimate assuming spatial and temporal independence:
+/// prob_one via truth-table propagation, alpha01 = p(1-p).
+Activity propagate_probabilities(const Network& net,
+                                 double input_one_probability = 0.5);
+
+}  // namespace dvs

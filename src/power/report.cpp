@@ -1,0 +1,35 @@
+#include "power/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/units.hpp"
+
+namespace dvs {
+
+std::string format_power_report(const Network& net,
+                                const PowerBreakdown& power, int top_n) {
+  std::ostringstream out;
+  out << "power report for '" << net.name() << "' (uW)\n"
+      << "  switching : " << format_fixed(power.switching, 3) << "\n"
+      << "  internal  : " << format_fixed(power.internal, 3) << "\n"
+      << "  converters: " << format_fixed(power.converter, 3) << "\n"
+      << "  leakage   : " << format_fixed(power.leakage, 3) << "\n"
+      << "  total     : " << format_fixed(power.total(), 3) << "\n";
+
+  std::vector<NodeId> hottest;
+  net.for_each_node([&](const Node& n) { hottest.push_back(n.id); });
+  std::sort(hottest.begin(), hottest.end(), [&](NodeId a, NodeId b) {
+    return power.node_power[a] > power.node_power[b];
+  });
+  const int count = std::min<int>(top_n, static_cast<int>(hottest.size()));
+  if (count > 0) out << "  hottest nodes:\n";
+  for (int i = 0; i < count; ++i) {
+    const Node& n = net.node(hottest[i]);
+    out << "    " << n.name << " : "
+        << format_fixed(power.node_power[n.id], 3) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dvs

@@ -1,0 +1,15 @@
+// Human-readable power report used by examples and the experiment driver.
+#pragma once
+
+#include <string>
+
+#include "power/power_model.hpp"
+
+namespace dvs {
+
+/// Multi-line breakdown: switching / internal / converter / leakage /
+/// total, plus the `top_n` hottest nodes.
+std::string format_power_report(const Network& net,
+                                const PowerBreakdown& power, int top_n = 5);
+
+}  // namespace dvs

@@ -1,0 +1,68 @@
+#include "sim/bitsim.hpp"
+
+#include "netlist/topo.hpp"
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+BitSimulator::BitSimulator(const Network& net)
+    : net_(&net), order_(topo_order(net)) {}
+
+void BitSimulator::simulate_into(std::span<const std::uint64_t> input_words,
+                                 std::vector<std::uint64_t>& values) const {
+  const Network& net = *net_;
+  DVS_EXPECTS(input_words.size() == net.inputs().size());
+  values.assign(net.size(), 0);
+  for (std::size_t i = 0; i < input_words.size(); ++i)
+    values[net.inputs()[i]] = input_words[i];
+
+  for (NodeId id : order_) {
+    const Node& n = net.node(id);
+    if (n.is_input()) continue;
+    if (n.is_constant()) {
+      values[id] = n.constant_value ? ~0ULL : 0ULL;
+      continue;
+    }
+    // Sum-of-minterms evaluation: for every on-set pattern, AND together
+    // the appropriately complemented fanin words.
+    const int k = n.function.num_vars;
+    std::uint64_t out = 0;
+    if (k == 0) {
+      out = (n.function.bits & 1ULL) ? ~0ULL : 0ULL;
+    } else {
+      for (std::uint32_t p = 0; p < (1u << k); ++p) {
+        if (!((n.function.bits >> p) & 1ULL)) continue;
+        std::uint64_t term = ~0ULL;
+        for (int i = 0; i < k; ++i) {
+          const std::uint64_t v = values[n.fanins[i]];
+          term &= ((p >> i) & 1u) ? v : ~v;
+        }
+        out |= term;
+      }
+    }
+    values[id] = out;
+  }
+}
+
+std::vector<std::uint64_t> BitSimulator::simulate(
+    std::span<const std::uint64_t> input_words) const {
+  std::vector<std::uint64_t> values;
+  simulate_into(input_words, values);
+  return values;
+}
+
+std::vector<bool> BitSimulator::evaluate(
+    const std::vector<bool>& inputs) const {
+  DVS_EXPECTS(inputs.size() == net_->inputs().size());
+  std::vector<std::uint64_t> words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    words[i] = inputs[i] ? 1ULL : 0ULL;
+  const std::vector<std::uint64_t> values = simulate(words);
+  std::vector<bool> out;
+  out.reserve(net_->outputs().size());
+  for (const OutputPort& port : net_->outputs())
+    out.push_back((values[port.driver] & 1ULL) != 0);
+  return out;
+}
+
+}  // namespace dvs

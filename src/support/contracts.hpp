@@ -1,0 +1,33 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations abort with a
+// message; they indicate programmer error, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvs {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace dvs
+
+#define DVS_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::dvs::contract_failure("Precondition", #cond, __FILE__,   \
+                                    __LINE__))
+
+#define DVS_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::dvs::contract_failure("Postcondition", #cond, __FILE__,  \
+                                    __LINE__))
+
+#define DVS_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::dvs::contract_failure("Assertion", #cond, __FILE__,      \
+                                    __LINE__))

@@ -1,0 +1,21 @@
+// Published per-circuit results from the paper's Table 1 and Table 2,
+// carried alongside measured results so every report can print
+// paper-vs-measured columns.
+#pragma once
+
+namespace dvs {
+
+struct PaperRow {
+  double org_pwr_uw = 0.0;   // Table 1, OrgPwr
+  double cvs_pct = 0.0;      // Table 1, CVS improvement %
+  double dscale_pct = 0.0;   // Table 1, Dscale improvement %
+  double gscale_pct = 0.0;   // Table 1, Gscale improvement %
+  double cpu_s = 0.0;        // Table 1, CPU seconds (SUN Ultra SPARC)
+  double cvs_ratio = 0.0;    // Table 2, CVS low-Vdd gate ratio
+  double dscale_ratio = 0.0; // Table 2, Dscale ratio
+  double gscale_ratio = 0.0; // Table 2, Gscale ratio
+  int sizing_count = 0;      // Table 2, resized gates
+  double area_increase = 0.0;  // Table 2, area increase ratio
+};
+
+}  // namespace dvs

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component of the library (random-vector power
+// estimation, benchmark generators) takes an explicit Rng so that runs are
+// reproducible bit-for-bit across platforms; std::mt19937 distributions are
+// not guaranteed identical across standard libraries, so we roll our own
+// minimal distributions as well.
+#pragma once
+
+#include <cstdint>
+
+namespace dvs {
+
+class Rng {
+ public:
+  /// Seeds the generator with splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) for bound >= 1.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool next_bool(double p = 0.5);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dvs

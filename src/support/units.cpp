@@ -1,0 +1,15 @@
+#include "support/units.hpp"
+
+#include <cstdio>
+
+namespace dvs {
+
+std::string format_fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string format_percent(double x) { return format_fixed(100.0 * x, 2); }
+
+}  // namespace dvs

@@ -1,0 +1,31 @@
+// Technology-independent structuring: truth table -> merged SOP cubes ->
+// NAND2/INV subject graph.  This is the front half of the SIS-style
+// mapping flow (the paper runs script.rugged + map; we run sweep +
+// decompose + the tree mapper in synth/mapper.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+/// One product term: per-variable literal, 0 = complemented, 1 = positive,
+/// 2 = absent (don't care).
+using Cube = std::vector<std::uint8_t>;
+
+/// On-set cover of `tt` with pairwise-merged cubes (Quine-McCluskey style
+/// combining, without the covering-table minimization).  Empty cover means
+/// constant 0; a single all-don't-care cube means constant 1.
+std::vector<Cube> extract_cubes(const TruthTable& tt);
+
+/// Evaluates a cover on an input pattern (for tests).
+bool cover_eval(const std::vector<Cube>& cover, std::uint32_t pattern);
+
+/// Rewrites the network into 2-input NAND + inverter gates (constants and
+/// single-literal functions excepted).  The result is unmapped (cell = -1)
+/// and logically equivalent output-by-output.
+Network decompose_to_nand2(const Network& net);
+
+}  // namespace dvs

@@ -1,0 +1,62 @@
+// DAGON-style technology mapper: the NAND2/INV subject graph is broken
+// into trees at multi-fanout points, and each tree is covered by
+// dynamic programming over a hand-written pattern forest (one structural
+// NAND/INV tree per library cell family, verified against the cell truth
+// table by the tests).  Two objectives are provided; the paper's setup
+// ("map -n1 -AFG" at minimum delay, then re-map with 20% relaxed timing
+// for area recovery) is reproduced by `map_paper_setup`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "library/library.hpp"
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+enum class MapObjective { kDelay, kArea };
+
+struct MapResult {
+  Network mapped;
+  double estimated_delay = 0.0;  // mapper's internal arrival estimate (ns)
+  double area = 0.0;             // total mapped cell area (um^2)
+};
+
+/// Maps an unmapped (or arbitrary) network onto the library.  The input is
+/// swept and decomposed to NAND2/INV internally.
+MapResult map_network(const Network& net, const Library& lib,
+                      MapObjective objective);
+
+struct PaperSetupResult {
+  Network mapped;      // the circuit handed to the algorithms
+  double tmin = 0.0;   // STA delay of the minimum-delay mapping (ns)
+  double tspec = 0.0;  // 1.2 * tmin, the relaxed constraint
+};
+
+/// Minimum-delay map, relax by `relax` (paper: 0.2), then area-recovery
+/// map; falls back to the delay mapping if area recovery busts the
+/// constraint.  The returned tspec is what the algorithms should use.
+PaperSetupResult map_paper_setup(const Network& net, const Library& lib,
+                                 double relax = 0.2);
+
+/// The mapper's pattern forest (exposed so the tests can verify every
+/// pattern's logic against its cell).
+struct PatternNode {
+  enum class Kind { kNand, kInv, kLeaf } kind = Kind::kLeaf;
+  int child0 = -1;
+  int child1 = -1;
+  int var = -1;  // for kLeaf: the cell pin this leaf binds
+};
+struct Pattern {
+  std::string cell_base;       // library base name, smallest drive used
+  std::vector<PatternNode> nodes;
+  int root = -1;
+  int num_vars = 0;
+};
+const std::vector<Pattern>& mapper_patterns();
+
+/// Evaluates a pattern on an input assignment (tests).
+bool pattern_eval(const Pattern& pattern, std::uint32_t assignment);
+
+}  // namespace dvs

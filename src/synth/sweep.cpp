@@ -1,0 +1,105 @@
+#include "synth/sweep.hpp"
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+namespace {
+
+/// Shannon cofactor: restricts `var` to `value`, dropping it from the
+/// support.
+TruthTable cofactor(const TruthTable& tt, int var, bool value) {
+  DVS_EXPECTS(var >= 0 && var < tt.num_vars);
+  TruthTable out{0, tt.num_vars - 1};
+  for (std::uint32_t p = 0; p < (1u << out.num_vars); ++p) {
+    const std::uint32_t low = p & ((1u << var) - 1);
+    const std::uint32_t high = (p >> var) << (var + 1);
+    const std::uint32_t full =
+        high | (value ? (1u << var) : 0u) | low;
+    if (tt.eval(full)) out.bits |= 1ULL << p;
+  }
+  return out;
+}
+
+bool is_constant_tt(const TruthTable& tt, bool* value) {
+  if ((tt.bits & tt.mask()) == 0) {
+    *value = false;
+    return true;
+  }
+  if ((tt.bits & tt.mask()) == tt.mask()) {
+    *value = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SweepStats sweep_network(Network& net) {
+  SweepStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Snapshot ids: the loop mutates the network.
+    std::vector<NodeId> ids;
+    net.for_each_gate([&](const Node& n) { ids.push_back(n.id); });
+
+    for (NodeId id : ids) {
+      if (!net.is_valid(id)) continue;
+      Node& n = net.node(id);
+      if (!n.is_gate()) continue;
+
+      // ---- constant-input folding -----------------------------------
+      bool folded = false;
+      for (std::size_t pin = 0; pin < n.fanins.size(); ++pin) {
+        const Node& fi = net.node(n.fanins[pin]);
+        if (!fi.is_constant()) continue;
+        TruthTable reduced = cofactor(n.function, static_cast<int>(pin),
+                                      fi.constant_value);
+        std::vector<NodeId> fanins = n.fanins;
+        fanins.erase(fanins.begin() + static_cast<long>(pin));
+        const NodeId replacement =
+            net.add_gate(reduced, fanins, -1, n.name + "_cf");
+        net.replace_uses(id, replacement);
+        ++stats.constants_folded;
+        folded = true;
+        changed = true;
+        break;
+      }
+      if (folded) continue;
+
+      // ---- degenerate functions ---------------------------------------
+      bool const_value = false;
+      if (is_constant_tt(n.function, &const_value)) {
+        const NodeId replacement =
+            net.add_constant(const_value, n.name + "_k");
+        net.replace_uses(id, replacement);
+        ++stats.constants_folded;
+        changed = true;
+        continue;
+      }
+      if (n.function == tt_buf()) {
+        const NodeId src = n.fanins[0];
+        net.replace_uses(id, src);
+        ++stats.buffers_removed;
+        changed = true;
+        continue;
+      }
+      // ---- inverter pairs ---------------------------------------------
+      if (n.function == tt_inv()) {
+        const Node& fi = net.node(n.fanins[0]);
+        if (fi.is_gate() && fi.function == tt_inv()) {
+          net.replace_uses(id, fi.fanins[0]);
+          ++stats.inverter_pairs_removed;
+          changed = true;
+          continue;
+        }
+      }
+    }
+    stats.dangling_removed += net.sweep_dangling();
+  }
+  net.check();
+  return stats;
+}
+
+}  // namespace dvs

@@ -1,0 +1,24 @@
+// Light technology-independent cleanup, standing in for the parts of SIS
+// script.rugged the flow depends on: constant propagation, inverter-pair
+// and buffer elision, and dangling-logic removal.  Runs to fixpoint.
+#pragma once
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+struct SweepStats {
+  int constants_folded = 0;
+  int buffers_removed = 0;
+  int inverter_pairs_removed = 0;
+  int dangling_removed = 0;
+
+  int total() const {
+    return constants_folded + buffers_removed + inverter_pairs_removed +
+           dangling_removed;
+  }
+};
+
+SweepStats sweep_network(Network& net);
+
+}  // namespace dvs

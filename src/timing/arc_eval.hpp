@@ -1,0 +1,79 @@
+// Shared arc-evaluation primitives used by the full STA, the incremental
+// STA, and the CPN extractor.  Internal header (not part of the public
+// API surface): keeps the three consumers numerically identical.
+#pragma once
+
+#include <algorithm>
+
+#include "library/cell.hpp"
+#include "netlist/network.hpp"
+#include "timing/sta.hpp"
+
+namespace dvs::timing_detail {
+
+inline constexpr double kVoltEps = 1e-6;
+inline constexpr double kDefaultPinCap = 6.0;  // fF, unmapped gates
+
+/// Timing arc used for not-yet-mapped gates so the STA still runs.
+inline TimingArc default_arc(const TruthTable& tt, int pin) {
+  TimingArc arc;
+  const bool pos = is_positive_unate(tt, pin);
+  const bool neg = is_negative_unate(tt, pin);
+  arc.sense = pos && !neg   ? ArcSense::kPositiveUnate
+              : neg && !pos ? ArcSense::kNegativeUnate
+                            : ArcSense::kNonUnate;
+  arc.intrinsic_rise = 0.22;
+  arc.intrinsic_fall = 0.18;
+  arc.resistance_rise = 0.008;
+  arc.resistance_fall = 0.007;
+  return arc;
+}
+
+struct ArcView {
+  TimingArc arc;
+  double vdd_factor;
+  double load;
+
+  RiseFall delay() const {
+    return RiseFall{
+        vdd_factor * (arc.intrinsic_rise + arc.resistance_rise * load),
+        vdd_factor * (arc.intrinsic_fall + arc.resistance_fall * load)};
+  }
+};
+
+/// Combines an input-pin arrival with an arc into the output arrival
+/// contribution of that pin.
+inline RiseFall propagate(const RiseFall& in, const TimingArc& arc,
+                          const RiseFall& d) {
+  switch (arc.sense) {
+    case ArcSense::kPositiveUnate:
+      return {in.rise + d.rise, in.fall + d.fall};
+    case ArcSense::kNegativeUnate:
+      return {in.fall + d.rise, in.rise + d.fall};
+    case ArcSense::kNonUnate:
+    default: {
+      const double worst = std::max(in.rise, in.fall);
+      return {worst + d.rise, worst + d.fall};
+    }
+  }
+}
+
+/// Backward counterpart: latest allowed arrival at the input pin given
+/// the required time at the output.
+inline RiseFall back_propagate(const RiseFall& out_req,
+                               const TimingArc& arc, const RiseFall& d) {
+  switch (arc.sense) {
+    case ArcSense::kPositiveUnate:
+      return {out_req.rise - d.rise, out_req.fall - d.fall};
+    case ArcSense::kNegativeUnate:
+      return {out_req.fall - d.fall, out_req.rise - d.rise};
+    case ArcSense::kNonUnate:
+    default: {
+      const double r =
+          std::min(out_req.rise - d.rise, out_req.fall - d.fall);
+      return {r, r};
+    }
+  }
+}
+
+}  // namespace dvs::timing_detail

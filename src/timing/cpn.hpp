@@ -1,0 +1,35 @@
+// Critical-path network extraction (paper §3, procedure getCPN): the
+// subnetwork of gates that determine the arrival times at the TCB nodes.
+// Gscale resizes a minimum-weight separator of this network to speed every
+// critical path at once.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "timing/sta.hpp"
+
+namespace dvs {
+
+struct CriticalPathNetwork {
+  /// Member gates, in no particular order.
+  std::vector<NodeId> nodes;
+  /// Critical arcs between members (fanin -> fanout).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  /// Members whose critical fanins all lie outside the CPN (path entries).
+  std::vector<NodeId> sources;
+  /// The TCB nodes the network feeds (path exits).
+  std::vector<NodeId> sinks;
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// Extracts the CPN rooted at `tcb`.  An arc counts as critical when its
+/// arrival contribution is within `window` ns of the sink's arrival time;
+/// a wider window yields a larger, more redundant network.
+CriticalPathNetwork extract_cpn(const TimingContext& ctx,
+                                const StaResult& sta,
+                                const std::vector<NodeId>& tcb,
+                                double window = 0.05);
+
+}  // namespace dvs

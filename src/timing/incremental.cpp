@@ -1,0 +1,274 @@
+#include "timing/incremental.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "netlist/topo.hpp"
+#include "support/contracts.hpp"
+#include "timing/arc_eval.hpp"
+
+namespace dvs {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+using timing_detail::ArcView;
+using timing_detail::back_propagate;
+using timing_detail::default_arc;
+using timing_detail::kVoltEps;
+using timing_detail::propagate;
+
+bool differs(const RiseFall& a, const RiseFall& b) {
+  return std::abs(a.rise - b.rise) > kEps ||
+         std::abs(a.fall - b.fall) > kEps;
+}
+
+/// Topological rank of every live node, for worklist ordering.
+std::vector<int> topo_ranks(const Network& net) {
+  std::vector<int> rank(net.size(), 0);
+  int r = 0;
+  for (NodeId id : topo_order(net)) rank[id] = r++;
+  return rank;
+}
+
+}  // namespace
+
+IncrementalSta::IncrementalSta(const TimingContext& ctx, double tspec)
+    : ctx_(ctx), tspec_(tspec) {
+  full_recompute();
+}
+
+void IncrementalSta::full_recompute() {
+  result_ = run_sta(ctx_, tspec_);
+  ranks_ = topo_ranks(*ctx_.net);
+}
+
+bool IncrementalSta::recompute_load(NodeId id) {
+  const Network& net = *ctx_.net;
+  const Library& lib = *ctx_.lib;
+  auto has_lc = [&](NodeId v) {
+    return !ctx_.lc_on_output.empty() && ctx_.lc_on_output[v] != 0;
+  };
+  auto pin_cap = [&](const Node& sink, int pin) {
+    if (sink.cell >= 0) return lib.cell(sink.cell).input_cap[pin];
+    return timing_detail::kDefaultPinCap;
+  };
+
+  double direct = 0.0, lc = 0.0;
+  int direct_count = 0, lc_count = 0;
+  const Node& u = net.node(id);
+  for (std::size_t k = 0; k < u.fanouts.size(); ++k) {
+    const NodeId vid = u.fanouts[k];
+    bool seen_before = false;  // multi-pin sinks appear once per pin
+    for (std::size_t j = 0; j < k; ++j)
+      if (u.fanouts[j] == vid) seen_before = true;
+    if (seen_before) continue;
+    const Node& v = net.node(vid);
+    for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
+      if (v.fanins[pin] != id) continue;
+      const bool through_lc =
+          has_lc(id) && ctx_.node_vdd[vid] > ctx_.node_vdd[id] + kVoltEps;
+      const double cap = pin_cap(v, static_cast<int>(pin));
+      if (through_lc) {
+        lc += cap;
+        ++lc_count;
+      } else {
+        direct += cap;
+        ++direct_count;
+      }
+    }
+  }
+  for (const OutputPort& port : net.outputs()) {
+    if (port.driver == id) {
+      direct += ctx_.output_port_load;
+      ++direct_count;
+    }
+  }
+  if (lc_count > 0) {
+    const Cell& lc_cell = lib.cell(lib.level_converter());
+    direct += lc_cell.input_cap[0];
+    ++direct_count;
+    lc += lib.wire_load().wire_cap(lc_count);
+  }
+  direct += lib.wire_load().wire_cap(direct_count);
+
+  const bool changed = std::abs(direct - result_.load[id]) > kEps ||
+                       std::abs(lc - result_.lc_load[id]) > kEps;
+  result_.load[id] = direct;
+  result_.lc_load[id] = lc;
+  return changed;
+}
+
+bool IncrementalSta::recompute_arrival(NodeId id) {
+  const Network& net = *ctx_.net;
+  const Library& lib = *ctx_.lib;
+  const Node& v = net.node(id);
+  auto has_lc = [&](NodeId n) {
+    return !ctx_.lc_on_output.empty() && ctx_.lc_on_output[n] != 0;
+  };
+
+  RiseFall arr{0.0, 0.0};
+  if (v.is_gate() && !v.fanins.empty()) {
+    arr = {-1e30, -1e30};
+    const double vf = lib.voltage_model().delay_factor(ctx_.node_vdd[id]);
+    for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
+      const NodeId uid = v.fanins[pin];
+      const TimingArc arc =
+          v.cell >= 0 ? lib.cell(v.cell).arcs[pin]
+                      : default_arc(v.function, static_cast<int>(pin));
+      const RiseFall d = ArcView{arc, vf, result_.load[id]}.delay();
+      const bool through_lc =
+          has_lc(uid) && ctx_.node_vdd[id] > ctx_.node_vdd[uid] + kVoltEps;
+      const RiseFall& in =
+          through_lc ? result_.lc_arrival[uid] : result_.arrival[uid];
+      const RiseFall cand = propagate(in, arc, d);
+      arr.rise = std::max(arr.rise, cand.rise);
+      arr.fall = std::max(arr.fall, cand.fall);
+    }
+  }
+
+  RiseFall lc_arr{};
+  if (has_lc(id) && result_.lc_load[id] > 0.0) {
+    const Cell& lc_cell = lib.cell(lib.level_converter());
+    const double vf = lib.voltage_model().delay_factor(lib.vdd_high());
+    const RiseFall d =
+        ArcView{lc_cell.arcs[0], vf, result_.lc_load[id]}.delay();
+    lc_arr = propagate(arr, lc_cell.arcs[0], d);
+  }
+
+  const bool changed = differs(arr, result_.arrival[id]) ||
+                       differs(lc_arr, result_.lc_arrival[id]);
+  result_.arrival[id] = arr;
+  result_.lc_arrival[id] = lc_arr;
+  result_.slack[id] = std::min(result_.required[id].rise - arr.rise,
+                               result_.required[id].fall - arr.fall);
+  return changed;
+}
+
+bool IncrementalSta::recompute_required(NodeId id) {
+  const Network& net = *ctx_.net;
+  const Library& lib = *ctx_.lib;
+  auto has_lc = [&](NodeId n) {
+    return !ctx_.lc_on_output.empty() && ctx_.lc_on_output[n] != 0;
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  RiseFall req{kInf, kInf};
+  for (const OutputPort& port : net.outputs()) {
+    if (port.driver == id) {
+      req.rise = std::min(req.rise, result_.tspec);
+      req.fall = std::min(req.fall, result_.tspec);
+    }
+  }
+  for (NodeId vid : net.node(id).fanouts) {
+    const Node& v = net.node(vid);
+    const double vf =
+        lib.voltage_model().delay_factor(ctx_.node_vdd[vid]);
+    for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
+      if (v.fanins[pin] != id) continue;
+      const TimingArc arc =
+          v.cell >= 0 ? lib.cell(v.cell).arcs[pin]
+                      : default_arc(v.function, static_cast<int>(pin));
+      const RiseFall d = ArcView{arc, vf, result_.load[vid]}.delay();
+      RiseFall pin_req = back_propagate(result_.required[vid], arc, d);
+      const bool through_lc =
+          has_lc(id) && ctx_.node_vdd[vid] > ctx_.node_vdd[id] + kVoltEps;
+      if (through_lc) {
+        const Cell& lc_cell = lib.cell(lib.level_converter());
+        const double lcvf =
+            lib.voltage_model().delay_factor(lib.vdd_high());
+        const RiseFall lcd =
+            ArcView{lc_cell.arcs[0], lcvf, result_.lc_load[id]}.delay();
+        pin_req = back_propagate(pin_req, lc_cell.arcs[0], lcd);
+      }
+      req.rise = std::min(req.rise, pin_req.rise);
+      req.fall = std::min(req.fall, pin_req.fall);
+    }
+  }
+
+  const bool changed = differs(req, result_.required[id]);
+  result_.required[id] = req;
+  result_.slack[id] =
+      std::min(req.rise - result_.arrival[id].rise,
+               req.fall - result_.arrival[id].fall);
+  return changed;
+}
+
+void IncrementalSta::refresh_worst_arrival() {
+  result_.worst_arrival = 0.0;
+  for (const OutputPort& port : ctx_.net->outputs())
+    result_.worst_arrival =
+        std::max(result_.worst_arrival,
+                 result_.arrival[port.driver].max());
+}
+
+void IncrementalSta::on_node_changed(NodeId id) {
+  const Network& net = *ctx_.net;
+  DVS_EXPECTS(net.is_valid(id));
+  const std::vector<int>& ranks = ranks_;
+
+  // Loads that can move: the node's own (LC split, port/pin mix) and its
+  // fanins' (the node's pin caps change with its cell; its supply decides
+  // which fanin arcs run through a converter).
+  std::set<std::pair<int, NodeId>> forward;
+  auto seed_forward = [&](NodeId v) { forward.emplace(ranks[v], v); };
+  recompute_load(id);
+  seed_forward(id);
+  for (NodeId fi : net.node(id).fanins) {
+    recompute_load(fi);
+    seed_forward(fi);
+  }
+
+  // Arrival sweep in topological order; a change fans out.
+  std::set<std::pair<int, NodeId>> required_seeds;
+  auto seed_required = [&](NodeId v) {
+    required_seeds.emplace(-ranks[v], v);
+  };
+  while (!forward.empty()) {
+    const NodeId v = forward.begin()->second;
+    forward.erase(forward.begin());
+    if (recompute_arrival(v))
+      for (NodeId fo : net.node(v).fanouts) seed_forward(fo);
+  }
+
+  // Required sweep in reverse topological order.  Arc delays into the
+  // changed nodes moved with their loads/supplies, so their fanins (and
+  // transitively, everything upstream that notices) re-pull.
+  seed_required(id);
+  for (NodeId fi : net.node(id).fanins) {
+    seed_required(fi);
+    for (NodeId gfi : net.node(fi).fanins) seed_required(gfi);
+  }
+  while (!required_seeds.empty()) {
+    const NodeId v = required_seeds.begin()->second;
+    required_seeds.erase(required_seeds.begin());
+    if (recompute_required(v))
+      for (NodeId fi : net.node(v).fanins) seed_required(fi);
+  }
+  refresh_worst_arrival();
+}
+
+bool IncrementalSta::matches_full_sta(double eps) const {
+  const StaResult fresh = run_sta(ctx_, tspec_);
+  const Network& net = *ctx_.net;
+  bool ok = true;
+  net.for_each_node([&](const Node& n) {
+    const NodeId i = n.id;
+    if (std::abs(fresh.arrival[i].rise - result_.arrival[i].rise) > eps ||
+        std::abs(fresh.arrival[i].fall - result_.arrival[i].fall) > eps ||
+        std::abs(fresh.load[i] - result_.load[i]) > eps ||
+        std::abs(fresh.lc_load[i] - result_.lc_load[i]) > eps)
+      ok = false;
+    const bool both_inf = std::isinf(fresh.required[i].rise) &&
+                          std::isinf(result_.required[i].rise);
+    if (!both_inf &&
+        std::abs(fresh.required[i].rise - result_.required[i].rise) > eps)
+      ok = false;
+  });
+  if (std::abs(fresh.worst_arrival - result_.worst_arrival) > eps)
+    ok = false;
+  return ok;
+}
+
+}  // namespace dvs

@@ -1,0 +1,56 @@
+// Event-driven incremental timing: keeps a StaResult up to date across
+// point changes (a gate's supply, cell size, or level-converter flag)
+// without re-analyzing the whole network.  CVS commits hundreds of
+// single-gate changes per run, each followed by a timing query; the
+// incremental engine turns that from O(n) per commit into O(affected).
+//
+// The engine reads the live TimingContext spans on every update, so the
+// caller mutates its vdd / cell / lc state first and then calls
+// `on_node_changed(id)`.
+#pragma once
+
+#include <vector>
+
+#include "timing/sta.hpp"
+
+namespace dvs {
+
+class IncrementalSta {
+ public:
+  /// Captures the context (the spans must outlive this object) and runs a
+  /// full analysis.
+  IncrementalSta(const TimingContext& ctx, double tspec);
+
+  /// Current timing state; always consistent with the last notified
+  /// change.
+  const StaResult& result() const { return result_; }
+
+  /// The node's supply, cell, or LC flag changed (after the fact).
+  /// Recomputes the affected loads, then propagates arrival changes
+  /// forward and required-time changes backward along the worklists.
+  void on_node_changed(NodeId id);
+
+  /// Full re-analysis (also the recovery path after structural edits).
+  void full_recompute();
+
+  /// Verification hook: true iff the incremental state matches a fresh
+  /// full analysis within `eps`.
+  bool matches_full_sta(double eps = 1e-9) const;
+
+ private:
+  /// Recomputes arrival (and LC arrival) of one node from its fanins.
+  /// Returns true when the stored value moved by more than kEps.
+  bool recompute_arrival(NodeId id);
+  /// Recomputes required time of one node from its fanouts (pull).
+  bool recompute_required(NodeId id);
+  /// Recomputes the direct/LC load of one node.  Returns true on change.
+  bool recompute_load(NodeId id);
+  void refresh_worst_arrival();
+
+  TimingContext ctx_;
+  double tspec_;
+  StaResult result_;
+  std::vector<int> ranks_;  // topological rank, for worklist ordering
+};
+
+}  // namespace dvs

@@ -1,0 +1,76 @@
+#include "timing/loads.hpp"
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+namespace {
+constexpr double kVoltEps = 1e-6;
+constexpr double kDefaultPinCap = 6.0;  // fF, for unmapped gates
+
+double pin_cap(const Library& lib, const Node& sink, int pin) {
+  if (sink.cell >= 0) return lib.cell(sink.cell).input_cap[pin];
+  return kDefaultPinCap;
+}
+}  // namespace
+
+bool arc_through_lc(const LoadContext& ctx, NodeId driver, NodeId sink) {
+  if (ctx.lc_on_output.empty() || !ctx.lc_on_output[driver]) return false;
+  return ctx.node_vdd[sink] > ctx.node_vdd[driver] + kVoltEps;
+}
+
+NodeLoads compute_loads(const LoadContext& ctx) {
+  DVS_EXPECTS(ctx.net != nullptr && ctx.lib != nullptr);
+  const Network& net = *ctx.net;
+  const Library& lib = *ctx.lib;
+  const int n = net.size();
+  DVS_EXPECTS(static_cast<int>(ctx.node_vdd.size()) >= n);
+
+  NodeLoads loads;
+  loads.direct.assign(n, 0.0);
+  loads.lc.assign(n, 0.0);
+  loads.lc_fanout_pins.assign(n, 0);
+  std::vector<int> direct_count(n, 0);
+
+  net.for_each_node([&](const Node& u) {
+    for (std::size_t k = 0; k < u.fanouts.size(); ++k) {
+      const NodeId vid = u.fanouts[k];
+      // A sink reading this driver on several pins appears once per pin
+      // in the fanout list; visit it only once and walk all of its pins.
+      bool seen_before = false;
+      for (std::size_t j = 0; j < k; ++j)
+        if (u.fanouts[j] == vid) seen_before = true;
+      if (seen_before) continue;
+      const Node& v = net.node(vid);
+      for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
+        if (v.fanins[pin] != u.id) continue;
+        const double cap = pin_cap(lib, v, static_cast<int>(pin));
+        if (arc_through_lc(ctx, u.id, vid)) {
+          loads.lc[u.id] += cap;
+          ++loads.lc_fanout_pins[u.id];
+        } else {
+          loads.direct[u.id] += cap;
+          ++direct_count[u.id];
+        }
+      }
+    }
+  });
+  for (const OutputPort& port : net.outputs()) {
+    loads.direct[port.driver] += ctx.output_port_load;
+    ++direct_count[port.driver];
+  }
+  const Cell* lc_cell =
+      lib.level_converter() >= 0 ? &lib.cell(lib.level_converter()) : nullptr;
+  net.for_each_node([&](const Node& u) {
+    if (loads.lc_fanout_pins[u.id] > 0) {
+      DVS_ASSERT(lc_cell != nullptr);
+      loads.direct[u.id] += lc_cell->input_cap[0];
+      ++direct_count[u.id];
+      loads.lc[u.id] += lib.wire_load().wire_cap(loads.lc_fanout_pins[u.id]);
+    }
+    loads.direct[u.id] += lib.wire_load().wire_cap(direct_count[u.id]);
+  });
+  return loads;
+}
+
+}  // namespace dvs

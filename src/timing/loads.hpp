@@ -1,0 +1,33 @@
+// Capacitive load computation shared by the STA and the power model.
+// Splits each driver's load into the part it drives directly and the part
+// behind its level converter (fanout pins at a higher supply).
+#pragma once
+
+#include <vector>
+
+#include "library/library.hpp"
+#include "netlist/network.hpp"
+
+namespace dvs {
+
+struct LoadContext {
+  const Network* net = nullptr;
+  const Library* lib = nullptr;
+  std::span<const double> node_vdd;
+  std::span<const char> lc_on_output;
+  double output_port_load = 25.0;
+};
+
+struct NodeLoads {
+  std::vector<double> direct;  // fF seen by the node's own output stage
+  std::vector<double> lc;      // fF seen by its level converter (0 if none)
+  std::vector<int> lc_fanout_pins;  // #fanout pins rerouted through the LC
+};
+
+NodeLoads compute_loads(const LoadContext& ctx);
+
+/// True iff the fanout arc driver->sink crosses upward in voltage and the
+/// driver has an LC (i.e. the arc runs through the converter).
+bool arc_through_lc(const LoadContext& ctx, NodeId driver, NodeId sink);
+
+}  // namespace dvs

@@ -1,0 +1,43 @@
+#include "timing/tcb.hpp"
+
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+namespace {
+constexpr double kVoltEps = 1e-6;
+}
+
+bool can_lower_within_slack(const TimingContext& ctx, const StaResult& sta,
+                            NodeId id) {
+  const Node& n = ctx.net->node(id);
+  if (!n.is_gate() || n.cell < 0) return false;
+  const double increase =
+      worst_delay_increase(*ctx.lib, ctx.lib->cell(n.cell),
+                           ctx.node_vdd[id], ctx.lib->vdd_low(),
+                           sta.load[id]);
+  return increase <= sta.slack[id] + 1e-12;
+}
+
+std::vector<NodeId> compute_tcb(const TimingContext& ctx,
+                                const StaResult& sta) {
+  const Network& net = *ctx.net;
+  const double vdd_high = ctx.lib->vdd_high();
+
+  std::vector<char> drives_port(net.size(), 0);
+  for (const OutputPort& port : net.outputs()) drives_port[port.driver] = 1;
+
+  std::vector<NodeId> tcb;
+  net.for_each_gate([&](const Node& n) {
+    if (ctx.node_vdd[n.id] < vdd_high - kVoltEps) return;  // already low
+    bool adjacent_to_low = drives_port[n.id] != 0;
+    for (NodeId fo : n.fanouts)
+      if (ctx.node_vdd[fo] < vdd_high - kVoltEps) adjacent_to_low = true;
+    if (!adjacent_to_low) return;
+    if (can_lower_within_slack(ctx, sta, n.id)) return;  // not blocked
+    tcb.push_back(n.id);
+  });
+  return tcb;
+}
+
+}  // namespace dvs

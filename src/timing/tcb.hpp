@@ -1,0 +1,29 @@
+// Timing-critical boundary (paper §2): the high-voltage nodes that sit
+// next to the low-voltage cluster and cannot themselves be lowered without
+// violating the timing constraint.
+//
+// One interpretation detail (documented in DESIGN.md): a high-voltage node
+// driving a primary output is treated as "adjacent to the low region"
+// even when none of its gate fanouts is low, because the paper's Gscale
+// must be able to start pushing on circuits where CVS lowered nothing
+// (C1355, C432, ... in Table 1) — the block boundary outside the POs plays
+// the role of the neighbouring low region.
+#pragma once
+
+#include <vector>
+
+#include "timing/sta.hpp"
+
+namespace dvs {
+
+/// Nodes forming the TCB under the given operating state.  `sta` must have
+/// been produced from `ctx` at the current assignment.
+std::vector<NodeId> compute_tcb(const TimingContext& ctx,
+                                const StaResult& sta);
+
+/// True iff `id` could move to vdd_low within its own slack (ignoring any
+/// level-converter cost — the CVS cluster rule never needs one).
+bool can_lower_within_slack(const TimingContext& ctx, const StaResult& sta,
+                            NodeId id);
+
+}  // namespace dvs

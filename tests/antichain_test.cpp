@@ -1,0 +1,129 @@
+#include "graph/antichain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace dvs {
+namespace {
+
+AntichainProblem chain(int n) {
+  AntichainProblem p;
+  p.num_nodes = n;
+  p.weight.assign(n, 1.0);
+  for (int i = 0; i + 1 < n; ++i) p.edges.emplace_back(i, i + 1);
+  return p;
+}
+
+TEST(Antichain, ChainSelectsHeaviestNode) {
+  AntichainProblem p = chain(5);
+  p.weight = {1.0, 7.0, 2.0, 3.0, 1.0};
+  const AntichainResult r = max_weight_antichain(p);
+  ASSERT_EQ(r.selected.size(), 1u);
+  EXPECT_EQ(r.selected[0], 1);
+  EXPECT_NEAR(r.total_weight, 7.0, 1e-9);
+}
+
+TEST(Antichain, IndependentNodesAllSelected) {
+  AntichainProblem p;
+  p.num_nodes = 4;
+  p.weight = {1.0, 2.0, 3.0, 4.0};  // no edges at all
+  const AntichainResult r = max_weight_antichain(p);
+  EXPECT_EQ(r.selected.size(), 4u);
+  EXPECT_NEAR(r.total_weight, 10.0, 1e-9);
+}
+
+TEST(Antichain, DiamondPicksTheParallelPair) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3; weights make {1,2} the best antichain.
+  AntichainProblem p;
+  p.num_nodes = 4;
+  p.edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  p.weight = {3.0, 2.5, 2.5, 3.0};
+  const AntichainResult r = max_weight_antichain(p);
+  EXPECT_EQ(r.selected, (std::vector<int>{1, 2}));
+  EXPECT_NEAR(r.total_weight, 5.0, 1e-9);
+}
+
+TEST(Antichain, ZeroWeightNodesTransmitOrderOnly) {
+  // 0 -> z -> 1 with w(z) = 0: 0 and 1 are still comparable through z.
+  AntichainProblem p;
+  p.num_nodes = 3;
+  p.edges = {{0, 2}, {2, 1}};
+  p.weight = {5.0, 4.0, 0.0};
+  const AntichainResult r = max_weight_antichain(p);
+  ASSERT_EQ(r.selected.size(), 1u);
+  EXPECT_EQ(r.selected[0], 0);
+}
+
+TEST(Antichain, EmptyProblem) {
+  AntichainProblem p;
+  p.num_nodes = 0;
+  const AntichainResult r = max_weight_antichain(p);
+  EXPECT_TRUE(r.selected.empty());
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+}
+
+AntichainProblem random_dag(Rng& rng, int max_nodes) {
+  AntichainProblem p;
+  p.num_nodes = rng.next_int(1, max_nodes);
+  for (int v = 0; v < p.num_nodes; ++v)
+    p.weight.push_back(rng.next_bool(0.8)
+                           ? 0.5 + rng.next_double() * 9.5
+                           : 0.0);
+  // Edges only forward in index order: guaranteed acyclic.
+  for (int u = 0; u < p.num_nodes; ++u)
+    for (int v = u + 1; v < p.num_nodes; ++v)
+      if (rng.next_bool(0.25)) p.edges.emplace_back(u, v);
+  return p;
+}
+
+bool is_antichain(const AntichainProblem& p, const std::vector<int>& sel) {
+  std::vector<std::vector<int>> adj(p.num_nodes);
+  for (const auto& [u, v] : p.edges) adj[u].push_back(v);
+  for (int s : sel) {
+    std::vector<char> seen(p.num_nodes, 0);
+    std::vector<int> stack{s};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (int w : adj[v])
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+    }
+    for (int t : sel)
+      if (t != s && seen[t]) return false;
+  }
+  return true;
+}
+
+/// The flow construction must match brute force on hundreds of DAGs.
+class AntichainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AntichainPropertyTest, FlowMatchesBruteForce) {
+  Rng rng(1000 + GetParam());
+  const AntichainProblem p = random_dag(rng, 12);
+  const AntichainResult flow = max_weight_antichain(p);
+  const AntichainResult ref = max_weight_antichain_bruteforce(p);
+  EXPECT_NEAR(flow.total_weight, ref.total_weight, 1e-6)
+      << "nodes=" << p.num_nodes << " edges=" << p.edges.size();
+  EXPECT_TRUE(is_antichain(p, flow.selected));
+}
+
+TEST_P(AntichainPropertyTest, BothEnginesAgree) {
+  Rng rng(5000 + GetParam());
+  const AntichainProblem p = random_dag(rng, 18);
+  const AntichainResult d = max_weight_antichain(p, FlowAlgo::kDinic);
+  const AntichainResult ek =
+      max_weight_antichain(p, FlowAlgo::kEdmondsKarp);
+  EXPECT_NEAR(d.total_weight, ek.total_weight, 1e-6);
+  EXPECT_TRUE(is_antichain(p, d.selected));
+  EXPECT_TRUE(is_antichain(p, ek.selected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AntichainPropertyTest,
+                         ::testing::Range(0, 150));
+
+}  // namespace
+}  // namespace dvs

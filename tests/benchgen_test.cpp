@@ -1,0 +1,141 @@
+#include "benchgen/mcnc.hpp"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "benchgen/random_dag.hpp"
+#include "benchgen/structured.hpp"
+#include "netlist/stats.hpp"
+#include "sim/bitsim.hpp"
+#include "timing/sta.hpp"
+
+namespace dvs {
+namespace {
+
+class BenchgenTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_compass_library();
+};
+
+TEST_F(BenchgenTest, SuiteHas39UniqueCircuits) {
+  const auto suite = mcnc_suite();
+  EXPECT_EQ(suite.size(), 39u);
+  std::set<std::string> names;
+  for (const McncDescriptor& d : suite) names.insert(d.name);
+  EXPECT_EQ(names.size(), 39u);
+  EXPECT_NE(find_mcnc("des"), nullptr);
+  EXPECT_EQ(find_mcnc("nonexistent"), nullptr);
+}
+
+TEST_F(BenchgenTest, PaperAveragesMatchThePaper) {
+  double cvs = 0, dscale = 0, gscale = 0, ratio = 0;
+  for (const McncDescriptor& d : mcnc_suite()) {
+    cvs += d.paper.cvs_pct;
+    dscale += d.paper.dscale_pct;
+    gscale += d.paper.gscale_pct;
+    ratio += d.paper.gscale_ratio;
+  }
+  const double n = 39.0;
+  EXPECT_NEAR(cvs / n, 10.27, 0.01);
+  EXPECT_NEAR(dscale / n, 12.09, 0.01);
+  EXPECT_NEAR(gscale / n, 19.12, 0.01);
+  EXPECT_NEAR(ratio / n, 0.70, 0.01);
+}
+
+TEST_F(BenchgenTest, AdderComputesSums) {
+  Network net = build_ripple_adder(lib_, 8, "add8");
+  BitSimulator sim(net);
+  for (int a = 0; a < 256; a += 37) {
+    for (int b = 0; b < 256; b += 41) {
+      std::vector<bool> in;
+      for (int i = 0; i < 8; ++i) in.push_back((a >> i) & 1);
+      for (int i = 0; i < 8; ++i) in.push_back((b >> i) & 1);
+      in.push_back(false);  // cin
+      const auto out = sim.evaluate(in);
+      int sum = 0;
+      for (int i = 0; i < 8; ++i) sum |= out[i] << i;
+      sum |= out[8] << 8;  // cout
+      EXPECT_EQ(sum, a + b);
+    }
+  }
+}
+
+TEST_F(BenchgenTest, BalancedGridHasZeroSlackSpine) {
+  GridSpec spec;
+  spec.gates = 80;
+  spec.pis = 8;
+  spec.pos = 4;
+  spec.slack_branch_fraction = 0.1;
+  Network net = build_balanced_grid(lib_, spec, "g");
+  const StaResult sta = run_sta(net, lib_, -1.0);
+  // Every PO must be critical to within far less than one gate's
+  // voltage-lowering delay penalty (~0.03 ns) — the CVS=0 signature.
+  for (const OutputPort& port : net.outputs())
+    EXPECT_NEAR(sta.arrival[port.driver].max(), sta.worst_arrival, 0.02)
+        << port.name;
+}
+
+TEST_F(BenchgenTest, BalancedGridHasSomeInternalSlack) {
+  GridSpec spec;
+  spec.gates = 120;
+  spec.pis = 10;
+  spec.pos = 4;
+  spec.slack_branch_fraction = 0.15;
+  Network net = build_balanced_grid(lib_, spec, "g");
+  const StaResult sta = run_sta(net, lib_, -1.0);
+  int with_slack = 0;
+  net.for_each_gate([&](const Node& g) {
+    if (sta.slack[g.id] > 0.1) ++with_slack;
+  });
+  EXPECT_GT(with_slack, 0);
+}
+
+TEST_F(BenchgenTest, GeneratorsAreDeterministic) {
+  const McncDescriptor* d = find_mcnc("alu2");
+  ASSERT_NE(d, nullptr);
+  Network a = build_mcnc_circuit(lib_, *d);
+  Network b = build_mcnc_circuit(lib_, *d);
+  EXPECT_EQ(describe(network_stats(a)), describe(network_stats(b)));
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST_F(BenchgenTest, GateCountsTrackTable2) {
+  for (const char* name : {"C432", "z4ml", "mux", "my_adder", "b9"}) {
+    const McncDescriptor* d = find_mcnc(name);
+    ASSERT_NE(d, nullptr) << name;
+    Network net = build_mcnc_circuit(lib_, *d);
+    EXPECT_NEAR(net.num_gates(), d->gates, d->gates * 0.05 + 2) << name;
+    EXPECT_EQ(static_cast<int>(net.inputs().size()), d->pis) << name;
+  }
+}
+
+TEST_F(BenchgenTest, EveryCircuitBuildsValid) {
+  for (const McncDescriptor& d : mcnc_suite()) {
+    if (d.gates > 700) continue;  // keep the unit suite fast
+    Network net = build_mcnc_circuit(lib_, d);
+    net.check();
+    EXPECT_GT(net.num_gates(), 0) << d.name;
+    net.for_each_gate([&](const Node& g) {
+      EXPECT_GE(g.cell, 0) << d.name;  // fully mapped
+    });
+  }
+}
+
+TEST_F(BenchgenTest, MaxedCircuitsUseLargestDrives) {
+  const McncDescriptor* d = find_mcnc("i2");
+  ASSERT_NE(d, nullptr);
+  Network net = build_mcnc_circuit(lib_, *d);
+  net.for_each_gate([&](const Node& g) {
+    EXPECT_EQ(lib_.upsize(g.cell), -1) << g.id;
+  });
+}
+
+TEST_F(BenchgenTest, HybridCriticalFractionCalibration) {
+  const McncDescriptor* wide = find_mcnc("x3");    // CVS ratio 0.82
+  const McncDescriptor* tight = find_mcnc("C3540");  // CVS ratio 0.07
+  EXPECT_LT(hybrid_critical_fraction(*wide),
+            hybrid_critical_fraction(*tight));
+}
+
+}  // namespace
+}  // namespace dvs

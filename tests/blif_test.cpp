@@ -1,0 +1,127 @@
+#include "netlist/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/bitsim.hpp"
+
+namespace dvs {
+namespace {
+
+const char* kSimple = R"(
+.model adder1
+.inputs a b cin
+.outputs sum cout
+# sum = a ^ b ^ cin
+.names a b t1
+10 1
+01 1
+.names t1 cin sum
+10 1
+01 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+)";
+
+TEST(Blif, ParsesSimpleModel) {
+  Network net = read_blif_string(kSimple);
+  EXPECT_EQ(net.name(), "adder1");
+  EXPECT_EQ(net.inputs().size(), 3u);
+  EXPECT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.num_gates(), 3);
+}
+
+TEST(Blif, ParsedLogicIsCorrect) {
+  Network net = read_blif_string(kSimple);
+  BitSimulator sim(net);
+  for (int p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, cin = p & 4;
+    const auto out = sim.evaluate({a, b, cin});
+    EXPECT_EQ(out[0], a ^ b ^ cin) << "pattern " << p;
+    EXPECT_EQ(out[1], (a && b) || (a && cin) || (b && cin));
+  }
+}
+
+TEST(Blif, RoundTripPreservesFunction) {
+  Network net = read_blif_string(kSimple);
+  Network again = read_blif_string(write_blif_string(net));
+  BitSimulator s1(net), s2(again);
+  for (int p = 0; p < 8; ++p) {
+    const std::vector<bool> in{bool(p & 1), bool(p & 2), bool(p & 4)};
+    EXPECT_EQ(s1.evaluate(in), s2.evaluate(in));
+  }
+}
+
+TEST(Blif, OffsetCover) {
+  Network net = read_blif_string(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n");
+  BitSimulator sim(net);
+  EXPECT_TRUE(sim.evaluate({false, false})[0]);
+  EXPECT_FALSE(sim.evaluate({true, true})[0]);
+}
+
+TEST(Blif, Constants) {
+  Network net = read_blif_string(
+      ".model m\n.inputs a\n.outputs k1 k0\n.names k1\n1\n.names k0\n.end\n");
+  BitSimulator sim(net);
+  EXPECT_TRUE(sim.evaluate({false})[0]);
+  EXPECT_FALSE(sim.evaluate({false})[1]);
+}
+
+TEST(Blif, WideFunctionIsDecomposed) {
+  // 9-input AND exceeds the gate arity cap and must become a tree.
+  std::string text = ".model m\n.inputs";
+  for (int i = 0; i < 9; ++i) text += " x" + std::to_string(i);
+  text += "\n.outputs y\n.names";
+  for (int i = 0; i < 9; ++i) text += " x" + std::to_string(i);
+  text += " y\n111111111 1\n.end\n";
+  Network net = read_blif_string(text);
+  net.for_each_gate([](const Node& g) {
+    EXPECT_LE(g.function.num_vars, kMaxGateInputs);
+  });
+  BitSimulator sim(net);
+  std::vector<bool> in(9, true);
+  EXPECT_TRUE(sim.evaluate(in)[0]);
+  in[4] = false;
+  EXPECT_FALSE(sim.evaluate(in)[0]);
+}
+
+TEST(Blif, LineContinuationAndComments) {
+  Network net = read_blif_string(
+      ".model m\n.inputs a \\\n b\n.outputs y # trailing\n"
+      ".names a b y\n11 1\n.end\n");
+  EXPECT_EQ(net.inputs().size(), 2u);
+}
+
+TEST(Blif, RejectsLatches) {
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs y\n"
+                                ".latch a y re clk 0\n.end\n"),
+               BlifError);
+}
+
+TEST(Blif, RejectsCycles) {
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs y\n"
+                                ".names y a x\n11 1\n.names x a y\n11 1\n"
+                                ".end\n"),
+               BlifError);
+}
+
+TEST(Blif, RejectsMalformedCover) {
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a b\n.outputs y\n"
+                                ".names a b y\n1 1\n.end\n"),
+               BlifError);
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs y\n"
+                                ".names a y\n2 1\n.end\n"),
+               BlifError);
+}
+
+TEST(Blif, RejectsUndefinedSignals) {
+  EXPECT_THROW(read_blif_string(
+                   ".model m\n.inputs a\n.outputs y\n.end\n"),
+               BlifError);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,110 @@
+#include "graph/separator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace dvs {
+namespace {
+
+TEST(Separator, SingleChainCutsCheapestNode) {
+  SeparatorProblem p;
+  p.num_nodes = 4;
+  p.edges = {{0, 1}, {1, 2}, {2, 3}};
+  p.weight = {5.0, 1.0, 4.0, 7.0};
+  p.sources = {0};
+  p.sinks = {3};
+  const SeparatorResult r = min_weight_separator(p);
+  ASSERT_EQ(r.selected.size(), 1u);
+  EXPECT_EQ(r.selected[0], 1);
+  EXPECT_NEAR(r.total_weight, 1.0, 1e-9);
+}
+
+TEST(Separator, ParallelChainsNeedOneCutEach) {
+  // Two disjoint chains source->mid->sink.
+  SeparatorProblem p;
+  p.num_nodes = 6;
+  p.edges = {{0, 1}, {1, 2}, {3, 4}, {4, 5}};
+  p.weight = {9.0, 2.0, 9.0, 9.0, 3.0, 9.0};
+  p.sources = {0, 3};
+  p.sinks = {2, 5};
+  const SeparatorResult r = min_weight_separator(p);
+  EXPECT_EQ(r.selected, (std::vector<int>{1, 4}));
+  EXPECT_NEAR(r.total_weight, 5.0, 1e-9);
+}
+
+TEST(Separator, SourceItselfCanBeTheCut) {
+  SeparatorProblem p;
+  p.num_nodes = 3;
+  p.edges = {{0, 1}, {0, 2}};
+  p.weight = {1.0, 5.0, 5.0};
+  p.sources = {0};
+  p.sinks = {1, 2};
+  const SeparatorResult r = min_weight_separator(p);
+  EXPECT_EQ(r.selected, (std::vector<int>{0}));
+}
+
+TEST(Separator, IsSeparatorChecker) {
+  SeparatorProblem p;
+  p.num_nodes = 3;
+  p.edges = {{0, 1}, {1, 2}};
+  p.weight = {1.0, 1.0, 1.0};
+  p.sources = {0};
+  p.sinks = {2};
+  EXPECT_TRUE(is_separator(p, {1}));
+  EXPECT_TRUE(is_separator(p, {0}));
+  EXPECT_FALSE(is_separator(p, {}));
+}
+
+SeparatorProblem random_problem(Rng& rng) {
+  SeparatorProblem p;
+  p.num_nodes = rng.next_int(2, 14);
+  for (int v = 0; v < p.num_nodes; ++v)
+    p.weight.push_back(0.5 + rng.next_double() * 9.5);
+  for (int u = 0; u < p.num_nodes; ++u)
+    for (int v = u + 1; v < p.num_nodes; ++v)
+      if (rng.next_bool(0.3)) p.edges.emplace_back(u, v);
+  p.sources = {0};
+  p.sinks = {p.num_nodes - 1};
+  return p;
+}
+
+double brute_force_min_separator(const SeparatorProblem& p) {
+  double best = 1e18;
+  for (std::uint32_t mask = 0; mask < (1u << p.num_nodes); ++mask) {
+    std::vector<int> cut;
+    double weight = 0.0;
+    for (int v = 0; v < p.num_nodes; ++v)
+      if (mask & (1u << v)) {
+        cut.push_back(v);
+        weight += p.weight[v];
+      }
+    if (weight < best && is_separator(p, cut)) best = weight;
+  }
+  return best;
+}
+
+class SeparatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeparatorPropertyTest, FlowMatchesBruteForce) {
+  Rng rng(200 + GetParam());
+  const SeparatorProblem p = random_problem(rng);
+  const SeparatorResult r = min_weight_separator(p);
+  EXPECT_TRUE(is_separator(p, r.selected));
+  EXPECT_NEAR(r.total_weight, brute_force_min_separator(p), 1e-6);
+}
+
+TEST_P(SeparatorPropertyTest, EnginesAgree) {
+  Rng rng(900 + GetParam());
+  const SeparatorProblem p = random_problem(rng);
+  const SeparatorResult d = min_weight_separator(p, FlowAlgo::kDinic);
+  const SeparatorResult ek =
+      min_weight_separator(p, FlowAlgo::kEdmondsKarp);
+  EXPECT_NEAR(d.total_weight, ek.total_weight, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeparatorPropertyTest,
+                         ::testing::Range(0, 120));
+
+}  // namespace
+}  // namespace dvs

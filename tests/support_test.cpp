@@ -1,0 +1,120 @@
+// Tests for the support layer: deterministic RNG and unit formatting,
+// plus the load-computation helper shared by STA and power.
+#include <gtest/gtest.h>
+
+#include "library/library.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+#include "timing/loads.hpp"
+
+namespace dvs {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    const int v = rng.next_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformishDistribution) {
+  Rng rng(99);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_GT(buckets[b], n / 10 - n / 50);
+    EXPECT_LT(buckets[b], n / 10 + n / 50);
+  }
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+  EXPECT_EQ(format_percent(0.1912), "19.12");
+}
+
+TEST(Units, SwitchPowerConstant) {
+  // alpha * f[MHz] * C[fF] * V^2 * 1e-3 == uW: check one known point.
+  // 0.25 * 20 MHz * 10 fF * 25 V^2 = 1.25 uW.
+  EXPECT_NEAR(0.25 * 20.0 * 10.0 * 25.0 * kSwitchPowerToMicrowatt, 1.25,
+              1e-12);
+}
+
+class LoadsTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_compass_library();
+};
+
+TEST_F(LoadsTest, SplitsAcrossConverterBoundary) {
+  Network net("t");
+  const NodeId a = net.add_input("a");
+  const int inv = lib_.find("inv_d0");
+  const NodeId g = net.add_gate(tt_inv(), {a}, inv);
+  const NodeId hi = net.add_gate(tt_inv(), {g}, inv);
+  const NodeId lo = net.add_gate(tt_inv(), {g}, inv);
+  net.add_output("x", hi);
+  net.add_output("y", lo);
+
+  std::vector<double> vdd(net.size(), lib_.vdd_high());
+  vdd[g] = lib_.vdd_low();
+  vdd[lo] = lib_.vdd_low();
+  std::vector<char> lc(net.size(), 0);
+  lc[g] = 1;
+
+  LoadContext ctx{&net, &lib_, vdd, lc, 25.0};
+  EXPECT_TRUE(arc_through_lc(ctx, g, hi));
+  EXPECT_FALSE(arc_through_lc(ctx, g, lo));
+
+  const NodeLoads loads = compute_loads(ctx);
+  EXPECT_EQ(loads.lc_fanout_pins[g], 1);
+  // LC side: the high fanout pin + its wire.
+  const double lc_side = lib_.cell(inv).input_cap[0] +
+                         lib_.wire_load().wire_cap(1);
+  EXPECT_NEAR(loads.lc[g], lc_side, 1e-12);
+  // Direct side: the low pin + the converter's input + wire(2).
+  const double direct =
+      lib_.cell(inv).input_cap[0] +
+      lib_.cell(lib_.level_converter()).input_cap[0] +
+      lib_.wire_load().wire_cap(2);
+  EXPECT_NEAR(loads.direct[g], direct, 1e-12);
+}
+
+TEST_F(LoadsTest, MultiPinFanoutCountsEveryPin) {
+  Network net("t");
+  const NodeId a = net.add_input("a");
+  const int xnor = lib_.find("xnor2_d0");
+  // Same driver on both pins of one sink.
+  const NodeId g = net.add_gate(tt_inv(), {a}, lib_.find("inv_d0"));
+  const NodeId s = net.add_gate(tt_xnor(2), {g, g}, xnor);
+  net.add_output("y", s);
+  std::vector<double> vdd(net.size(), lib_.vdd_high());
+  LoadContext ctx{&net, &lib_, vdd, {}, 25.0};
+  const NodeLoads loads = compute_loads(ctx);
+  EXPECT_NEAR(loads.direct[g],
+              2 * lib_.cell(xnor).input_cap[0] +
+                  lib_.wire_load().wire_cap(2),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "netlist/network.hpp"
+
+namespace dvs {
+namespace {
+
+class ArityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArityTest, AndOrDuality) {
+  const int n = GetParam();
+  const TruthTable land = tt_and(n);
+  const TruthTable lor = tt_or(n);
+  for (std::uint32_t p = 0; p < (1u << n); ++p) {
+    const bool all = p == (1u << n) - 1;
+    const bool any = p != 0;
+    EXPECT_EQ(land.eval(p), all);
+    EXPECT_EQ(lor.eval(p), any);
+    EXPECT_EQ(tt_nand(n).eval(p), !all);
+    EXPECT_EQ(tt_nor(n).eval(p), !any);
+    EXPECT_EQ(tt_xor(n).eval(p),
+              (__builtin_popcount(p) & 1) == 1);
+    EXPECT_EQ(tt_xnor(n).eval(p),
+              (__builtin_popcount(p) & 1) == 0);
+  }
+}
+
+TEST_P(ArityTest, Unateness) {
+  const int n = GetParam();
+  for (int v = 0; v < n; ++v) {
+    EXPECT_TRUE(is_positive_unate(tt_and(n), v));
+    EXPECT_TRUE(is_positive_unate(tt_or(n), v));
+    EXPECT_TRUE(is_negative_unate(tt_nand(n), v));
+    EXPECT_TRUE(is_negative_unate(tt_nor(n), v));
+    if (n >= 2) {
+      EXPECT_FALSE(is_positive_unate(tt_xor(n), v));
+      EXPECT_FALSE(is_negative_unate(tt_xor(n), v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, ArityTest, ::testing::Range(1, 7));
+
+TEST(TruthTable, Mux2Semantics) {
+  const TruthTable mux = tt_mux2();
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, s = p & 4;
+    EXPECT_EQ(mux.eval(p), s ? b : a);
+  }
+}
+
+TEST(TruthTable, AoiOaiSemantics) {
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, c = p & 4;
+    EXPECT_EQ(tt_aoi21().eval(p), !((a && b) || c));
+    EXPECT_EQ(tt_oai21().eval(p), !((a || b) && c));
+    EXPECT_EQ(tt_maj3().eval(p),
+              (a && b) || (a && c) || (b && c));
+  }
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    const bool a = p & 1, b = p & 2, c = p & 4, d = p & 8;
+    EXPECT_EQ(tt_aoi22().eval(p), !((a && b) || (c && d)));
+    EXPECT_EQ(tt_oai22().eval(p), !((a || b) && (c || d)));
+    EXPECT_EQ(tt_aoi211().eval(p), !((a && b) || c || d));
+    EXPECT_EQ(tt_oai211().eval(p), !((a || b) && c && d));
+  }
+}
+
+TEST(TruthTable, ConstAndUnit) {
+  EXPECT_TRUE(tt_const(true).eval(0));
+  EXPECT_FALSE(tt_const(false).eval(0));
+  EXPECT_TRUE(tt_buf().eval(1));
+  EXPECT_FALSE(tt_buf().eval(0));
+  EXPECT_FALSE(tt_inv().eval(1));
+  EXPECT_TRUE(tt_inv().eval(0));
+}
+
+TEST(TruthTable, EqualityIgnoresGarbageBits) {
+  TruthTable a{0b0110ULL, 2};
+  TruthTable b{0b0110ULL | (0xffULL << 4), 2};  // junk above the mask
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,75 @@
+#include "netlist/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/structured.hpp"
+#include "netlist/blif.hpp"
+
+namespace dvs {
+namespace {
+
+class VerilogTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_compass_library();
+};
+
+TEST_F(VerilogTest, MappedNetlistEmitsInstances) {
+  Network net = build_ripple_adder(lib_, 4, "add4");
+  const std::string v = write_verilog_string(net, lib_);
+  EXPECT_NE(v.find("module add4"), std::string::npos);
+  EXPECT_NE(v.find("xor2_d0 u"), std::string::npos);
+  EXPECT_NE(v.find("maj3_d0 u"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // One instance per gate.
+  std::size_t count = 0;
+  for (std::size_t pos = v.find(" u"); pos != std::string::npos;
+       pos = v.find(" u", pos + 1))
+    ++count;
+  EXPECT_EQ(count, static_cast<std::size_t>(net.num_gates()));
+}
+
+TEST_F(VerilogTest, UnmappedGatesBecomeAssigns) {
+  Network net("t");
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId g = net.add_gate(tt_xor(2), {a, b});
+  net.add_output("y", g);
+  const std::string v = write_verilog_string(net, lib_);
+  EXPECT_NE(v.find("assign"), std::string::npos);
+  EXPECT_NE(v.find("~"), std::string::npos);  // xor cover has literals
+}
+
+TEST_F(VerilogTest, ConstantsAndPorts) {
+  Network net("t");
+  const NodeId a = net.add_input("a");
+  const NodeId k = net.add_constant(true);
+  const NodeId g = net.add_gate(tt_and(2), {a, k});
+  net.add_output("y", g);
+  const std::string v = write_verilog_string(net, lib_);
+  EXPECT_NE(v.find("1'b1"), std::string::npos);
+  EXPECT_NE(v.find("output y;"), std::string::npos);
+}
+
+TEST_F(VerilogTest, HostileNamesAreSanitized) {
+  Network net("my[block]");
+  const NodeId a = net.add_input("in.0");
+  const NodeId g = net.add_gate(tt_inv(), {a}, lib_.find("inv_d0"));
+  net.add_output("out[0]", g);
+  const std::string v = write_verilog_string(net, lib_);
+  EXPECT_EQ(v.find('['), std::string::npos);
+  EXPECT_EQ(v.find('.'), v.find(".o("));  // only pin syntax dots remain
+}
+
+TEST_F(VerilogTest, NameCollisionsUniquified) {
+  Network net("t");
+  const NodeId a = net.add_input("sig");
+  const NodeId g = net.add_gate(tt_inv(), {a}, lib_.find("inv_d0"));
+  net.node(g).name = "sig";  // collides with the input after sanitizing
+  net.add_output("sig", g);  // and the port collides again
+  const std::string v = write_verilog_string(net, lib_);
+  EXPECT_NE(v.find("sig_1"), std::string::npos);
+  EXPECT_NE(v.find("sig_2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,50 @@
+#include "library/voltage_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvs {
+namespace {
+
+TEST(VoltageModel, UnityAtNominal) {
+  VoltageModel vm{5.0, 0.8, 1.3};
+  EXPECT_NEAR(vm.delay_factor(5.0), 1.0, 1e-12);
+  EXPECT_NEAR(vm.energy_factor(5.0), 1.0, 1e-12);
+  EXPECT_NEAR(vm.leakage_factor(5.0), 1.0, 1e-12);
+}
+
+TEST(VoltageModel, PaperOperatingPoint) {
+  VoltageModel vm{5.0, 0.8, 1.3};
+  // ~9% slower and 26% less dynamic energy at 4.3V (DESIGN.md).
+  EXPECT_NEAR(vm.delay_factor(4.3), 1.09, 0.02);
+  EXPECT_NEAR(vm.energy_factor(4.3), 0.7396, 1e-9);
+}
+
+TEST(VoltageModel, DelayMonotoneDecreasingInVdd) {
+  VoltageModel vm{5.0, 0.8, 1.3};
+  double prev = vm.delay_factor(2.0);
+  for (double v = 2.2; v <= 6.0; v += 0.2) {
+    const double f = vm.delay_factor(v);
+    EXPECT_LT(f, prev) << "at " << v;
+    prev = f;
+  }
+}
+
+TEST(VoltageModel, EnergyQuadratic) {
+  VoltageModel vm{5.0, 0.8, 1.3};
+  EXPECT_NEAR(vm.energy_factor(2.5), 0.25, 1e-12);
+  EXPECT_NEAR(vm.energy_factor(10.0), 4.0, 1e-12);
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, LowVoltageAlwaysSlower) {
+  VoltageModel vm{5.0, 0.8, GetParam()};
+  EXPECT_GT(vm.delay_factor(4.3), 1.0);
+  EXPECT_GT(vm.delay_factor(3.3), vm.delay_factor(4.3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(1.0, 1.3, 1.5, 2.0));
+
+}  // namespace
+}  // namespace dvs
