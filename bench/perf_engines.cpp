@@ -1,14 +1,24 @@
 // Microbenchmarks E7: engine throughput backing the paper's complexity
 // discussion (§2.1 O(ne log(n^2/e)) for the MWIS step, §3.1 O(ne^2) for
 // Edmonds-Karp).  Google-benchmark binary.
+//
+// `--json` emits the google-benchmark JSON report (per-algorithm
+// wall-clock in `real_time`) so successive runs give a perf trajectory:
+//   $ ./perf_engines --json > PERF_engines.json
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "benchgen/mcnc.hpp"
 #include "core/cvs.hpp"
+#include "core/dscale.hpp"
+#include "core/gscale.hpp"
 #include "graph/antichain.hpp"
 #include "graph/separator.hpp"
 #include "power/activity.hpp"
 #include "support/rng.hpp"
+#include "timing/incremental.hpp"
 #include "timing/sta.hpp"
 
 namespace {
@@ -89,6 +99,59 @@ void BM_Cvs(benchmark::State& state) {
 }
 BENCHMARK(BM_Cvs)->DenseRange(0, 3);
 
+void BM_Dscale(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  for (auto _ : state) {
+    dvs::Design design(net, lib());
+    benchmark::DoNotOptimize(dvs::run_dscale(design));
+  }
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_Dscale)->DenseRange(0, 3);
+
+void BM_Gscale(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  for (auto _ : state) {
+    dvs::Design design(net, lib());
+    benchmark::DoNotOptimize(dvs::run_gscale(design));
+  }
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_Gscale)->DenseRange(0, 3);
+
+/// The Dscale/Gscale hot-loop primitive: one voltage flip + incremental
+/// re-time, versus the full re-analysis it replaced (BM_Sta).
+void BM_IncrementalFlip(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  dvs::Design design(net, lib());
+  dvs::IncrementalSta timer(design.timing_context(), design.tspec());
+  const dvs::NodeId victim = design.network().outputs()[0].driver;
+  bool low = false;
+  for (auto _ : state) {
+    low = !low;
+    design.set_level(victim,
+                     low ? dvs::VddLevel::kLow : dvs::VddLevel::kHigh);
+    timer.on_node_changed(victim);
+    benchmark::DoNotOptimize(timer.result().worst_arrival);
+  }
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_IncrementalFlip)->DenseRange(0, 5);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json` is shorthand for google-benchmark's JSON reporter, kept
+  // stable here so CI and future PRs can diff per-algorithm wall-clock.
+  std::vector<char*> args(argv, argv + argc);
+  static char json_flag[] = "--benchmark_format=json";
+  for (char*& arg : args)
+    if (std::strcmp(arg, "--json") == 0) arg = json_flag;
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The parallel suite engine's driver: runs the MCNC x {CVS, Dscale,
+// Gscale} matrix across a work-stealing pool, prints the paper's Table 1
+// and Table 2 over the aggregated rows, and writes the machine-readable
+// BENCH_suite.json (schema documented in README.md).
+//
+//   $ ./suite_bench                      # all 39 circuits, all cores
+//   $ ./suite_bench --threads 1          # serial reference run
+//   $ ./suite_bench --quick --json q.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "benchgen/mcnc.hpp"
+#include "core/suite.hpp"
+
+int main(int argc, char** argv) {
+  dvs::SuiteOptions options;
+  std::string json_path = "BENCH_suite.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--threads")
+      options.num_threads = std::atoi(value());
+    else if (flag == "--json")
+      json_path = value();
+    else if (flag == "--quick")
+      options.max_gates = 300;
+    else if (flag == "--max-gates")
+      options.max_gates = std::atoi(value());
+    else if (flag == "--circuit")
+      options.circuits.push_back(value());
+    else if (flag == "--seed")
+      options.seed = std::strtoull(value(), nullptr, 0);
+    else if (flag == "--vectors")
+      options.flow.activity.num_vectors = std::atoi(value());
+    else {
+      std::fprintf(stderr,
+                   "usage: suite_bench [--threads N] [--json FILE] "
+                   "[--quick | --max-gates N] [--circuit NAME]... "
+                   "[--seed S] [--vectors N]\n");
+      return 1;
+    }
+  }
+
+  for (const std::string& name : options.circuits) {
+    if (dvs::find_mcnc(name) == nullptr) {
+      std::fprintf(stderr, "unknown circuit '%s'; known:", name.c_str());
+      for (const dvs::McncDescriptor& d : dvs::mcnc_suite())
+        std::fprintf(stderr, " %s", d.name);
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+  }
+
+  const dvs::SuiteReport report = dvs::run_suite(options);
+  std::fputs(report.table1().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(report.table2().c_str(), stdout);
+  std::printf("\n%zu circuits on %d threads in %.2fs -> %s\n",
+              report.rows.size(), report.num_threads, report.wall_seconds,
+              json_path.c_str());
+  try {
+    dvs::write_suite_json(report, json_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "graph/reachability.hpp"
 #include "support/contracts.hpp"
 #include "support/units.hpp"
+#include "timing/incremental.hpp"
 #include "timing/loads.hpp"
 
 namespace dvs {
@@ -43,12 +44,7 @@ LoweringEffect evaluate_lowering(const Design& design, const StaResult& sta,
   double lc_pins = 0.0;
   int direct_count = 0;
   int lc_count = 0;
-  for (std::size_t k = 0; k < gate.fanouts.size(); ++k) {
-    const NodeId fo = gate.fanouts[k];
-    bool seen_before = false;  // multi-pin sinks appear once per pin
-    for (std::size_t j = 0; j < k; ++j)
-      if (gate.fanouts[j] == fo) seen_before = true;
-    if (seen_before) continue;
+  for_each_unique_fanout(gate, [&](NodeId fo) {
     const Node& sink = net.node(fo);
     for (std::size_t pin = 0; pin < sink.fanins.size(); ++pin) {
       if (sink.fanins[pin] != id) continue;
@@ -63,7 +59,7 @@ LoweringEffect evaluate_lowering(const Design& design, const StaResult& sta,
         ++direct_count;
       }
     }
-  }
+  });
   for (const OutputPort& port : net.outputs()) {
     if (port.driver == id) {
       direct_pins += 25.0;  // keep in sync with TimingContext default
@@ -147,9 +143,10 @@ struct Candidate {
 
 /// Raises low->high boundary drivers back to vdd_high while doing so
 /// reduces total power.  Raising a gate speeds it up, but a converter can
-/// migrate onto a still-low fanin, so timing is re-verified per raise;
-/// the fixpoint loop then reconsiders the migrated boundary.
-int trim_unprofitable_boundary(Design& design) {
+/// migrate onto a still-low fanin, so timing is re-verified per raise
+/// (incrementally: each trial touches one gate's neighborhood); the
+/// fixpoint loop then reconsiders the migrated boundary.
+int trim_unprofitable_boundary(Design& design, IncrementalSta& timer) {
   int raised_total = 0;
   double power = design.run_power().total();
   for (bool changed = true; changed;) {
@@ -160,14 +157,16 @@ int trim_unprofitable_boundary(Design& design) {
     });
     for (NodeId id : boundary) {
       design.set_level(id, VddLevel::kHigh);
+      timer.on_node_changed(id);
       const double trial = design.run_power().total();
       if (trial < power - 1e-12 &&
-          design.run_timing().meets_constraint(1e-9)) {
+          timer.result().meets_constraint(1e-9)) {
         power = trial;
         ++raised_total;
         changed = true;
       } else {
         design.set_level(id, VddLevel::kLow);
+        timer.on_node_changed(id);
       }
     }
   }
@@ -176,23 +175,28 @@ int trim_unprofitable_boundary(Design& design) {
 
 /// Lowers the selected gates, then verifies the constraint and reverts the
 /// cheapest members if the conservative per-candidate model missed a
-/// second-order interaction (e.g. a fanin's converter losing load).
-int commit_with_repair(Design& design, std::vector<Candidate> selected) {
+/// second-order interaction (e.g. a fanin's converter losing load).  The
+/// incremental timer makes each commit/revert O(affected) instead of a
+/// full re-analysis.
+int commit_with_repair(Design& design, IncrementalSta& timer,
+                       std::vector<Candidate> selected) {
   if (selected.empty()) return 0;
-  for (const Candidate& c : selected)
+  for (const Candidate& c : selected) {
     design.set_level(c.id, VddLevel::kLow);
+    timer.on_node_changed(c.id);
+  }
   std::sort(selected.begin(), selected.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.gain < b.gain;
             });
-  StaResult sta = design.run_timing();
   std::size_t reverted = 0;
-  while (!sta.meets_constraint(1e-9) && reverted < selected.size()) {
+  while (!timer.result().meets_constraint(1e-9) &&
+         reverted < selected.size()) {
     design.set_level(selected[reverted].id, VddLevel::kHigh);
+    timer.on_node_changed(selected[reverted].id);
     ++reverted;
-    sta = design.run_timing();
   }
-  DVS_ASSERT(sta.meets_constraint(1e-6));
+  DVS_ASSERT(timer.result().meets_constraint(1e-6));
   return static_cast<int>(selected.size() - reverted);
 }
 
@@ -206,10 +210,15 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
   const Network& net = design.network();
   const Activity& activity = design.activity();
 
+  // One incremental timer lives across all rounds: candidate collection
+  // reads its current state, and every commit/revert/trim below notifies
+  // it instead of re-running the full STA.
+  IncrementalSta timer(design.timing_context(), design.tspec());
+
   for (;;) {
     if (options.max_rounds > 0 && result.rounds >= options.max_rounds)
       break;
-    const StaResult sta = design.run_timing();
+    const StaResult& sta = timer.result();
 
     // getSlkSet + check_timing + weight_with_power_gain, fused: collect
     // every high gate whose lowering fits its slack with positive gain.
@@ -259,12 +268,13 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
         if (independent) selected.push_back(c);
       }
     }
-    const int committed = commit_with_repair(design, std::move(selected));
+    const int committed =
+        commit_with_repair(design, timer, std::move(selected));
     result.mwis_lowered += committed;
     if (committed == 0) break;  // nothing stuck: avoid spinning
   }
   if (options.trim_unprofitable)
-    result.mwis_lowered -= trim_unprofitable_boundary(design);
+    result.mwis_lowered -= trim_unprofitable_boundary(design, timer);
   return result;
 }
 

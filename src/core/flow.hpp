@@ -55,6 +55,22 @@ struct CircuitRunResult {
   }
 };
 
+/// The three optimization algorithms of the paper, as enumerable steps so
+/// drivers (and the parallel suite engine) can run any matrix cell alone.
+enum class PaperAlgo { kCvs, kDscale, kGscale };
+
+/// Fills the shared columns of a row: name, gate count, the timing
+/// constraint frozen at the mapped delay, and the original (all-high)
+/// power.  Every algorithm cell of the matrix starts from this state.
+void init_flow_row(const Network& mapped, const Library& lib,
+                   const FlowOptions& options, CircuitRunResult* row);
+
+/// Runs one algorithm from a fresh copy of the mapped circuit and fills
+/// its columns of `row` (expects `init_flow_row` to have run on `row`).
+void run_flow_algo(const Network& mapped, const Library& lib,
+                   const FlowOptions& options, PaperAlgo algo,
+                   CircuitRunResult* row);
+
 /// Runs the full paper flow on one mapped circuit.
 CircuitRunResult run_paper_flow(const Network& mapped, const Library& lib,
                                 const FlowOptions& options = {});

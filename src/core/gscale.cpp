@@ -7,6 +7,7 @@
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 #include "timing/cpn.hpp"
+#include "timing/incremental.hpp"
 #include "timing/tcb.hpp"
 
 namespace dvs {
@@ -42,15 +43,18 @@ int apply_cut_resizes(Design& design, const StaResult& sta,
             [](const AppliedResize& a, const AppliedResize& b) {
               return a.delay_gain < b.delay_gain;
             });
-  StaResult check = design.run_timing();
+  // One full analysis of the post-resize state; each revert then only
+  // re-times the reverted gate's neighborhood.
+  IncrementalSta timer(design.timing_context(), design.tspec());
   std::size_t reverted = 0;
-  while (!check.meets_constraint(1e-9) && reverted < applied.size()) {
+  while (!timer.result().meets_constraint(1e-9) &&
+         reverted < applied.size()) {
     design.network().set_cell(applied[reverted].id,
                               applied[reverted].old_cell);
+    timer.on_node_changed(applied[reverted].id);
     ++reverted;
-    check = design.run_timing();
   }
-  DVS_ASSERT(check.meets_constraint(1e-6));
+  DVS_ASSERT(timer.result().meets_constraint(1e-6));
   *area_used = design.total_area();
   return static_cast<int>(applied.size() - reverted);
 }

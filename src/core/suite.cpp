@@ -1,0 +1,208 @@
+#include "core/suite.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "benchgen/mcnc.hpp"
+#include "core/report.hpp"
+#include "library/library.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dvs {
+
+namespace {
+
+/// One cell of the circuit x algorithm matrix.
+struct SuiteTask {
+  int row_index;
+  const McncDescriptor* descriptor;
+  PaperAlgo algo;
+};
+
+/// Per-task flow options: every seed is a pure function of (suite seed,
+/// circuit seed, algorithm), never of scheduling order.
+FlowOptions task_options(const SuiteOptions& options,
+                         const McncDescriptor& d, PaperAlgo algo) {
+  FlowOptions flow = options.flow;
+  const std::uint64_t circuit_seed = mix_seed(options.seed, d.seed);
+  // Activity is shared by all three algorithm cells of a circuit (they
+  // must measure improvement against the same original power), so it is
+  // mixed from the circuit alone.
+  flow.activity.seed = circuit_seed;
+  flow.gscale.random_cut_seed =
+      mix_seed(circuit_seed, static_cast<std::uint64_t>(algo) + 1);
+  return flow;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+SuiteReport run_suite(const SuiteOptions& options, const Library* lib) {
+  std::optional<Library> fallback;
+  if (lib == nullptr) lib = &fallback.emplace(build_compass_library());
+
+  // ---- select circuits --------------------------------------------------
+  std::vector<const McncDescriptor*> selected;
+  if (options.circuits.empty()) {
+    for (const McncDescriptor& d : mcnc_suite()) selected.push_back(&d);
+  } else {
+    for (const std::string& name : options.circuits) {
+      const McncDescriptor* d = find_mcnc(name);
+      DVS_EXPECTS(d != nullptr);
+      selected.push_back(d);
+    }
+  }
+  if (options.max_gates > 0) {
+    std::erase_if(selected, [&](const McncDescriptor* d) {
+      return d->gates > options.max_gates;
+    });
+  }
+
+  SuiteReport report;
+  report.vdd_high = lib->vdd_high();
+  report.vdd_low = lib->vdd_low();
+  report.rows.resize(selected.size());
+  report.papers.reserve(selected.size());
+  for (const McncDescriptor* d : selected) report.papers.emplace_back(d->paper);
+
+  // ---- build the task matrix --------------------------------------------
+  std::vector<SuiteTask> tasks;
+  for (int i = 0; i < static_cast<int>(selected.size()); ++i) {
+    if (options.run_cvs) tasks.push_back({i, selected[i], PaperAlgo::kCvs});
+    if (options.run_dscale)
+      tasks.push_back({i, selected[i], PaperAlgo::kDscale});
+    if (options.run_gscale)
+      tasks.push_back({i, selected[i], PaperAlgo::kGscale});
+  }
+
+  // Shared columns (tspec, original power) are deterministic per circuit,
+  // so every cell recomputes them into a private row and the merge below
+  // just copies its algorithm columns; no cross-task state exists.
+  std::vector<CircuitRunResult> cells(tasks.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  ThreadPool pool(options.num_threads);
+  report.num_threads = pool.num_threads();
+  pool.parallel_for(static_cast<int>(tasks.size()), [&](int t) {
+    const SuiteTask& task = tasks[t];
+    const FlowOptions flow =
+        task_options(options, *task.descriptor, task.algo);
+    const Network net = build_mcnc_circuit(*lib, *task.descriptor);
+    init_flow_row(net, *lib, flow, &cells[t]);
+    run_flow_algo(net, *lib, flow, task.algo, &cells[t]);
+  });
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+  // ---- merge the cells into per-circuit rows ----------------------------
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const SuiteTask& task = tasks[t];
+    CircuitRunResult& row = report.rows[task.row_index];
+    const CircuitRunResult& cell = cells[t];
+    if (row.name.empty()) {
+      row.name = cell.name;
+      row.num_gates = cell.num_gates;
+      row.tspec_ns = cell.tspec_ns;
+      row.org_power_uw = cell.org_power_uw;
+    } else {
+      // The shared columns are seed-determined; any divergence means a
+      // task depended on scheduling, which breaks the whole contract.
+      DVS_ASSERT(row.tspec_ns == cell.tspec_ns &&
+                 row.org_power_uw == cell.org_power_uw);
+    }
+    switch (task.algo) {
+      case PaperAlgo::kCvs:
+        row.cvs_low = cell.cvs_low;
+        row.cvs_improve_pct = cell.cvs_improve_pct;
+        break;
+      case PaperAlgo::kDscale:
+        row.dscale_low = cell.dscale_low;
+        row.dscale_lcs = cell.dscale_lcs;
+        row.dscale_improve_pct = cell.dscale_improve_pct;
+        break;
+      case PaperAlgo::kGscale:
+        row.gscale_low = cell.gscale_low;
+        row.gscale_resized = cell.gscale_resized;
+        row.gscale_area_increase = cell.gscale_area_increase;
+        row.gscale_improve_pct = cell.gscale_improve_pct;
+        row.gscale_seconds = cell.gscale_seconds;
+        break;
+    }
+  }
+  return report;
+}
+
+std::string SuiteReport::table1() const {
+  std::string out = format_table1_header();
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    out += format_table1_row(rows[i], papers[i]);
+  out += format_table1_footer(rows, papers);
+  return out;
+}
+
+std::string SuiteReport::table2() const {
+  std::string out = format_table2_header();
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    out += format_table2_row(rows[i], papers[i]);
+  out += format_table2_footer(rows, papers);
+  return out;
+}
+
+std::string SuiteReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"dvs-bench-suite-v1\",\n";
+  out << "  \"vdd_high\": " << num(vdd_high) << ",\n";
+  out << "  \"vdd_low\": " << num(vdd_low) << ",\n";
+  out << "  \"num_threads\": " << num_threads << ",\n";
+  out << "  \"wall_seconds\": " << num(wall_seconds) << ",\n";
+  out << "  \"circuits\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CircuitRunResult& r = rows[i];
+    out << "    {\"name\": \"" << json_escape(r.name) << "\""
+        << ", \"gates\": " << r.num_gates
+        << ", \"tspec_ns\": " << num(r.tspec_ns)
+        << ", \"org_power_uw\": " << num(r.org_power_uw) << ",\n";
+    out << "     \"cvs\": {\"improve_pct\": " << num(r.cvs_improve_pct)
+        << ", \"low\": " << r.cvs_low << "},\n";
+    out << "     \"dscale\": {\"improve_pct\": "
+        << num(r.dscale_improve_pct) << ", \"low\": " << r.dscale_low
+        << ", \"level_converters\": " << r.dscale_lcs << "},\n";
+    out << "     \"gscale\": {\"improve_pct\": "
+        << num(r.gscale_improve_pct) << ", \"low\": " << r.gscale_low
+        << ", \"resized\": " << r.gscale_resized
+        << ", \"area_increase\": " << num(r.gscale_area_increase)
+        << ", \"seconds\": " << num(r.gscale_seconds) << "}}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+void write_suite_json(const SuiteReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write suite JSON: " + path);
+  out << report.to_json();
+}
+
+}  // namespace dvs

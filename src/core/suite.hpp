@@ -1,0 +1,63 @@
+// Parallel benchmark-suite engine: fans the full MCNC suite x
+// {CVS, Dscale, Gscale} matrix across a work-stealing thread pool and
+// aggregates the per-circuit rows into the paper's Table 1 / Table 2
+// reports plus a machine-readable JSON document (BENCH_suite.json).
+//
+// Every matrix cell is an independent task that rebuilds its circuit and
+// derives every RNG seed deterministically from (suite seed, circuit
+// seed, algorithm), so results are bit-identical regardless of thread
+// count or scheduling — `num_threads = 1` is the serial reference path
+// and N-thread runs must reproduce it exactly (suite_test.cpp holds the
+// engine to that).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "support/paper_ref.hpp"
+
+namespace dvs {
+
+struct SuiteOptions {
+  /// Base flow configuration; per-task seeds are derived on top of it.
+  FlowOptions flow;
+  /// Circuits to run (MCNC names); empty = the full 39-circuit suite.
+  std::vector<std::string> circuits;
+  /// Skip circuits with more gates than this (0 = run everything).
+  int max_gates = 0;
+  /// Algorithms to run; all three by default.
+  bool run_cvs = true;
+  bool run_dscale = true;
+  bool run_gscale = true;
+  /// Worker threads (1 = serial reference, 0 = hardware concurrency).
+  int num_threads = 0;
+  /// Root seed every per-task seed is mixed from.
+  std::uint64_t seed = 0x5eed;
+};
+
+struct SuiteReport {
+  std::vector<CircuitRunResult> rows;  // suite order, one per circuit
+  std::vector<std::optional<PaperRow>> papers;  // aligned with rows
+  double vdd_high = 0.0;
+  double vdd_low = 0.0;
+  int num_threads = 0;
+  double wall_seconds = 0.0;
+
+  /// Paper-layout tables over the aggregated rows.
+  std::string table1() const;
+  std::string table2() const;
+  /// The BENCH_suite.json document (schema "dvs-bench-suite-v1"; see
+  /// README.md for the field list).
+  std::string to_json() const;
+};
+
+/// Runs the matrix.  `lib` defaults to the compass library at the
+/// paper's (5.0V, 4.3V) when null.
+SuiteReport run_suite(const SuiteOptions& options = {},
+                      const Library* lib = nullptr);
+
+void write_suite_json(const SuiteReport& report, const std::string& path);
+
+}  // namespace dvs

@@ -13,6 +13,7 @@
 // function on the node keeps simulation independent of the library.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -70,6 +71,31 @@ struct Node {
   bool is_input() const { return kind == NodeKind::kInput; }
   bool is_constant() const { return kind == NodeKind::kConstant; }
 };
+
+/// Invokes `fn(NodeId)` once per *distinct* fanout of `node`.  A sink
+/// reading the node on several pins appears once per pin in the fanout
+/// list; load/timing walks must visit it once and then scan all of its
+/// pins.  Small lists use an in-place scan; large ones sort a scratch
+/// copy, so a k-pin fanout costs O(k log k) instead of O(k^2).  Every
+/// caller sees the same visit order, keeping float accumulation across
+/// the full and incremental analyses bit-identical.
+template <typename Fn>
+void for_each_unique_fanout(const Node& node, Fn&& fn) {
+  const std::vector<NodeId>& fo = node.fanouts;
+  if (fo.size() <= 16) {
+    for (std::size_t k = 0; k < fo.size(); ++k) {
+      bool seen_before = false;
+      for (std::size_t j = 0; j < k && !seen_before; ++j)
+        seen_before = fo[j] == fo[k];
+      if (!seen_before) fn(fo[k]);
+    }
+    return;
+  }
+  std::vector<NodeId> uniq(fo.begin(), fo.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  for (NodeId v : uniq) fn(v);
+}
 
 /// A named primary output port and the node that drives it.
 struct OutputPort {

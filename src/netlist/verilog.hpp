@@ -7,6 +7,7 @@
 // uniquified.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "library/library.hpp"
@@ -20,5 +21,26 @@ std::string write_verilog_string(const Network& net, const Library& lib);
 
 void write_verilog_file(const Network& net, const Library& lib,
                         const std::string& path);
+
+class VerilogError : public std::runtime_error {
+ public:
+  explicit VerilogError(const std::string& message)
+      : std::runtime_error("verilog: " + message) {}
+};
+
+/// Parses the structural subset `write_verilog_string` emits back into a
+/// Network: module header, input/output/wire declarations, library-cell
+/// instances (restored to mapped gates through `lib`), constant and
+/// sum-of-products `assign`s, and output-port aliases.  This closes the
+/// BLIF -> Verilog -> BLIF round trip; anything outside the subset (no
+/// behavioral constructs, no vectors, one module) throws VerilogError.
+///
+/// Known lossy corner: an *unmapped* gate whose function ignores one of
+/// its fanins emits no literal for it, so the read-back gate drops that
+/// fanin (and its driver loses the pin load).  Mapped instances and the
+/// BLIF path keep such fanins; the synthesis flow never produces them.
+Network read_verilog_string(const std::string& text, const Library& lib);
+
+Network read_verilog_file(const std::string& path, const Library& lib);
 
 }  // namespace dvs

@@ -61,4 +61,11 @@ int Rng::next_int(int lo, int hi) {
                   static_cast<std::uint64_t>(hi - lo) + 1));
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Offsetting by (stream + 1) golden-ratio steps keeps mix_seed(s, 0)
+  // distinct from splitmix64's own first output for seed s.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * stream;
+  return splitmix64(x);
+}
+
 }  // namespace dvs

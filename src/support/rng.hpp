@@ -35,4 +35,9 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derives one deterministic child seed from a (parent seed, stream)
+/// pair via the splitmix64 finalizer — the canonical way this library
+/// keys independent RNG streams (per benchmark circuit, per suite task).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace dvs

@@ -58,12 +58,7 @@ bool IncrementalSta::recompute_load(NodeId id) {
   double direct = 0.0, lc = 0.0;
   int direct_count = 0, lc_count = 0;
   const Node& u = net.node(id);
-  for (std::size_t k = 0; k < u.fanouts.size(); ++k) {
-    const NodeId vid = u.fanouts[k];
-    bool seen_before = false;  // multi-pin sinks appear once per pin
-    for (std::size_t j = 0; j < k; ++j)
-      if (u.fanouts[j] == vid) seen_before = true;
-    if (seen_before) continue;
+  for_each_unique_fanout(u, [&](NodeId vid) {
     const Node& v = net.node(vid);
     for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
       if (v.fanins[pin] != id) continue;
@@ -78,7 +73,7 @@ bool IncrementalSta::recompute_load(NodeId id) {
         ++direct_count;
       }
     }
-  }
+  });
   for (const OutputPort& port : net.outputs()) {
     if (port.driver == id) {
       direct += ctx_.output_port_load;

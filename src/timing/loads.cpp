@@ -33,14 +33,7 @@ NodeLoads compute_loads(const LoadContext& ctx) {
   std::vector<int> direct_count(n, 0);
 
   net.for_each_node([&](const Node& u) {
-    for (std::size_t k = 0; k < u.fanouts.size(); ++k) {
-      const NodeId vid = u.fanouts[k];
-      // A sink reading this driver on several pins appears once per pin
-      // in the fanout list; visit it only once and walk all of its pins.
-      bool seen_before = false;
-      for (std::size_t j = 0; j < k; ++j)
-        if (u.fanouts[j] == vid) seen_before = true;
-      if (seen_before) continue;
+    for_each_unique_fanout(u, [&](NodeId vid) {
       const Node& v = net.node(vid);
       for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
         if (v.fanins[pin] != u.id) continue;
@@ -53,7 +46,7 @@ NodeLoads compute_loads(const LoadContext& ctx) {
           ++direct_count[u.id];
         }
       }
-    }
+    });
   });
   for (const OutputPort& port : net.outputs()) {
     loads.direct[port.driver] += ctx.output_port_load;

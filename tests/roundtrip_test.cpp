@@ -1,0 +1,117 @@
+// BLIF -> Verilog -> BLIF round-trip golden tests over MCNC circuits:
+// every format hop must preserve gate count, the structural topology
+// hash, the STA delay, and (checked by bit-parallel simulation) the
+// functional behavior of the circuit.
+//
+// Stages: the mapped circuit round-trips through structural Verilog with
+// its cell binding intact; the BLIF hops operate at function level (BLIF
+// .names carries no cell binding) and must be a fixpoint after the first
+// normalization pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "benchgen/mcnc.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/topo.hpp"
+#include "netlist/verilog.hpp"
+#include "sim/bitsim.hpp"
+#include "support/rng.hpp"
+#include "timing/sta.hpp"
+
+namespace dvs {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Structural topology hash: name- and id-independent, insensitive to
+/// fanin permutation (a commutative combine), sensitive to depth, fanin
+/// counts, node kinds, and output-port order.
+std::uint64_t topology_hash(const Network& net) {
+  std::vector<std::uint64_t> h(net.size(), 0);
+  for (NodeId id : topo_order(net)) {
+    const Node& n = net.node(id);
+    std::uint64_t combined = 0;
+    for (NodeId f : n.fanins)
+      combined += h[f] * 0x100000001b3ULL;  // commutative (sum)
+    std::uint64_t base = mix(static_cast<std::uint64_t>(n.kind) + 1,
+                             n.fanins.size());
+    h[n.id] = mix(base, combined);
+  }
+  std::uint64_t out = 0;
+  for (const OutputPort& port : net.outputs())
+    out = mix(out, h[port.driver]);
+  return out;
+}
+
+/// Output-port words from simulating 64 random patterns.
+std::vector<std::uint64_t> simulate_ports(const Network& net, Rng rng) {
+  BitSimulator sim(net);
+  std::vector<std::uint64_t> inputs(net.inputs().size());
+  for (auto& w : inputs) w = rng.next_u64();
+  const std::vector<std::uint64_t> values = sim.simulate(inputs);
+  std::vector<std::uint64_t> out;
+  for (const OutputPort& port : net.outputs())
+    out.push_back(values[port.driver]);
+  return out;
+}
+
+double sta_delay(const Network& net, const Library& lib) {
+  return run_sta(net, lib, -1.0).worst_arrival;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Library lib_ = build_compass_library();
+};
+
+TEST_P(RoundTripTest, VerilogPreservesTheMappedCircuitExactly) {
+  const McncDescriptor* d = find_mcnc(GetParam());
+  ASSERT_NE(d, nullptr);
+  const Network net0 = build_mcnc_circuit(lib_, *d);
+
+  const Network net1 =
+      read_verilog_string(write_verilog_string(net0, lib_), lib_);
+  EXPECT_EQ(net1.num_gates(), net0.num_gates());
+  EXPECT_EQ(net1.inputs().size(), net0.inputs().size());
+  EXPECT_EQ(net1.outputs().size(), net0.outputs().size());
+  EXPECT_EQ(topology_hash(net1), topology_hash(net0));
+  // Cell bindings survive, so the mapped delay is bit-identical.
+  EXPECT_EQ(sta_delay(net1, lib_), sta_delay(net0, lib_));
+  EXPECT_EQ(simulate_ports(net1, Rng(7)), simulate_ports(net0, Rng(7)));
+}
+
+TEST_P(RoundTripTest, BlifVerilogBlifIsAFixpointAfterNormalization) {
+  const McncDescriptor* d = find_mcnc(GetParam());
+  ASSERT_NE(d, nullptr);
+  const Network net0 = build_mcnc_circuit(lib_, *d);
+
+  // First BLIF hop normalizes (port-alias buffers appear, cell binding
+  // drops to function level) ...
+  const Network netA = read_blif_string(write_blif_string(net0));
+  // ... then BLIF -> Verilog -> BLIF must preserve everything.
+  const Network netB =
+      read_verilog_string(write_verilog_string(netA, lib_), lib_);
+  const Network netC = read_blif_string(write_blif_string(netB));
+
+  for (const Network* stage : {&netB, &netC}) {
+    EXPECT_EQ(stage->num_gates(), netA.num_gates());
+    EXPECT_EQ(stage->inputs().size(), netA.inputs().size());
+    EXPECT_EQ(stage->outputs().size(), netA.outputs().size());
+    EXPECT_EQ(topology_hash(*stage), topology_hash(netA));
+    EXPECT_NEAR(sta_delay(*stage, lib_), sta_delay(netA, lib_), 1e-9);
+    EXPECT_EQ(simulate_ports(*stage, Rng(11)), simulate_ports(netA, Rng(11)));
+  }
+
+  // Functional behavior also survives the lossy first hop.
+  EXPECT_EQ(simulate_ports(netA, Rng(13)), simulate_ports(net0, Rng(13)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Mcnc, RoundTripTest,
+                         ::testing::Values("x2", "b9", "C432"));
+
+}  // namespace
+}  // namespace dvs
