@@ -145,8 +145,21 @@ int main(int argc, char** argv) {
   // stable here so CI and future PRs can diff per-algorithm wall-clock.
   std::vector<char*> args(argv, argv + argc);
   static char json_flag[] = "--benchmark_format=json";
-  for (char*& arg : args)
+  for (char*& arg : args) {
     if (std::strcmp(arg, "--json") == 0) arg = json_flag;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::fputs(
+          "usage: perf_engines [--json] [google-benchmark flags]\n"
+          "\n"
+          "Engine microbenchmarks (STA, activity estimation, antichain\n"
+          "max-flow, CVS/Dscale/Gscale, incremental-STA flips) over MCNC\n"
+          "stand-ins.  --json = --benchmark_format=json; everything else\n"
+          "is passed to google-benchmark (--benchmark_filter=REGEX,\n"
+          "--benchmark_min_time=T, ...).  Unknown flags exit non-zero.\n",
+          stdout);
+      return 0;
+    }
+  }
   int adjusted_argc = static_cast<int>(args.size());
   benchmark::Initialize(&adjusted_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data()))

@@ -1,0 +1,382 @@
+// service_bench — drives an in-process dvsd service with N concurrent
+// TCP clients over the MCNC suite and measures what the
+// optimization-as-a-service layer adds: requests/sec under concurrency,
+// cold-path vs cache-hit latency, and protocol/report fidelity.
+//
+// Phases:
+//   1. serial reference  — run_suite(threads=1), the ground truth rows
+//   2. cold              — one client, every circuit once (all misses)
+//   3. concurrent hits   — N clients x every circuit (all hits)
+//   4. hit latency       — one client, every circuit (clean hit timing)
+//   5. batch             — one `batch` request streaming the whole list
+//
+// Every response's report is compared field-for-field (modulo the
+// gscale wall-clock column) against the serial suite row; any mismatch,
+// failed request, or a cache-hit speedup below 10x fails the run (the
+// ISSUE 2 acceptance bar) unless --no-check.
+//
+//   $ ./service_bench --clients 8 --max-gates 300 --json BENCH_service.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/mcnc.hpp"
+#include "core/suite.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+
+namespace {
+
+struct BenchOptions {
+  int clients = 8;
+  int max_gates = 300;
+  int server_threads = 0;
+  std::uint64_t seed = 0x5eed;
+  int vectors = 4096;
+  std::string json_path = "BENCH_service.json";
+  bool check = true;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: service_bench [--clients N] [--max-gates N] [--threads N]\n"
+      "                     [--seed S] [--vectors N] [--json FILE]\n"
+      "                     [--no-check]\n"
+      "\n"
+      "Boots an in-process dvsd, fans N concurrent clients over the MCNC\n"
+      "circuits with <= max-gates gates, verifies every report against\n"
+      "the serial suite engine, and writes BENCH_service.json.\n"
+      "--no-check reports instead of failing on mismatch/speedup.\n",
+      out);
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Canonical comparison form of a report object: the gscale seconds
+/// column is wall clock and legitimately differs run to run.
+std::string comparable(dvs::Json report) {
+  auto& object = report.as_object();
+  if (auto it = object.find("gscale"); it != object.end())
+    it->second.as_object()["seconds"] = dvs::Json(0.0);
+  return report.dump();
+}
+
+struct Tally {
+  std::vector<double> latencies_ms;
+  int requests = 0;
+  int failures = 0;
+  int mismatches = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+
+  void merge(const Tally& other) {
+    latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
+                        other.latencies_ms.end());
+    requests += other.requests;
+    failures += other.failures;
+    mismatches += other.mismatches;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+  }
+
+  double mean_ms() const {
+    if (latencies_ms.empty()) return 0.0;
+    double sum = 0;
+    for (double v : latencies_ms) sum += v;
+    return sum / static_cast<double>(latencies_ms.size());
+  }
+};
+
+/// One client connection submitting `circuits` one at a time.
+Tally run_client(int port, const BenchOptions& options,
+                 const std::vector<std::string>& circuits,
+                 const std::vector<std::string>& expected) {
+  Tally tally;
+  try {
+    dvs::Socket socket = dvs::Socket::connect_tcp("127.0.0.1", port);
+    dvs::LineReader reader(&socket, 64u << 20);
+    for (std::size_t i = 0; i < circuits.size(); ++i) {
+      dvs::Json::Object request;
+      request["type"] = dvs::Json("optimize");
+      request["circuit"] = dvs::Json(circuits[i]);
+      dvs::Json::Object opts;
+      opts["seed"] = dvs::Json(options.seed);
+      opts["vectors"] = dvs::Json(options.vectors);
+      request["options"] = dvs::Json(std::move(opts));
+      const auto start = std::chrono::steady_clock::now();
+      socket.send_all(dvs::Json(std::move(request)).dump() + "\n");
+      std::string line;
+      ++tally.requests;
+      if (!reader.read_line(&line)) {
+        ++tally.failures;
+        break;
+      }
+      tally.latencies_ms.push_back(ms_since(start));
+      const dvs::Json response = dvs::Json::parse(line);
+      const dvs::Json* type = response.find("type");
+      if (!type || type->as_string() != "result") {
+        ++tally.failures;
+        continue;
+      }
+      if (response.find("cache")->as_string() == "hit")
+        ++tally.cache_hits;
+      else
+        ++tally.cache_misses;
+      if (comparable(*response.find("report")) != expected[i])
+        ++tally.mismatches;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "client error: %s\n", e.what());
+    ++tally.failures;
+  }
+  return tally;
+}
+
+Tally run_clients(int num_clients, int port, const BenchOptions& options,
+                  const std::vector<std::vector<std::string>>& per_client,
+                  const std::vector<std::vector<std::string>>& expected) {
+  std::vector<Tally> tallies(per_client.size());
+  std::vector<std::thread> threads;
+  threads.reserve(per_client.size());
+  for (std::size_t c = 0; c < per_client.size(); ++c)
+    threads.emplace_back([&, c] {
+      tallies[c] = run_client(port, options, per_client[c], expected[c]);
+    });
+  for (std::thread& t : threads) t.join();
+  Tally total;
+  for (const Tally& t : tallies) total.merge(t);
+  (void)num_clients;
+  return total;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--clients")
+      options.clients = std::atoi(value());
+    else if (flag == "--max-gates")
+      options.max_gates = std::atoi(value());
+    else if (flag == "--threads")
+      options.server_threads = std::atoi(value());
+    else if (flag == "--seed")
+      options.seed = std::strtoull(value(), nullptr, 0);
+    else if (flag == "--vectors")
+      options.vectors = std::atoi(value());
+    else if (flag == "--json")
+      options.json_path = value();
+    else if (flag == "--no-check")
+      options.check = false;
+    else if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "service_bench: unknown flag '%s'\n",
+                   flag.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (options.clients < 1) {
+    std::fprintf(stderr, "service_bench: --clients must be >= 1\n");
+    return 1;
+  }
+
+  // ---- phase 1: the serial ground truth --------------------------------
+  dvs::SuiteOptions suite;
+  suite.max_gates = options.max_gates;
+  suite.num_threads = 1;
+  suite.seed = options.seed;
+  suite.flow.activity.num_vectors = options.vectors;
+  const auto serial_start = std::chrono::steady_clock::now();
+  const dvs::SuiteReport reference = dvs::run_suite(suite);
+  const double serial_ms = ms_since(serial_start);
+
+  std::vector<std::string> circuits;
+  std::vector<std::string> expected;
+  for (const dvs::CircuitRunResult& row : reference.rows) {
+    circuits.push_back(row.name);
+    expected.push_back(comparable(dvs::report_json(row, true, true, true)));
+  }
+  std::printf("service_bench: %zu circuits (<= %d gates), serial "
+              "reference %.0f ms\n",
+              circuits.size(), options.max_gates, serial_ms);
+  if (circuits.empty()) {
+    std::fprintf(stderr, "service_bench: no circuits selected\n");
+    return 1;
+  }
+
+  // ---- boot the daemon --------------------------------------------------
+  dvs::ServiceConfig config;
+  config.tcp_port = 0;
+  config.num_threads = options.server_threads;
+  dvs::Service service(config);
+  service.start();
+  const int port = service.port();
+
+  // ---- phase 2: cold, one client (every request a miss) ----------------
+  const Tally cold =
+      run_clients(1, port, options, {circuits}, {expected});
+
+  // ---- phase 3: N concurrent clients, every circuit (all hits) ---------
+  std::vector<std::vector<std::string>> all_circuits(
+      static_cast<std::size_t>(options.clients), circuits);
+  std::vector<std::vector<std::string>> all_expected(
+      static_cast<std::size_t>(options.clients), expected);
+  const auto concurrent_start = std::chrono::steady_clock::now();
+  const Tally concurrent = run_clients(options.clients, port, options,
+                                       all_circuits, all_expected);
+  const double concurrent_ms = ms_since(concurrent_start);
+
+  // ---- phase 4: clean hit latency, one client ---------------------------
+  const Tally hits =
+      run_clients(1, port, options, {circuits}, {expected});
+
+  // ---- phase 5: one batch request over the whole list -------------------
+  int batch_failures = 0;
+  int batch_mismatches = 0;
+  double batch_ms = 0;
+  try {
+    dvs::Socket socket = dvs::Socket::connect_tcp("127.0.0.1", port);
+    dvs::Json::Object request;
+    request["type"] = dvs::Json("batch");
+    dvs::Json::Array names;
+    for (const std::string& c : circuits) names.emplace_back(c);
+    request["circuits"] = dvs::Json(std::move(names));
+    dvs::Json::Object opts;
+    opts["seed"] = dvs::Json(options.seed);
+    opts["vectors"] = dvs::Json(options.vectors);
+    request["options"] = dvs::Json(std::move(opts));
+    const auto start = std::chrono::steady_clock::now();
+    socket.send_all(dvs::Json(std::move(request)).dump() + "\n");
+    dvs::LineReader reader(&socket, 64u << 20);
+    std::string line;
+    std::size_t items = 0;
+    while (reader.read_line(&line)) {
+      const dvs::Json response = dvs::Json::parse(line);
+      const std::string type = response.find("type")->as_string();
+      if (type == "batch_item") {
+        ++items;
+        if (response.find("error") != nullptr) {
+          ++batch_failures;
+          continue;
+        }
+        const std::size_t index = response.find("index")->as_uint();
+        if (index >= expected.size() ||
+            comparable(*response.find("report")) != expected[index])
+          ++batch_mismatches;
+      } else if (type == "batch_done") {
+        batch_ms = ms_since(start);
+        if (items != circuits.size()) ++batch_failures;
+        break;
+      } else {
+        ++batch_failures;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "batch error: %s\n", e.what());
+    ++batch_failures;
+  }
+
+  const dvs::CacheStats cache = service.cache_stats();
+  service.request_stop();
+  service.stop();
+
+  // ---- aggregate --------------------------------------------------------
+  const double cold_ms = cold.mean_ms();
+  const double hit_ms = hits.mean_ms();
+  const double speedup = hit_ms > 0 ? cold_ms / hit_ms : 0.0;
+  const double requests_per_sec =
+      concurrent_ms > 0
+          ? 1000.0 * static_cast<double>(concurrent.requests) /
+                concurrent_ms
+          : 0.0;
+  const int failures =
+      cold.failures + concurrent.failures + hits.failures + batch_failures;
+  const int mismatches = cold.mismatches + concurrent.mismatches +
+                         hits.mismatches + batch_mismatches;
+  const int unexpected_cache =
+      cold.cache_hits + concurrent.cache_misses + hits.cache_misses;
+
+  std::printf(
+      "cold:      %3d requests, mean %8.2f ms  (1 client)\n"
+      "hits:      %3d requests, mean %8.2f ms  (1 client)\n"
+      "concurrent:%3d requests in %.0f ms -> %.0f req/s  (%d clients)\n"
+      "batch:     %zu circuits in %.0f ms\n"
+      "cache:     %llu hits / %llu misses / %llu evictions\n"
+      "speedup:   %.1fx (cache hit vs cold)\n"
+      "failures:  %d, report mismatches: %d, cache anomalies: %d\n",
+      cold.requests, cold_ms, hits.requests, hit_ms, concurrent.requests,
+      concurrent_ms, requests_per_sec, options.clients, circuits.size(),
+      batch_ms, static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.evictions), speedup,
+      failures, mismatches, unexpected_cache);
+
+  // ---- BENCH_service.json ----------------------------------------------
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"schema\": \"dvs-bench-service-v1\",\n"
+      << "  \"clients\": " << options.clients << ",\n"
+      << "  \"circuits\": " << circuits.size() << ",\n"
+      << "  \"max_gates\": " << options.max_gates << ",\n"
+      << "  \"seed\": " << options.seed << ",\n"
+      << "  \"serial_reference_ms\": " << num(serial_ms) << ",\n"
+      << "  \"cold_mean_ms\": " << num(cold_ms) << ",\n"
+      << "  \"hit_mean_ms\": " << num(hit_ms) << ",\n"
+      << "  \"cache_hit_speedup\": " << num(speedup) << ",\n"
+      << "  \"concurrent_requests\": " << concurrent.requests << ",\n"
+      << "  \"concurrent_wall_ms\": " << num(concurrent_ms) << ",\n"
+      << "  \"requests_per_sec\": " << num(requests_per_sec) << ",\n"
+      << "  \"batch_wall_ms\": " << num(batch_ms) << ",\n"
+      << "  \"failed_requests\": " << failures << ",\n"
+      << "  \"report_mismatches\": " << mismatches << ",\n"
+      << "  \"cache\": {\"hits\": " << cache.hits
+      << ", \"misses\": " << cache.misses
+      << ", \"evictions\": " << cache.evictions << "}\n"
+      << "}\n";
+  out.close();
+  std::printf("-> %s\n", options.json_path.c_str());
+
+  if (options.check) {
+    if (failures > 0 || mismatches > 0 || unexpected_cache > 0) {
+      std::fprintf(stderr, "service_bench: FAILED (failures/mismatches)\n");
+      return 1;
+    }
+    if (speedup < 10.0) {
+      std::fprintf(stderr,
+                   "service_bench: FAILED (cache-hit speedup %.1fx < 10x)\n",
+                   speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

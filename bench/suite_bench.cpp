@@ -14,6 +14,29 @@
 #include "benchgen/mcnc.hpp"
 #include "core/suite.hpp"
 
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: suite_bench [--threads N] [--json FILE] "
+      "[--quick | --max-gates N]\n"
+      "                   [--circuit NAME]... [--seed S] [--vectors N]\n"
+      "\n"
+      "Runs the MCNC x {CVS, Dscale, Gscale} matrix across the thread\n"
+      "pool, prints Table 1 / Table 2 and writes BENCH_suite.json.\n"
+      "  --threads N    worker threads (1 = serial reference, 0 = all "
+      "cores)\n"
+      "  --json FILE    output path (default BENCH_suite.json)\n"
+      "  --quick        only circuits with <= 300 gates\n"
+      "  --max-gates N  only circuits with <= N gates\n"
+      "  --circuit NAME run one circuit (repeatable)\n"
+      "  --seed S       suite root seed (default 0x5eed)\n"
+      "  --vectors N    activity-estimation vectors (default 4096)\n",
+      out);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   dvs::SuiteOptions options;
   std::string json_path = "BENCH_suite.json";
@@ -36,11 +59,13 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(value(), nullptr, 0);
     else if (flag == "--vectors")
       options.flow.activity.num_vectors = std::atoi(value());
-    else {
-      std::fprintf(stderr,
-                   "usage: suite_bench [--threads N] [--json FILE] "
-                   "[--quick | --max-gates N] [--circuit NAME]... "
-                   "[--seed S] [--vectors N]\n");
+    else if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "suite_bench: unknown flag '%s'\n",
+                   flag.c_str());
+      usage(stderr);
       return 1;
     }
   }

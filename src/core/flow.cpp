@@ -53,7 +53,8 @@ void init_flow_row(const Network& mapped, const Library& lib,
 
 void run_flow_algo(const Network& mapped, const Library& lib,
                    const FlowOptions& options, PaperAlgo algo,
-                   CircuitRunResult* row) {
+                   CircuitRunResult* row,
+                   std::optional<Design>* final_design) {
   Design design = make_design(mapped, lib, options, row->tspec_ns);
   switch (algo) {
     case PaperAlgo::kCvs: {
@@ -89,16 +90,7 @@ void run_flow_algo(const Network& mapped, const Library& lib,
     }
   }
   DVS_ASSERT(design.run_timing().meets_constraint(1e-6));
-}
-
-CircuitRunResult run_paper_flow(const Network& mapped, const Library& lib,
-                                const FlowOptions& options) {
-  CircuitRunResult row;
-  init_flow_row(mapped, lib, options, &row);
-  run_flow_algo(mapped, lib, options, PaperAlgo::kCvs, &row);
-  run_flow_algo(mapped, lib, options, PaperAlgo::kDscale, &row);
-  run_flow_algo(mapped, lib, options, PaperAlgo::kGscale, &row);
-  return row;
+  if (final_design) final_design->emplace(std::move(design));
 }
 
 }  // namespace dvs

@@ -5,6 +5,7 @@
 // random simulation, and run CVS / Dscale / Gscale each from a fresh copy.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/cvs.hpp"
@@ -67,11 +68,16 @@ void init_flow_row(const Network& mapped, const Library& lib,
 
 /// Runs one algorithm from a fresh copy of the mapped circuit and fills
 /// its columns of `row` (expects `init_flow_row` to have run on `row`).
+/// When `final_design` is non-null it receives the optimized Design
+/// (voltage assignment, sizing, virtual converters) — the state the dvsd
+/// service serializes back to the client; passing nullptr is free.
 void run_flow_algo(const Network& mapped, const Library& lib,
                    const FlowOptions& options, PaperAlgo algo,
-                   CircuitRunResult* row);
+                   CircuitRunResult* row,
+                   std::optional<Design>* final_design = nullptr);
 
-/// Runs the full paper flow on one mapped circuit.
+/// Runs the full paper flow on one mapped circuit (all three algorithms;
+/// implemented on run_single_job, see core/job.hpp).
 CircuitRunResult run_paper_flow(const Network& mapped, const Library& lib,
                                 const FlowOptions& options = {});
 

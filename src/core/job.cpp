@@ -1,0 +1,39 @@
+#include "core/job.hpp"
+
+#include "support/rng.hpp"
+
+namespace dvs {
+
+FlowOptions derive_cell_flow(const FlowOptions& base,
+                             std::uint64_t circuit_seed, PaperAlgo algo) {
+  FlowOptions flow = base;
+  flow.activity.seed = circuit_seed;
+  flow.gscale.random_cut_seed =
+      mix_seed(circuit_seed, static_cast<std::uint64_t>(algo) + 1);
+  return flow;
+}
+
+CircuitRunResult run_single_job(const Network& mapped, const Library& lib,
+                                const JobSpec& spec,
+                                JobArtifacts* artifacts) {
+  CircuitRunResult row;
+  init_flow_row(mapped, lib, spec.flow, &row);
+  const PaperAlgo algos[] = {PaperAlgo::kCvs, PaperAlgo::kDscale,
+                             PaperAlgo::kGscale};
+  const bool enabled[] = {spec.run_cvs, spec.run_dscale, spec.run_gscale};
+  for (int i = 0; i < 3; ++i) {
+    if (!enabled[i]) continue;
+    run_flow_algo(mapped, lib, spec.flow, algos[i], &row,
+                  artifacts ? artifacts->slot(algos[i]) : nullptr);
+  }
+  return row;
+}
+
+CircuitRunResult run_paper_flow(const Network& mapped, const Library& lib,
+                                const FlowOptions& options) {
+  JobSpec spec;
+  spec.flow = options;
+  return run_single_job(mapped, lib, spec);
+}
+
+}  // namespace dvs

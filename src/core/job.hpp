@@ -1,0 +1,63 @@
+// The single-job flow runner: one mapped circuit through any subset of
+// the paper's three algorithms, producing one Table-1/2 row.  This is the
+// ONE code path behind every driver — each matrix cell of the parallel
+// suite engine (core/suite.cpp), run_paper_flow, and every dvsd service
+// request run through run_single_job, so a result computed by the daemon
+// is bit-identical to the same cell of a suite_bench run.
+//
+// Seed discipline matches the suite engine: every stochastic knob is a
+// pure function of (circuit seed, algorithm) via derive_cell_flow, never
+// of scheduling or request order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/flow.hpp"
+
+namespace dvs {
+
+/// What to run on one circuit.
+struct JobSpec {
+  FlowOptions flow;
+  bool run_cvs = true;
+  bool run_dscale = true;
+  bool run_gscale = true;
+};
+
+/// Optional capture of the optimized Design per algorithm (the service
+/// uses this to serialize the optimized netlist / final power-delay-area;
+/// the suite engine passes nullptr and pays nothing).
+struct JobArtifacts {
+  std::optional<Design> cvs;
+  std::optional<Design> dscale;
+  std::optional<Design> gscale;
+
+  std::optional<Design>* slot(PaperAlgo algo) {
+    switch (algo) {
+      case PaperAlgo::kCvs: return &cvs;
+      case PaperAlgo::kDscale: return &dscale;
+      case PaperAlgo::kGscale: return &gscale;
+    }
+    return nullptr;
+  }
+};
+
+/// Derives the per-cell flow options from a base configuration: the
+/// activity seed is the circuit seed (shared by all algorithms of the
+/// circuit, so they measure improvement against the same original
+/// power), and algorithm-private randomness (Gscale's ablation cut
+/// selector) is mixed from (circuit seed, algorithm).  This is the suite
+/// engine's derivation, exposed so the service derives identically.
+FlowOptions derive_cell_flow(const FlowOptions& base,
+                             std::uint64_t circuit_seed, PaperAlgo algo);
+
+/// Runs the enabled algorithms on a fresh copy of `mapped` each and
+/// returns the filled row (shared columns + one column group per enabled
+/// algorithm).  `artifacts`, when non-null, receives the final Design of
+/// each enabled algorithm.
+CircuitRunResult run_single_job(const Network& mapped, const Library& lib,
+                                const JobSpec& spec,
+                                JobArtifacts* artifacts = nullptr);
+
+}  // namespace dvs

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "benchgen/mcnc.hpp"
+#include "core/job.hpp"
 #include "core/report.hpp"
 #include "library/library.hpp"
 #include "support/contracts.hpp"
@@ -24,21 +25,6 @@ struct SuiteTask {
   PaperAlgo algo;
 };
 
-/// Per-task flow options: every seed is a pure function of (suite seed,
-/// circuit seed, algorithm), never of scheduling order.
-FlowOptions task_options(const SuiteOptions& options,
-                         const McncDescriptor& d, PaperAlgo algo) {
-  FlowOptions flow = options.flow;
-  const std::uint64_t circuit_seed = mix_seed(options.seed, d.seed);
-  // Activity is shared by all three algorithm cells of a circuit (they
-  // must measure improvement against the same original power), so it is
-  // mixed from the circuit alone.
-  flow.activity.seed = circuit_seed;
-  flow.gscale.random_cut_seed =
-      mix_seed(circuit_seed, static_cast<std::uint64_t>(algo) + 1);
-  return flow;
-}
-
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -55,6 +41,13 @@ std::string num(double v) {
 }
 
 }  // namespace
+
+FlowOptions suite_task_flow(const SuiteOptions& options,
+                            const McncDescriptor& descriptor,
+                            PaperAlgo algo) {
+  return derive_cell_flow(options.flow,
+                          mix_seed(options.seed, descriptor.seed), algo);
+}
 
 SuiteReport run_suite(const SuiteOptions& options, const Library* lib) {
   std::optional<Library> fallback;
@@ -104,11 +97,13 @@ SuiteReport run_suite(const SuiteOptions& options, const Library* lib) {
   report.num_threads = pool.num_threads();
   pool.parallel_for(static_cast<int>(tasks.size()), [&](int t) {
     const SuiteTask& task = tasks[t];
-    const FlowOptions flow =
-        task_options(options, *task.descriptor, task.algo);
+    JobSpec spec;
+    spec.flow = suite_task_flow(options, *task.descriptor, task.algo);
+    spec.run_cvs = task.algo == PaperAlgo::kCvs;
+    spec.run_dscale = task.algo == PaperAlgo::kDscale;
+    spec.run_gscale = task.algo == PaperAlgo::kGscale;
     const Network net = build_mcnc_circuit(*lib, *task.descriptor);
-    init_flow_row(net, *lib, flow, &cells[t]);
-    run_flow_algo(net, *lib, flow, task.algo, &cells[t]);
+    cells[t] = run_single_job(net, *lib, spec);
   });
   report.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)

@@ -20,6 +20,8 @@
 
 namespace dvs {
 
+struct McncDescriptor;
+
 struct SuiteOptions {
   /// Base flow configuration; per-task seeds are derived on top of it.
   FlowOptions flow;
@@ -57,6 +59,15 @@ struct SuiteReport {
 /// paper's (5.0V, 4.3V) when null.
 SuiteReport run_suite(const SuiteOptions& options = {},
                       const Library* lib = nullptr);
+
+/// Per-cell flow options of one (circuit, algorithm) matrix cell: every
+/// seed is a pure function of (suite seed, circuit seed, algorithm),
+/// never of scheduling order.  Exposed so the dvsd service derives the
+/// exact same options for named-circuit and batch requests — equality
+/// with a suite_bench run at the same seed is a protocol guarantee.
+FlowOptions suite_task_flow(const SuiteOptions& options,
+                            const McncDescriptor& descriptor,
+                            PaperAlgo algo);
 
 void write_suite_json(const SuiteReport& report, const std::string& path);
 

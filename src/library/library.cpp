@@ -1,10 +1,26 @@
 #include "library/library.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/contracts.hpp"
+#include "support/rng.hpp"
 
 namespace dvs {
+
+namespace {
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  return mix_seed(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t mix_string(std::uint64_t h, const std::string& s) {
+  h = mix_seed(h, s.size());
+  for (char c : s) h = mix_seed(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
 
 int Library::add_cell(Cell cell) {
   DVS_EXPECTS(!cell.name.empty());
@@ -80,6 +96,39 @@ void Library::set_supplies(double vdd_high, double vdd_low) {
 void Library::set_level_converter(int cell_id) {
   DVS_EXPECTS(cell(cell_id).is_level_converter);
   lc_cell_ = cell_id;
+}
+
+std::uint64_t Library::fingerprint() const {
+  std::uint64_t h = 0x11b1a5f0cafe0001ULL;
+  h = mix_string(h, name_);
+  h = mix_double(h, vdd_high_);
+  h = mix_double(h, vdd_low_);
+  h = mix_double(h, vmodel_.vdd_nominal);
+  h = mix_double(h, vmodel_.vt);
+  h = mix_double(h, vmodel_.alpha);
+  h = mix_double(h, wire_.base);
+  h = mix_double(h, wire_.per_fanout);
+  h = mix_seed(h, static_cast<std::uint64_t>(lc_cell_ + 1));
+  h = mix_seed(h, static_cast<std::uint64_t>(cells_.size()));
+  for (const Cell& c : cells_) {
+    h = mix_string(h, c.name);
+    h = mix_seed(h, static_cast<std::uint64_t>(c.drive_index));
+    h = mix_seed(h, static_cast<std::uint64_t>(c.function.num_vars));
+    h = mix_seed(h, c.function.bits & c.function.mask());
+    h = mix_double(h, c.area);
+    h = mix_double(h, c.internal_cap);
+    h = mix_double(h, c.leakage);
+    h = mix_seed(h, c.is_level_converter ? 1 : 0);
+    for (double cap : c.input_cap) h = mix_double(h, cap);
+    for (const TimingArc& arc : c.arcs) {
+      h = mix_seed(h, static_cast<std::uint64_t>(arc.sense));
+      h = mix_double(h, arc.intrinsic_rise);
+      h = mix_double(h, arc.intrinsic_fall);
+      h = mix_double(h, arc.resistance_rise);
+      h = mix_double(h, arc.resistance_fall);
+    }
+  }
+  return h;
 }
 
 }  // namespace dvs

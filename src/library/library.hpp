@@ -68,6 +68,13 @@ class Library {
   int level_converter() const { return lc_cell_; }
   void set_level_converter(int cell_id);
 
+  /// 64-bit content hash over everything that can change an optimization
+  /// result: every cell's function, timing arcs, caps, area and leakage,
+  /// the operating point, the voltage model and the wire-load model.  The
+  /// dvsd result cache keys on it so results computed against one library
+  /// are never replayed against another.
+  std::uint64_t fingerprint() const;
+
  private:
   std::string name_;
   std::vector<Cell> cells_;

@@ -10,6 +10,12 @@ namespace dvs {
 
 namespace {
 
+/// Cap on signal-dependency nesting.  Real netlists stay orders of
+/// magnitude below this (logic depth, not gate count); the cap exists so
+/// an adversarial million-gate inverter chain fed to the dvsd daemon
+/// raises BlifError instead of exhausting the thread's stack.
+constexpr int kMaxNestingDepth = 10000;
+
 struct NamesDecl {
   std::vector<std::string> inputs;
   std::string output;
@@ -155,9 +161,17 @@ class Instantiator {
   Network run() {
     for (const std::string& name : doc_.inputs)
       define(name, net_.add_input(name));
-    for (std::size_t i = 0; i < doc_.names.size(); ++i)
-      by_output_[doc_.names[i].output] = static_cast<int>(i);
-    for (const NamesDecl& decl : doc_.names) build(decl.output, decl.line);
+    for (std::size_t i = 0; i < doc_.names.size(); ++i) {
+      const NamesDecl& decl = doc_.names[i];
+      if (nodes_.count(decl.output))
+        throw BlifError("signal " + decl.output +
+                            " is both a primary input and a .names output",
+                        decl.line);
+      if (!by_output_.emplace(decl.output, static_cast<int>(i)).second)
+        throw BlifError("signal driven twice: " + decl.output, decl.line);
+    }
+    for (const NamesDecl& decl : doc_.names)
+      build(decl.output, decl.line, 0);
     for (const std::string& name : doc_.outputs) {
       auto it = nodes_.find(name);
       if (it == nodes_.end())
@@ -174,8 +188,12 @@ class Instantiator {
       throw BlifError("signal defined twice: " + name, 0);
   }
 
-  NodeId build(const std::string& name, int use_line) {
+  NodeId build(const std::string& name, int use_line, int depth) {
     if (auto it = nodes_.find(name); it != nodes_.end()) return it->second;
+    if (depth > kMaxNestingDepth)
+      throw BlifError("signal nesting deeper than " +
+                          std::to_string(kMaxNestingDepth) + " at " + name,
+                      use_line);
     auto decl_it = by_output_.find(name);
     if (decl_it == by_output_.end())
       throw BlifError("undefined signal " + name, use_line);
@@ -187,7 +205,7 @@ class Instantiator {
     std::vector<NodeId> fanins;
     fanins.reserve(decl.inputs.size());
     for (const std::string& in : decl.inputs)
-      fanins.push_back(build(in, decl.line));
+      fanins.push_back(build(in, decl.line, depth + 1));
 
     const NodeId id = instantiate(decl, fanins);
     building_.erase(name);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "netlist/topo.hpp"
+#include "support/rng.hpp"
 
 namespace dvs {
 
@@ -34,6 +37,203 @@ NetworkStats network_stats(const Network& net) {
   if (fanout_nodes > 0)
     s.avg_fanout = static_cast<double>(fanout_sum) / fanout_nodes;
   return s;
+}
+
+namespace {
+
+// Domain tags keep the node classes from colliding (an input at index i
+// must never hash like a constant or a trivial gate).
+constexpr std::uint64_t kInputTag = 0x9a3df2b41c6e8f01ULL;
+constexpr std::uint64_t kConstTag = 0x5bd1e995c2b2ae35ULL;
+constexpr std::uint64_t kGateTag = 0x27d4eb2f165667c5ULL;
+constexpr std::uint64_t kOutputTag = 0x85ebca6b9e3779b9ULL;
+
+/// Gate hash canonical under everything a serialization round trip may
+/// legally rewrite: pin order (the Verilog SOP reader re-derives
+/// variable order from literal appearance), duplicate pins on one net
+/// (the SOP collapses them), pins the function ignores (the SOP emits no
+/// literal for them), and constant-valued gates (a later trip turns them
+/// into constant assigns).  The canonical form is the function projected
+/// onto its *distinct, supporting* children, pins sorted by child hash —
+/// equal child hashes mean structurally identical cones over the same
+/// inputs, i.e. the same signal, so collapsing them preserves meaning.
+std::uint64_t gate_hash(const Node& n,
+                        const std::vector<std::uint64_t>& hash) {
+  const int k = static_cast<int>(n.fanins.size());
+  // Distinct children; slot[i] = distinct index feeding pin i.
+  std::uint64_t distinct[kMaxGateInputs];
+  int slot[kMaxGateInputs];
+  int m = 0;
+  for (int i = 0; i < k; ++i) {
+    const std::uint64_t child = hash[n.fanins[i]];
+    int s = -1;
+    for (int j = 0; j < m && s < 0; ++j)
+      if (distinct[j] == child) s = j;
+    if (s < 0) {
+      distinct[m] = child;
+      s = m++;
+    }
+    slot[i] = s;
+  }
+  // The function over the distinct children.
+  const auto eval_proj = [&](std::uint32_t p) {
+    std::uint32_t q = 0;
+    for (int i = 0; i < k; ++i) q |= ((p >> slot[i]) & 1u) << i;
+    return n.function.eval(q);
+  };
+  // Keep only children the projected function depends on.
+  int keep[kMaxGateInputs];
+  int kept = 0;
+  for (int v = 0; v < m; ++v) {
+    bool in_support = false;
+    for (std::uint32_t p = 0; p < (1u << m) && !in_support; ++p)
+      in_support = eval_proj(p) != eval_proj(p ^ (1u << v));
+    if (in_support) keep[kept++] = v;
+  }
+  // A constant-valued gate hashes like a constant node: round trips
+  // may rewrite one into the other.
+  if (kept == 0) return mix_seed(kConstTag, eval_proj(0) ? 1 : 0);
+  // Canonical pin order = ascending child hash (distinct => no ties).
+  std::sort(keep, keep + kept,
+            [&](int a, int b) { return distinct[a] < distinct[b]; });
+  std::uint64_t bits = 0;
+  for (std::uint32_t p = 0; p < (1u << kept); ++p) {
+    std::uint32_t expanded = 0;  // pattern over the m distinct children
+    for (int j = 0; j < kept; ++j)
+      expanded |= ((p >> j) & 1u) << keep[j];
+    if (eval_proj(expanded)) bits |= 1ULL << p;
+  }
+  std::uint64_t h = mix_seed(kGateTag, static_cast<std::uint64_t>(kept));
+  h = mix_seed(h, bits);
+  for (int j = 0; j < kept; ++j) h = mix_seed(h, distinct[keep[j]]);
+  return h;
+}
+
+/// Per-node structural hashes, bottom-up over the DAG with an explicit
+/// stack (parser-facing code: no recursion on untrusted depth).
+std::vector<std::uint64_t> node_hashes(const Network& net) {
+  std::vector<std::uint64_t> hash(net.size(), 0);
+  std::vector<char> done(net.size(), 0);
+
+  std::vector<int> input_index(net.size(), -1);
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    input_index[net.inputs()[i]] = static_cast<int>(i);
+
+  std::vector<NodeId> stack;
+  net.for_each_node([&](const Node& root) {
+    stack.push_back(root.id);
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      if (done[id]) {
+        stack.pop_back();
+        continue;
+      }
+      const Node& n = net.node(id);
+      bool ready = true;
+      for (NodeId f : n.fanins) {
+        if (!done[f]) {
+          stack.push_back(f);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      std::uint64_t h = 0;
+      switch (n.kind) {
+        case NodeKind::kInput:
+          h = mix_seed(kInputTag,
+                       static_cast<std::uint64_t>(input_index[id]));
+          break;
+        case NodeKind::kConstant:
+          h = mix_seed(kConstTag, n.constant_value ? 1 : 0);
+          break;
+        case NodeKind::kGate:
+          h = gate_hash(n, hash);
+          break;
+      }
+      hash[id] = h;
+      done[id] = 1;
+      stack.pop_back();
+    }
+  });
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t topology_hash(const Network& net) {
+  const std::vector<std::uint64_t> hash = node_hashes(net);
+  // Commutative sum over every live node keeps the result independent of
+  // id numbering while still covering dangling logic; the output ports
+  // are folded in ordered (port position is meaningful).
+  std::uint64_t sum = 0;
+  net.for_each_node([&](const Node& n) { sum += hash[n.id]; });
+  std::uint64_t ports = kOutputTag;
+  for (const OutputPort& port : net.outputs())
+    ports = mix_seed(ports, hash[port.driver]);
+  return mix_seed(mix_seed(kOutputTag, sum), ports);
+}
+
+std::uint64_t mapping_fingerprint(const Network& net) {
+  bool any = false;
+  net.for_each_gate([&](const Node& n) {
+    if (n.cell >= 0) any = true;
+  });
+  if (!any) return 0;
+
+  // A second bottom-up pass on top of the structural hashes, this time
+  // mixing in the cell binding and *propagating through fanins*: a plain
+  // commutative sum of (cone, cell) pairs would be blind to swapping the
+  // cells of two structurally identical gates, replaying one sizing's
+  // cached report for a different physical design.  With propagation
+  // (plus the ordered output fold), two netlists share a fingerprint
+  // only when they are isomorphic as *mapped* designs — in which case
+  // replaying the cached result is correct.  Fanins fold in canonical
+  // (structural hash, mapped hash) order, both content-derived, so the
+  // fingerprint stays serialization-invariant like topology_hash.
+  const std::vector<std::uint64_t> shash = node_hashes(net);
+  std::vector<std::uint64_t> mhash(net.size(), 0);
+  std::vector<char> done(net.size(), 0);
+  std::vector<NodeId> stack;
+  net.for_each_node([&](const Node& root) {
+    stack.push_back(root.id);
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      if (done[id]) {
+        stack.pop_back();
+        continue;
+      }
+      const Node& n = net.node(id);
+      bool ready = true;
+      for (NodeId f : n.fanins) {
+        if (!done[f]) {
+          stack.push_back(f);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      if (!n.is_gate()) {
+        mhash[id] = shash[id];
+      } else {
+        std::uint64_t h = mix_seed(
+            shash[id], static_cast<std::uint64_t>(n.cell) + 1);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> children;
+        children.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) children.emplace_back(shash[f], mhash[f]);
+        std::sort(children.begin(), children.end());
+        for (const auto& [s, m] : children) h = mix_seed(h, m);
+        mhash[id] = h;
+      }
+      done[id] = 1;
+      stack.pop_back();
+    }
+  });
+
+  std::uint64_t sum = 0;
+  net.for_each_node([&](const Node& n) { sum += mhash[n.id]; });
+  std::uint64_t ports = kGateTag;
+  for (const OutputPort& port : net.outputs())
+    ports = mix_seed(ports, mhash[port.driver]);
+  return mix_seed(mix_seed(kGateTag, sum), ports);
 }
 
 std::string describe(const NetworkStats& s) {

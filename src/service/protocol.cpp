@@ -1,0 +1,245 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace dvs {
+
+namespace {
+
+/// Rejects unknown keys so every accepted request has one canonical
+/// meaning (and typos fail loudly instead of silently running defaults).
+void check_known_keys(const Json::Object& object,
+                      const std::set<std::string>& known,
+                      const std::string& where) {
+  for (const auto& [key, value] : object) {
+    if (!known.count(key))
+      throw ProtocolError("unknown field '" + key + "' in " + where);
+  }
+}
+
+JobOptions parse_options(const Json& json) {
+  JobOptions options;
+  const Json::Object& object = json.as_object();
+  check_known_keys(object, {"seed", "freq_mhz", "tspec_relax", "vectors"},
+                   "options");
+  if (const Json* v = json.find("seed")) options.seed = v->as_uint();
+  if (const Json* v = json.find("freq_mhz")) {
+    options.freq_mhz = v->as_double();
+    if (!(options.freq_mhz > 0) || !std::isfinite(options.freq_mhz) ||
+        options.freq_mhz > 1e6)
+      throw ProtocolError("freq_mhz out of range");
+  }
+  if (const Json* v = json.find("tspec_relax")) {
+    options.tspec_relax = v->as_double();
+    if (options.tspec_relax < 0 || !std::isfinite(options.tspec_relax) ||
+        options.tspec_relax > 100)
+      throw ProtocolError("tspec_relax out of range");
+  }
+  if (const Json* v = json.find("vectors")) {
+    // Range-check in 64 bits; a narrowing cast first would let
+    // wrapped values slip through.
+    const std::int64_t vectors = v->as_int();
+    if (vectors < 1 || vectors > (1 << 22))
+      throw ProtocolError("vectors out of range");
+    options.vectors = static_cast<int>(vectors);
+  }
+  return options;
+}
+
+void parse_algos(const Json& json, bool* cvs, bool* dscale, bool* gscale) {
+  *cvs = *dscale = *gscale = false;
+  for (const Json& algo : json.as_array()) {
+    const std::string& name = algo.as_string();
+    if (name == "cvs")
+      *cvs = true;
+    else if (name == "dscale")
+      *dscale = true;
+    else if (name == "gscale")
+      *gscale = true;
+    else if (name == "all")
+      *cvs = *dscale = *gscale = true;
+    else
+      throw ProtocolError("unknown algorithm '" + name + "'");
+  }
+  if (!*cvs && !*dscale && !*gscale)
+    throw ProtocolError("empty algorithm list");
+}
+
+std::string parse_format(const Json& json) {
+  const std::string& format = json.as_string();
+  if (format != "blif" && format != "verilog")
+    throw ProtocolError("format must be 'blif' or 'verilog'");
+  return format;
+}
+
+Json num_field(double v) { return Json(v); }
+
+}  // namespace
+
+FlowOptions JobOptions::to_flow_options() const {
+  FlowOptions flow;
+  flow.freq_mhz = freq_mhz;
+  flow.tspec_relax = tspec_relax;
+  flow.activity.num_vectors = vectors;
+  flow.activity.seed = seed;  // re-derived per circuit by the job runner
+  return flow;
+}
+
+Request parse_request(const std::string& line) {
+  const Json json = Json::parse(line);
+  if (!json.is_object()) throw ProtocolError("request must be an object");
+  const Json* type_field = json.find("type");
+  if (!type_field) throw ProtocolError("request without 'type'");
+  const std::string& type = type_field->as_string();
+
+  Request request;
+  if (const Json* id = json.find("id")) request.id = *id;
+
+  if (type == "ping" || type == "stats" || type == "shutdown") {
+    check_known_keys(json.as_object(), {"type", "id"}, type);
+    request.type = type == "ping"     ? RequestType::kPing
+                   : type == "stats" ? RequestType::kStats
+                                     : RequestType::kShutdown;
+    return request;
+  }
+
+  if (type == "optimize") {
+    check_known_keys(json.as_object(),
+                     {"type", "id", "circuit", "netlist", "format",
+                      "algos", "options", "return_netlist", "use_cache"},
+                     "optimize");
+    request.type = RequestType::kOptimize;
+    OptimizeRequest& opt = request.optimize;
+    if (const Json* v = json.find("circuit")) opt.circuit = v->as_string();
+    if (const Json* v = json.find("netlist")) opt.netlist = v->as_string();
+    if (opt.circuit.empty() == opt.netlist.empty())
+      throw ProtocolError(
+          "optimize needs exactly one of 'circuit' or 'netlist'");
+    if (const Json* v = json.find("format")) opt.format = parse_format(*v);
+    if (const Json* v = json.find("algos"))
+      parse_algos(*v, &opt.run_cvs, &opt.run_dscale, &opt.run_gscale);
+    if (const Json* v = json.find("options")) opt.options = parse_options(*v);
+    if (const Json* v = json.find("return_netlist"))
+      opt.return_netlist = v->as_bool();
+    if (const Json* v = json.find("use_cache")) opt.use_cache = v->as_bool();
+    if (opt.return_netlist &&
+        (opt.run_cvs + opt.run_dscale + opt.run_gscale) != 1)
+      throw ProtocolError(
+          "return_netlist requires exactly one algorithm");
+    return request;
+  }
+
+  if (type == "batch") {
+    check_known_keys(json.as_object(),
+                     {"type", "id", "circuits", "all", "max_gates",
+                      "algos", "options", "use_cache"},
+                     "batch");
+    request.type = RequestType::kBatch;
+    BatchRequest& batch = request.batch;
+    if (const Json* v = json.find("circuits"))
+      for (const Json& name : v->as_array())
+        batch.circuits.push_back(name.as_string());
+    if (const Json* v = json.find("all")) batch.all = v->as_bool();
+    if (const Json* v = json.find("max_gates")) {
+      const std::int64_t max_gates = v->as_int();
+      if (max_gates < 0 || max_gates > (1 << 30))
+        throw ProtocolError("max_gates out of range");
+      batch.max_gates = static_cast<int>(max_gates);
+    }
+    if (batch.circuits.empty() && !batch.all)
+      throw ProtocolError("batch needs 'circuits' or 'all': true");
+    if (!batch.circuits.empty() && batch.all)
+      throw ProtocolError("batch takes 'circuits' or 'all', not both");
+    if (const Json* v = json.find("algos"))
+      parse_algos(*v, &batch.run_cvs, &batch.run_dscale, &batch.run_gscale);
+    if (const Json* v = json.find("options"))
+      batch.options = parse_options(*v);
+    if (const Json* v = json.find("use_cache"))
+      batch.use_cache = v->as_bool();
+    return request;
+  }
+
+  throw ProtocolError("unknown request type '" + type + "'");
+}
+
+std::string canonical_options_json(const OptimizeRequest& request,
+                                   std::uint64_t circuit_seed) {
+  Json::Object object;
+  Json::Array algos;
+  if (request.run_cvs) algos.emplace_back("cvs");
+  if (request.run_dscale) algos.emplace_back("dscale");
+  if (request.run_gscale) algos.emplace_back("gscale");
+  object["algos"] = Json(std::move(algos));
+  object["circuit_seed"] = Json(circuit_seed);
+  object["freq_mhz"] = Json(request.options.freq_mhz);
+  object["tspec_relax"] = Json(request.options.tspec_relax);
+  object["vectors"] = Json(request.options.vectors);
+  object["return_netlist"] = Json(request.return_netlist);
+  if (request.return_netlist)
+    object["netlist_format"] = Json(request.format);
+  return Json(std::move(object)).dump();
+}
+
+Json report_json(const CircuitRunResult& row, bool with_cvs,
+                 bool with_dscale, bool with_gscale) {
+  Json::Object report;
+  report["name"] = Json(row.name);
+  report["gates"] = Json(row.num_gates);
+  report["tspec_ns"] = num_field(row.tspec_ns);
+  report["org_power_uw"] = num_field(row.org_power_uw);
+  if (with_cvs) {
+    Json::Object cvs;
+    cvs["improve_pct"] = num_field(row.cvs_improve_pct);
+    cvs["low"] = Json(row.cvs_low);
+    report["cvs"] = Json(std::move(cvs));
+  }
+  if (with_dscale) {
+    Json::Object dscale;
+    dscale["improve_pct"] = num_field(row.dscale_improve_pct);
+    dscale["low"] = Json(row.dscale_low);
+    dscale["level_converters"] = Json(row.dscale_lcs);
+    report["dscale"] = Json(std::move(dscale));
+  }
+  if (with_gscale) {
+    Json::Object gscale;
+    gscale["improve_pct"] = num_field(row.gscale_improve_pct);
+    gscale["low"] = Json(row.gscale_low);
+    gscale["resized"] = Json(row.gscale_resized);
+    gscale["area_increase"] = num_field(row.gscale_area_increase);
+    gscale["seconds"] = num_field(row.gscale_seconds);
+    report["gscale"] = Json(std::move(gscale));
+  }
+  return Json(std::move(report));
+}
+
+Json::Object response_head(const std::string& type, const Json& id) {
+  Json::Object fields;
+  fields["type"] = Json(type);
+  fields["id"] = id;
+  return fields;
+}
+
+std::string error_response(const Json& id, const std::string& message) {
+  Json::Object fields = response_head("error", id);
+  fields["message"] = Json(message);
+  return finish_response(std::move(fields));
+}
+
+std::string finish_response(Json::Object fields) {
+  return Json(std::move(fields)).dump() + "\n";
+}
+
+std::string finish_response_with_body(Json::Object head,
+                                      const std::string& body) {
+  std::string out = Json(std::move(head)).dump();  // "{...}", never "{}"
+  if (body.size() > 2) {
+    out.pop_back();  // drop the head's '}'
+    out += ',';
+    out.append(body, 1, std::string::npos);  // skip the body's '{'
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace dvs

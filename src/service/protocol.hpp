@@ -1,0 +1,114 @@
+// Wire schema of the dvsd optimization service: newline-delimited JSON,
+// one request object in, one-or-more response objects out (documented in
+// README.md "Optimization as a service").
+//
+// Request types:
+//   {"type":"ping"}                  -> {"type":"pong"}
+//   {"type":"stats"}                 -> {"type":"stats", ...}
+//   {"type":"shutdown"}              -> {"type":"bye"} and daemon stop
+//   {"type":"optimize", ...}         -> {"type":"result", ...}
+//   {"type":"batch", ...}            -> N x {"type":"batch_item", ...}
+//                                       + {"type":"batch_done", ...}
+// Anything else (malformed JSON, unknown keys, bad values) produces
+// {"type":"error","message":...} and leaves the connection usable.
+//
+// Parsing is STRICT — unknown fields are errors, defaults are filled
+// explicitly — so a request has exactly one canonical meaning, which is
+// what makes hashing the canonicalized options a sound cache key.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "support/json.hpp"
+
+namespace dvs {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Protocol-level flow knobs (the subset of FlowOptions a client may
+/// set; everything else stays at library defaults and is therefore
+/// covered by the canonical form implicitly).
+struct JobOptions {
+  std::uint64_t seed = 0x5eed;  // suite-compatible root seed
+  double freq_mhz = 20.0;
+  double tspec_relax = 0.0;
+  int vectors = 4096;  // activity estimation vectors
+
+  /// Base FlowOptions (seeds are derived per circuit later).
+  FlowOptions to_flow_options() const;
+};
+
+enum class RequestType { kPing, kStats, kShutdown, kOptimize, kBatch };
+
+struct OptimizeRequest {
+  /// Exactly one of `circuit` (MCNC name) / `netlist` (text) is set.
+  std::string circuit;
+  std::string netlist;
+  std::string format = "blif";  // input (and netlist-out) format
+  bool run_cvs = true;
+  bool run_dscale = true;
+  bool run_gscale = true;
+  JobOptions options;
+  bool return_netlist = false;  // requires exactly one algorithm
+  bool use_cache = true;
+};
+
+struct BatchRequest {
+  std::vector<std::string> circuits;  // empty + all=true -> whole suite
+  bool all = false;
+  int max_gates = 0;  // 0 = no limit (applies to `all`)
+  bool run_cvs = true;
+  bool run_dscale = true;
+  bool run_gscale = true;
+  JobOptions options;
+  bool use_cache = true;
+};
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  Json id;  // echoed verbatim in every response (null when absent)
+  OptimizeRequest optimize;
+  BatchRequest batch;
+};
+
+/// Parses one NDJSON line.  Throws ProtocolError / JsonError.
+Request parse_request(const std::string& line);
+
+/// Canonical options document for the cache key: algorithms, the
+/// *derived* circuit seed, and every knob that changes the result body.
+/// The input format is deliberately excluded unless the response embeds
+/// a netlist — a circuit means the same thing as BLIF or as Verilog.
+std::string canonical_options_json(const OptimizeRequest& request,
+                                   std::uint64_t circuit_seed);
+
+/// The per-circuit report object (same field names and layout as the
+/// BENCH_suite.json circuit rows; disabled algorithms are omitted).
+Json report_json(const CircuitRunResult& row, bool with_cvs,
+                 bool with_dscale, bool with_gscale);
+
+// ---- response assembly ----------------------------------------------------
+
+/// {"type":..., "id": id} starting point.
+Json::Object response_head(const std::string& type, const Json& id);
+
+std::string error_response(const Json& id, const std::string& message);
+
+/// Serializes with the trailing newline of the NDJSON framing.
+std::string finish_response(Json::Object fields);
+
+/// Splices an already-serialized body object into the response head
+/// without re-parsing it — the cache stores serialized bodies, and the
+/// hit path must not pay a parse + re-dump of a multi-MB payload.
+/// `body` must be a serialized JSON object ("{...}").
+std::string finish_response_with_body(Json::Object head,
+                                      const std::string& body);
+
+}  // namespace dvs

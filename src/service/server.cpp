@@ -1,0 +1,101 @@
+#include "service/server.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "service/session.hpp"
+
+namespace dvs {
+
+Service::Service(ServiceConfig config, const Library* lib) {
+  core_.config = std::move(config);
+  if (lib == nullptr) lib = &core_.owned_lib.emplace(build_compass_library());
+  core_.lib = lib;
+  core_.pool.emplace(core_.config.num_threads);
+  core_.cache.emplace(core_.config.cache_entries);
+  core_.lib_fingerprint = core_.lib->fingerprint();
+  core_.started = std::chrono::steady_clock::now();
+  core_.request_stop = [this] { request_stop(); };
+}
+
+Service::~Service() { stop(); }
+
+void Service::start() {
+  listener_ = core_.config.unix_path.empty()
+                  ? ListenSocket::listen_tcp(core_.config.tcp_port)
+                  : ListenSocket::listen_unix(core_.config.unix_path);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Service::accept_loop() {
+  while (!core_.stopping.load()) {
+    Socket socket = listener_.accept_connection();
+    if (!socket.valid()) break;  // listener shut down
+    if (core_.stopping.load()) break;
+    core_.connections.fetch_add(1);
+    if (core_.config.verbose)
+      std::fprintf(stderr, "dvsd: connection #%llu\n",
+                   static_cast<unsigned long long>(
+                       core_.connections.load()));
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
+    Connection conn;
+    conn.session = std::make_unique<Session>(&core_, std::move(socket));
+    Session* session = conn.session.get();
+    conn.thread = std::thread([session] { session->run(); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Service::reap_finished_locked() {
+  std::erase_if(connections_, [](Connection& conn) {
+    if (!conn.session->finished()) return false;
+    conn.thread.join();
+    return true;
+  });
+}
+
+void Service::request_stop() {
+  // Called from session threads, other threads, or a signal handler:
+  // only async-signal-safe work here (atomics and shutdown()).
+  if (core_.stopping.exchange(true)) return;
+  listener_.shutdown_listener();
+}
+
+void Service::wait() {
+  // Polls the stop flag instead of waiting on a condition variable:
+  // request_stop() must stay async-signal-safe, so it cannot notify.
+  // Each tick also reaps finished sessions, so an idle daemon releases
+  // dead connections' threads and fds without needing a new accept.
+  while (!core_.stopping.load()) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      if (stopped_) return;
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
+  }
+}
+
+void Service::stop() {
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& conn : connections_) conn.session->shutdown();
+  }
+  // Sessions wait for their in-flight pool work before exiting, so
+  // joining them also drains every job this service submitted.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (Connection& conn : connections_)
+    if (conn.thread.joinable()) conn.thread.join();
+  connections_.clear();
+  {
+    std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+}  // namespace dvs

@@ -1,0 +1,134 @@
+// dvsd: the dual-Vdd optimization service.  A persistent daemon that
+// accepts NDJSON optimization jobs over a loopback-TCP or Unix-domain
+// socket, schedules them on the work-stealing ThreadPool, and answers
+// from a content-addressed LRU result cache whenever the (netlist
+// topology, sizing, options, library) key has been computed before.
+//
+// Concurrency model (yadcc-shaped, scaled to one process):
+//   - one accept thread, one lightweight thread per connection doing
+//     only I/O and dispatch;
+//   - all flow computation runs as ThreadPool tasks, so N connections
+//     share the worker budget instead of each grabbing a core;
+//   - `batch` fans its circuits across the pool and streams each row
+//     back the moment it completes (out-of-order by design — items
+//     carry `index`).
+// Determinism: every job derives its seeds through the suite engine's
+// (seed, circuit, algorithm) mixing, so a daemon answer is bit-identical
+// to the same cell of a serial suite_bench run — cached or not.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "library/library.hpp"
+#include "service/cache.hpp"
+#include "support/socket.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dvs {
+
+class Session;
+
+struct ServiceConfig {
+  /// >= 0 binds 127.0.0.1:tcp_port (0 = kernel-assigned, see port()).
+  /// Ignored when unix_path is set.
+  int tcp_port = 0;
+  std::string unix_path;
+  /// Flow workers (0 = hardware concurrency).
+  int num_threads = 0;
+  std::size_t cache_entries = 1024;
+  /// NDJSON line cap — a netlist bigger than this is rejected.
+  std::size_t max_line_bytes = 32u << 20;
+  bool verbose = false;
+};
+
+/// State shared between the server and its sessions.
+struct ServiceCore {
+  ServiceConfig config;
+  const Library* lib = nullptr;
+  std::optional<Library> owned_lib;  // when no library was injected
+  std::optional<ThreadPool> pool;
+  std::optional<ResultCache> cache;
+  std::atomic<std::uint64_t> jobs_completed{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<bool> stopping{false};
+  std::chrono::steady_clock::time_point started;
+  std::function<void()> request_stop;  // set by Service
+
+  /// Library::fingerprint is a pure function of the (immutable) library;
+  /// computed once at startup instead of per request.
+  std::uint64_t lib_fingerprint = 0;
+
+  /// (topology_hash, mapping_fingerprint) per MCNC circuit name: for
+  /// named circuits those are pure functions of (descriptor, library),
+  /// so the cache-hit path skips rebuilding the circuit entirely.  The
+  /// library is fixed for the life of the daemon, keeping the memo valid.
+  std::mutex named_hash_mutex;
+  std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+      named_hashes;
+};
+
+class Service {
+ public:
+  /// `lib` defaults to the compass library when null (built once,
+  /// owned by the service).
+  explicit Service(ServiceConfig config, const Library* lib = nullptr);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Binds the socket and spawns the accept thread.  Throws SocketError.
+  void start();
+
+  /// Bound TCP port (after start(); 0 for Unix-domain sockets).
+  int port() const { return listener_.port(); }
+
+  /// Blocks until request_stop() (from a signal handler, a `shutdown`
+  /// request, or another thread).
+  void wait();
+
+  /// Idempotent, thread- and signal-safe stop trigger.
+  void request_stop();
+
+  /// Stops accepting, unblocks every session, drains the pool, joins
+  /// all threads.  Called by the destructor if needed.
+  void stop();
+
+  CacheStats cache_stats() const { return core_.cache->stats(); }
+  const ServiceCore& core() const { return core_; }
+
+ private:
+  void accept_loop();
+  void reap_finished_locked();
+
+  ServiceCore core_;
+  ListenSocket listener_;
+  std::thread accept_thread_;
+
+  struct Connection {
+    std::unique_ptr<Session> session;
+    std::thread thread;
+  };
+  std::mutex connections_mutex_;
+  std::vector<Connection> connections_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace dvs

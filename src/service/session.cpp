@@ -1,0 +1,390 @@
+#include "service/session.hpp"
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "benchgen/mcnc.hpp"
+#include "core/boundary.hpp"
+#include "core/job.hpp"
+#include "core/suite.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog.hpp"
+#include "service/server.hpp"
+#include "support/rng.hpp"
+#include "synth/mapper.hpp"
+#include "synth/sweep.hpp"
+
+namespace dvs {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool fully_mapped(const Network& net) {
+  bool mapped = true;
+  net.for_each_gate([&](const Node& n) {
+    if (n.cell < 0) mapped = false;
+  });
+  return mapped;
+}
+
+/// A resolved job: the cache key plus the circuit (built lazily for
+/// named MCNC circuits — the cache-hit path never needs the network).
+struct ResolvedJob {
+  const McncDescriptor* descriptor = nullptr;  // named circuits only
+  std::optional<Network> mapped;
+  CacheKey key;
+  std::uint64_t circuit_seed = 0;
+
+  /// The circuit, building it on first use.
+  const Network& network(const Library& lib) {
+    if (!mapped) mapped.emplace(build_mcnc_circuit(lib, *descriptor));
+    return *mapped;
+  }
+};
+
+ResolvedJob resolve(ServiceCore& core, const OptimizeRequest& request) {
+  ResolvedJob job;
+  const Library& lib = *core.lib;
+  if (!request.circuit.empty()) {
+    const McncDescriptor* descriptor = find_mcnc(request.circuit);
+    if (descriptor == nullptr)
+      throw ProtocolError("unknown MCNC circuit '" + request.circuit +
+                          "'");
+    job.descriptor = descriptor;
+    // The suite engine's seed derivation, so daemon answers match
+    // suite_bench rows bit for bit.
+    job.circuit_seed = mix_seed(request.options.seed, descriptor->seed);
+    // Named circuits are pure functions of (descriptor, library): their
+    // hashes are memoized, so repeat submissions (the cache-hit fast
+    // path) skip the generator entirely.
+    {
+      std::lock_guard<std::mutex> lock(core.named_hash_mutex);
+      auto it = core.named_hashes.find(request.circuit);
+      if (it != core.named_hashes.end()) {
+        job.key.topology = it->second.first;
+        job.key.mapping = it->second.second;
+      }
+    }
+    if (job.key.topology == 0) {
+      const Network& net = job.network(lib);
+      job.key.topology = topology_hash(net);
+      job.key.mapping = mapping_fingerprint(net);
+      std::lock_guard<std::mutex> lock(core.named_hash_mutex);
+      core.named_hashes.emplace(
+          request.circuit, std::make_pair(job.key.topology,
+                                          job.key.mapping));
+    }
+  } else {
+    job.circuit_seed = request.options.seed;
+    Network submitted = request.format == "verilog"
+                            ? read_verilog_string(request.netlist, lib)
+                            : read_blif_string(request.netlist);
+    // Hash what the client sent; whether we must map it is derived
+    // state, captured by the mapping fingerprint.
+    job.key.topology = topology_hash(submitted);
+    job.key.mapping = mapping_fingerprint(submitted);
+    if (fully_mapped(submitted) && submitted.num_gates() > 0) {
+      job.mapped.emplace(std::move(submitted));
+    } else {
+      sweep_network(submitted);
+      job.mapped.emplace(map_paper_setup(submitted, lib).mapped);
+    }
+    if (job.mapped->num_gates() == 0)
+      throw ProtocolError("netlist has no gates to optimize");
+  }
+  job.key.options =
+      fnv1a64(canonical_options_json(request, job.circuit_seed));
+  job.key.library = core.lib_fingerprint;
+  return job;
+}
+
+/// Final power/delay/area of one optimized design.
+Json metrics_json(const Design& design) {
+  Json::Object metrics;
+  metrics["power_uw"] = Json(design.run_power().total());
+  metrics["arrival_ns"] = Json(design.run_timing().worst_arrival);
+  metrics["area_um2"] = Json(design.total_area());
+  return Json(std::move(metrics));
+}
+
+/// Runs the flow and assembles the response body object.
+std::string compute_body(ServiceCore& core, const OptimizeRequest& request,
+                         ResolvedJob& job) {
+  const Library& lib = *core.lib;
+  const Network& circuit = job.network(lib);
+  JobSpec spec;
+  // kGscale keys the only algorithm-private seed (the ablation cut
+  // selector), matching the suite's gscale cell; CVS/Dscale ignore it.
+  spec.flow = derive_cell_flow(request.options.to_flow_options(),
+                               job.circuit_seed, PaperAlgo::kGscale);
+  spec.run_cvs = request.run_cvs;
+  spec.run_dscale = request.run_dscale;
+  spec.run_gscale = request.run_gscale;
+
+  JobArtifacts artifacts;
+  const CircuitRunResult row =
+      run_single_job(circuit, lib, spec, &artifacts);
+
+  Json::Object body;
+  body["report"] = report_json(row, spec.run_cvs, spec.run_dscale,
+                               spec.run_gscale);
+  Json::Object metrics;
+  if (artifacts.cvs) metrics["cvs"] = metrics_json(*artifacts.cvs);
+  if (artifacts.dscale) metrics["dscale"] = metrics_json(*artifacts.dscale);
+  if (artifacts.gscale) metrics["gscale"] = metrics_json(*artifacts.gscale);
+  body["metrics"] = Json(std::move(metrics));
+
+  if (request.return_netlist) {
+    // Exactly one algorithm is enabled (protocol invariant).
+    const Design& design = artifacts.cvs      ? *artifacts.cvs
+                           : artifacts.dscale ? *artifacts.dscale
+                                              : *artifacts.gscale;
+    std::vector<char> low_mask;
+    const Network out = materialize_level_converters(design, &low_mask);
+    body["netlist"] = Json(request.format == "verilog"
+                               ? write_verilog_string(out, lib)
+                               : write_blif_string(out));
+    Json::Array low_gates;
+    out.for_each_gate([&](const Node& n) {
+      if (low_mask[n.id]) low_gates.emplace_back(n.name);
+    });
+    body["low_gates"] = Json(std::move(low_gates));
+  }
+  return Json(std::move(body)).dump();
+}
+
+}  // namespace
+
+OptimizeOutcome execute_optimize(ServiceCore& core,
+                                 const OptimizeRequest& request) {
+  ResolvedJob job = resolve(core, request);
+  if (request.use_cache) {
+    if (ResultCache::Payload payload = core.cache->get(job.key))
+      return {std::move(payload), true};
+  } else {
+    // An explicit cache bypass still warms the cache below; only the
+    // lookup is skipped.
+  }
+  OptimizeOutcome outcome;
+  outcome.body = std::make_shared<const std::string>(
+      compute_body(core, request, job));
+  outcome.cache_hit = false;
+  core.cache->put(job.key, outcome.body);
+  return outcome;
+}
+
+Session::Session(ServiceCore* core, Socket socket)
+    : core_(core), socket_(std::move(socket)) {}
+
+void Session::shutdown() { socket_.shutdown_both(); }
+
+void Session::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  socket_.send_all(line);
+}
+
+void Session::run() {
+  LineReader reader(&socket_, core_->config.max_line_bytes);
+  std::string line;
+  try {
+    while (!core_->stopping.load()) {
+      try {
+        if (!reader.read_line(&line)) break;  // EOF
+      } catch (const LineTooLongError& e) {
+        // Tell the client why before dropping the connection (the
+        // unread remainder of the oversized line makes resync
+        // impossible, so the error-containment contract ends here).
+        write_line(error_response(Json(), e.what()));
+        break;
+      }
+      if (line.empty()) continue;
+      core_->requests.fetch_add(1);
+      Request request;
+      try {
+        request = parse_request(line);
+      } catch (const std::exception& e) {
+        write_line(error_response(Json(), e.what()));
+        continue;
+      }
+      try {
+        handle(request);
+      } catch (const std::exception& e) {
+        core_->jobs_failed.fetch_add(1);
+        write_line(error_response(request.id, e.what()));
+      }
+      if (request.type == RequestType::kShutdown) break;
+    }
+  } catch (const SocketError&) {
+    // Peer vanished or service stop shut the socket down: just leave.
+  }
+  finished_.store(true);
+}
+
+void Session::handle(const Request& request) {
+  switch (request.type) {
+    case RequestType::kPing:
+      write_line(finish_response(response_head("pong", request.id)));
+      break;
+    case RequestType::kStats:
+      handle_stats(request);
+      break;
+    case RequestType::kShutdown:
+      write_line(finish_response(response_head("bye", request.id)));
+      core_->request_stop();
+      break;
+    case RequestType::kOptimize:
+      handle_optimize(request);
+      break;
+    case RequestType::kBatch:
+      handle_batch(request);
+      break;
+  }
+}
+
+void Session::handle_stats(const Request& request) {
+  const CacheStats cache = core_->cache->stats();
+  Json::Object fields = response_head("stats", request.id);
+  Json::Object cache_json;
+  cache_json["hits"] = Json(cache.hits);
+  cache_json["misses"] = Json(cache.misses);
+  cache_json["evictions"] = Json(cache.evictions);
+  cache_json["entries"] = Json(static_cast<std::uint64_t>(cache.entries));
+  cache_json["capacity"] =
+      Json(static_cast<std::uint64_t>(cache.capacity));
+  fields["cache"] = Json(std::move(cache_json));
+  Json::Object jobs;
+  jobs["completed"] = Json(core_->jobs_completed.load());
+  jobs["failed"] = Json(core_->jobs_failed.load());
+  fields["jobs"] = Json(std::move(jobs));
+  fields["requests"] = Json(core_->requests.load());
+  fields["connections"] = Json(core_->connections.load());
+  fields["threads"] = Json(core_->pool->num_threads());
+  fields["uptime_seconds"] =
+      Json(std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - core_->started)
+               .count());
+  write_line(finish_response(std::move(fields)));
+}
+
+void Session::handle_optimize(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  // The flow runs on the shared pool so concurrent connections share
+  // the worker budget; this session thread just waits for its result.
+  auto promise = std::make_shared<std::promise<OptimizeOutcome>>();
+  std::future<OptimizeOutcome> future = promise->get_future();
+  ServiceCore* core = core_;
+  // One copy of the request (it can carry a multi-MB netlist), shared
+  // with the pool task instead of captured by value a second time.
+  auto job = std::make_shared<const OptimizeRequest>(request.optimize);
+  core_->pool->submit([core, job, promise]() {
+    try {
+      promise->set_value(execute_optimize(*core, *job));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  const OptimizeOutcome outcome = future.get();  // rethrows job errors
+  core_->jobs_completed.fetch_add(1);
+
+  Json::Object fields = response_head("result", request.id);
+  fields["cache"] = Json(outcome.cache_hit ? "hit" : "miss");
+  fields["wall_ms"] = Json(ms_since(start));
+  write_line(finish_response_with_body(std::move(fields), *outcome.body));
+}
+
+void Session::handle_batch(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const BatchRequest& batch = request.batch;
+
+  // Materialize the circuit list (validated up front so a typo fails the
+  // whole batch immediately instead of mid-stream).
+  std::vector<std::string> names;
+  if (batch.all) {
+    for (const McncDescriptor& d : mcnc_suite())
+      if (batch.max_gates == 0 || d.gates <= batch.max_gates)
+        names.push_back(d.name);
+  } else {
+    for (const std::string& name : batch.circuits) {
+      if (find_mcnc(name) == nullptr)
+        throw ProtocolError("unknown MCNC circuit '" + name + "'");
+      names.push_back(name);
+    }
+  }
+
+  struct BatchProgress {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> failed{0};
+  };
+  auto progress = std::make_shared<BatchProgress>();
+  progress->remaining = names.size();
+
+  ServiceCore* core = core_;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    OptimizeRequest item;
+    item.circuit = names[i];
+    item.run_cvs = batch.run_cvs;
+    item.run_dscale = batch.run_dscale;
+    item.run_gscale = batch.run_gscale;
+    item.options = batch.options;
+    item.use_cache = batch.use_cache;
+    core_->pool->submit([this, core, progress, item, i,
+                         id = request.id]() {
+      const auto item_start = std::chrono::steady_clock::now();
+      std::string line;
+      try {
+        const OptimizeOutcome outcome = execute_optimize(*core, item);
+        core->jobs_completed.fetch_add(1);
+        if (outcome.cache_hit) progress->hits.fetch_add(1);
+        Json::Object fields = response_head("batch_item", id);
+        fields["index"] = Json(static_cast<std::uint64_t>(i));
+        fields["name"] = Json(item.circuit);
+        fields["cache"] = Json(outcome.cache_hit ? "hit" : "miss");
+        fields["wall_ms"] = Json(ms_since(item_start));
+        line = finish_response_with_body(std::move(fields), *outcome.body);
+      } catch (const std::exception& e) {
+        core->jobs_failed.fetch_add(1);
+        progress->failed.fetch_add(1);
+        Json::Object fields = response_head("batch_item", id);
+        fields["index"] = Json(static_cast<std::uint64_t>(i));
+        fields["name"] = Json(item.circuit);
+        fields["error"] = Json(e.what());
+        line = finish_response(std::move(fields));
+      }
+      try {
+        write_line(line);
+      } catch (const SocketError&) {
+        // Client went away mid-stream; keep draining the batch.
+      }
+      {
+        std::lock_guard<std::mutex> lock(progress->mutex);
+        --progress->remaining;
+      }
+      progress->done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(progress->mutex);
+  progress->done_cv.wait(lock, [&] { return progress->remaining == 0; });
+  lock.unlock();
+
+  Json::Object fields = response_head("batch_done", request.id);
+  fields["count"] = Json(static_cast<std::uint64_t>(names.size()));
+  fields["cache_hits"] = Json(progress->hits.load());
+  fields["failed"] = Json(progress->failed.load());
+  fields["wall_ms"] = Json(ms_since(start));
+  write_line(finish_response(std::move(fields)));
+}
+
+}  // namespace dvs

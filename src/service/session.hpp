@@ -1,0 +1,64 @@
+// One client connection of the dvsd service: reads NDJSON requests,
+// dispatches them, writes NDJSON responses.  The session thread does
+// I/O and cache lookups only — flow computation is submitted to the
+// shared ThreadPool, and batch items stream back out-of-order through
+// the session's write lock as workers finish them.
+//
+// Error containment: every per-request failure (malformed JSON, unknown
+// fields, bad netlists, unknown circuits) turns into an {"type":"error"}
+// response and the connection keeps serving — a client mistake must
+// never take the daemon or even its own connection down.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace dvs {
+
+struct ServiceCore;
+
+/// Outcome of one optimization job, ready for response assembly.  The
+/// body (serialized report/metrics object) is shared with the cache.
+struct OptimizeOutcome {
+  std::shared_ptr<const std::string> body;
+  bool cache_hit = false;
+};
+
+/// Runs one optimize job on the calling thread: resolve the circuit,
+/// hash it, consult the cache, run the flow on a miss, store the body.
+/// Throws on invalid requests; never mutates connection state (shared by
+/// the optimize path, batch items, the in-process bench, and tests).
+OptimizeOutcome execute_optimize(ServiceCore& core,
+                                 const OptimizeRequest& request);
+
+class Session {
+ public:
+  Session(ServiceCore* core, Socket socket);
+
+  /// Serves the connection until EOF, error, or service stop.
+  void run();
+
+  /// Unblocks a blocked recv/send from another thread (service stop).
+  void shutdown();
+
+  bool finished() const { return finished_.load(); }
+
+ private:
+  void write_line(const std::string& line);
+  void handle(const Request& request);
+  void handle_optimize(const Request& request);
+  void handle_batch(const Request& request);
+  void handle_stats(const Request& request);
+
+  ServiceCore* core_;
+  Socket socket_;
+  std::mutex write_mutex_;
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace dvs

@@ -1,0 +1,465 @@
+#include "support/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvs {
+
+namespace {
+
+/// Defense against stack exhaustion from adversarial nesting — the wire
+/// protocol never needs more than a handful of levels.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+Json::Num Json::Num::from_int(std::int64_t i) {
+  Num n;
+  if (i >= 0) {
+    n.repr = Repr::kUint;
+    n.uint_v = static_cast<std::uint64_t>(i);
+  } else {
+    n.repr = Repr::kInt;
+    n.int_v = i;
+  }
+  return n;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError(why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_space();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object object;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_space();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      Json value = parse_value(depth + 1);
+      if (!object.emplace(std::move(key), std::move(value)).second)
+        fail("duplicate object key");
+      skip_space();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return Json(std::move(object));
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array array;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_space();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return Json(std::move(array));
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void append_utf8(std::string* out, std::uint32_t cp) {
+    if (cp <= 0x7f) {
+      *out += static_cast<char>(cp);
+    } else if (cp <= 0x7ff) {
+      *out += static_cast<char>(0xc0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp <= 0xffff) {
+      *out += static_cast<char>(0xe0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      *out += static_cast<char>(0xf0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      value <<= 4;
+      if (h >= '0' && h <= '9')
+        value |= static_cast<std::uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        value |= static_cast<std::uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        value |= static_cast<std::uint32_t>(h - 'A' + 10);
+      else
+        fail("bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: must pair with a following \uDC00-\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("unpaired surrogate");
+            pos_ += 2;
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(&out, cp);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    // RFC 8259 grammar, enforced strictly: -?(0|[1-9][0-9]*) frac? exp?.
+    // Leniencies like "+5", "01", ".5" or "5." would let the daemon
+    // accept documents every standard client rejects.
+    const std::size_t start = pos_;
+    bool integral = true;
+    const auto digits_run = [&]() -> int {
+      int n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+    } else if (digits_run() == 0) {
+      fail("malformed number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (digits_run() == 0) fail("malformed number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits_run() == 0) fail("malformed number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const char* token_end = token.c_str() + token.size();
+    errno = 0;
+    if (integral) {
+      char* parsed_end = nullptr;
+      if (token[0] == '-') {
+        const std::int64_t v = std::strtoll(token.c_str(), &parsed_end, 10);
+        if (errno != ERANGE && parsed_end == token_end) return Json(v);
+      } else {
+        const std::uint64_t v =
+            std::strtoull(token.c_str(), &parsed_end, 10);
+        if (errno != ERANGE && parsed_end == token_end) return Json(v);
+      }
+      errno = 0;  // out of 64-bit range: fall back to double
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token_end) fail("malformed number");
+    if (errno == ERANGE && !std::isfinite(d))
+      fail("number out of double range");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Json Json::parse(std::string_view text) { return JsonParser(text).run(); }
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw JsonError("not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (!is_number()) throw JsonError("not a number");
+  switch (num_.repr) {
+    case Num::Repr::kDouble: return num_.dbl;
+    case Num::Repr::kInt: return static_cast<double>(num_.int_v);
+    case Num::Repr::kUint: return static_cast<double>(num_.uint_v);
+  }
+  return 0.0;
+}
+
+std::int64_t Json::as_int() const {
+  if (!is_number()) throw JsonError("not a number");
+  switch (num_.repr) {
+    case Num::Repr::kDouble:
+      // Guard the cast: converting an unrepresentable double is UB, and
+      // these values arrive from untrusted network input.
+      if (!(num_.dbl >= -9223372036854775808.0 &&
+            num_.dbl < 9223372036854775808.0))
+        throw JsonError("number out of int64 range");
+      return static_cast<std::int64_t>(num_.dbl);
+    case Num::Repr::kInt: return num_.int_v;
+    case Num::Repr::kUint:
+      if (num_.uint_v > static_cast<std::uint64_t>(INT64_MAX))
+        throw JsonError("number out of int64 range");
+      return static_cast<std::int64_t>(num_.uint_v);
+  }
+  return 0;
+}
+
+std::uint64_t Json::as_uint() const {
+  if (!is_number()) throw JsonError("not a number");
+  switch (num_.repr) {
+    case Num::Repr::kDouble:
+      if (num_.dbl < 0) throw JsonError("negative number as uint");
+      if (!(num_.dbl < 18446744073709551616.0))
+        throw JsonError("number out of uint64 range");
+      return static_cast<std::uint64_t>(num_.dbl);
+    case Num::Repr::kInt:
+      throw JsonError("negative number as uint");
+    case Num::Repr::kUint:
+      return num_.uint_v;
+  }
+  return 0;
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw JsonError("not a string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) throw JsonError("not an array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) throw JsonError("not an object");
+  return object_;
+}
+
+Json::Array& Json::as_array() {
+  if (!is_array()) throw JsonError("not an array");
+  return array_;
+}
+
+Json::Object& Json::as_object() {
+  if (!is_object()) throw JsonError("not an object");
+  return object_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void json_append_quoted(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += raw;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void Json::dump_to(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      char buf[40];
+      switch (num_.repr) {
+        case Num::Repr::kDouble:
+          // JSON has no inf/nan; emitting them would corrupt the NDJSON
+          // stream (and get cached).  Refuse loudly instead.
+          if (!std::isfinite(num_.dbl))
+            throw JsonError("cannot serialize non-finite number");
+          std::snprintf(buf, sizeof buf, "%.17g", num_.dbl);
+          break;
+        case Num::Repr::kInt:
+          std::snprintf(buf, sizeof buf, "%lld",
+                        static_cast<long long>(num_.int_v));
+          break;
+        case Num::Repr::kUint:
+          std::snprintf(buf, sizeof buf, "%llu",
+                        static_cast<unsigned long long>(num_.uint_v));
+          break;
+      }
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      json_append_quoted(out, string_);
+      break;
+    case Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) *out += ',';
+        first = false;
+        item.dump_to(out);
+      }
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) *out += ',';
+        first = false;
+        json_append_quoted(out, key);
+        *out += ':';
+        value.dump_to(out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(&out);
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace dvs

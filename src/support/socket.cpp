@@ -1,0 +1,244 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+namespace dvs {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+int new_stream_socket(int family) {
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket()");
+  return fd;
+}
+
+sockaddr_in loopback_addr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path)
+    throw SocketError("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::send_all(std::string_view data) {
+  if (!valid()) throw SocketError("send on closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send()");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(char* buffer, std::size_t max) {
+  if (!valid()) throw SocketError("recv on closed socket");
+  while (true) {
+    const ssize_t n = ::recv(fd_, buffer, max, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    fail_errno("recv()");
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_tcp(const std::string& host, int port) {
+  const int fd = new_stream_socket(AF_INET);
+  sockaddr_in addr = loopback_addr(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw SocketError("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return Socket(fd);
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_addr(path);
+  const int fd = new_stream_socket(AF_UNIX);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("connect(" + path + ")");
+  }
+  return Socket(fd);
+}
+
+bool LineReader::read_line(std::string* line) {
+  while (true) {
+    // A complete line already buffered?
+    const std::size_t nl = buffer_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      scanned_ = 0;
+      return true;
+    }
+    scanned_ = buffer_.size();
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line->assign(std::move(buffer_));
+      buffer_.clear();
+      scanned_ = 0;
+      return true;
+    }
+    if (buffer_.size() > max_line_bytes_)
+      throw LineTooLongError("line exceeds " +
+                             std::to_string(max_line_bytes_) + " bytes");
+    char chunk[16384];
+    const std::size_t n = socket_->recv_some(chunk, sizeof chunk);
+    if (n == 0)
+      eof_ = true;
+    else
+      buffer_.append(chunk, n);
+  }
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_),
+      port_(other.port_),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+ListenSocket ListenSocket::listen_tcp(int port, int backlog) {
+  ListenSocket ls;
+  ls.fd_ = new_stream_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(ls.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(ls.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    fail_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(ls.fd_, backlog) < 0) fail_errno("listen()");
+  socklen_t len = sizeof addr;
+  if (::getsockname(ls.fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail_errno("getsockname()");
+  ls.port_ = ntohs(addr.sin_port);
+  return ls;
+}
+
+ListenSocket ListenSocket::listen_unix(const std::string& path,
+                                       int backlog) {
+  ListenSocket ls;
+  const sockaddr_un addr = unix_addr(path);
+  // Remove a stale socket from a previous run — but only a socket; an
+  // operator typo must not silently delete a regular file.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode))
+      throw SocketError(path + " exists and is not a socket");
+    ::unlink(path.c_str());
+  }
+  ls.fd_ = new_stream_socket(AF_UNIX);
+  if (::bind(ls.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0)
+    fail_errno("bind(" + path + ")");
+  if (::listen(ls.fd_, backlog) < 0) fail_errno("listen()");
+  ls.unix_path_ = path;
+  return ls;
+}
+
+Socket ListenSocket::accept_connection() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // peer reset before we accepted; next please
+        continue;
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM: {
+        // Resource pressure is transient: back off instead of killing
+        // the accept loop (which would leave a deaf daemon running).
+        timespec delay{0, 50'000'000};  // 50 ms
+        ::nanosleep(&delay, nullptr);
+        continue;
+      }
+      default:
+        // EBADF / EINVAL after shutdown_listener(): orderly exit.
+        return Socket();
+    }
+  }
+}
+
+void ListenSocket::shutdown_listener() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  }
+}
+
+}  // namespace dvs

@@ -1,0 +1,122 @@
+// Thin POSIX socket layer for the dvsd service: RAII file descriptors,
+// loopback-TCP and Unix-domain listeners, blocking client connects, and a
+// buffered newline-delimited reader with a hard line-length cap (the wire
+// protocol is NDJSON, so "one line" is "one message" and an unbounded line
+// is an attack, not a request).
+//
+// All helpers throw SocketError on failure and never raise SIGPIPE
+// (sends use MSG_NOSIGNAL).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dvs {
+
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& message)
+      : std::runtime_error("socket: " + message) {}
+};
+
+/// A line exceeded LineReader's cap.  Distinct from I/O failures so a
+/// server can still send a rejection message before dropping the
+/// connection (the unread remainder of the line makes resync impossible).
+class LineTooLongError : public SocketError {
+ public:
+  explicit LineTooLongError(const std::string& message)
+      : SocketError(message) {}
+};
+
+/// Owning wrapper around a connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes the whole buffer (retrying short writes / EINTR).
+  void send_all(std::string_view data);
+
+  /// Reads up to `max` bytes; 0 on orderly peer close.  Throws on error.
+  std::size_t recv_some(char* buffer, std::size_t max);
+
+  /// Half-closes both directions, unblocking a peer (or own) blocked
+  /// recv; safe to call from another thread and on an invalid socket.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+  static Socket connect_tcp(const std::string& host, int port);
+  static Socket connect_unix(const std::string& path);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered reader returning one '\n'-terminated line at a time.
+class LineReader {
+ public:
+  explicit LineReader(Socket* socket, std::size_t max_line_bytes)
+      : socket_(socket), max_line_bytes_(max_line_bytes) {}
+
+  /// Next line without its trailing '\n' (a final unterminated chunk
+  /// before EOF counts as a line).  False on EOF.  Throws SocketError on
+  /// I/O errors or when a line exceeds the cap.
+  bool read_line(std::string* line);
+
+ private:
+  Socket* socket_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  // prefix of buffer_ known to hold no '\n'
+  bool eof_ = false;
+};
+
+/// Listening socket (TCP on 127.0.0.1, or a Unix-domain path).
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { close(); }
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned; see port()).
+  static ListenSocket listen_tcp(int port, int backlog = 64);
+  /// Binds (and later unlinks) a Unix-domain socket at `path`.
+  static ListenSocket listen_unix(const std::string& path,
+                                  int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  /// Actual bound TCP port (0 for Unix sockets).
+  int port() const { return port_; }
+
+  /// Blocks for one connection.  Returns an invalid Socket when the
+  /// listener has been shut down (the accept loop's exit signal).
+  Socket accept_connection();
+
+  /// Unblocks accept_connection() from any thread.
+  void shutdown_listener() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+  std::string unix_path_;
+};
+
+}  // namespace dvs

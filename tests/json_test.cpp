@@ -1,0 +1,119 @@
+// The dvsd wire format rests on support/json: exact integer round trips
+// (seeds), canonical (sorted-key) serialization for cache hashing, and
+// strict rejection of malformed documents.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace dvs {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("null").dump(), "null");
+  EXPECT_EQ(Json::parse("true").dump(), "true");
+  EXPECT_EQ(Json::parse("false").dump(), "false");
+  EXPECT_EQ(Json::parse("0").dump(), "0");
+  EXPECT_EQ(Json::parse("-42").dump(), "-42");
+  EXPECT_EQ(Json::parse("\"hi\"").dump(), "\"hi\"");
+  EXPECT_DOUBLE_EQ(Json::parse("1.5e3").as_double(), 1500.0);
+}
+
+TEST(Json, SixtyFourBitIntegersAreExact) {
+  // Would be mangled by a double: 2^64 - 1 and 2^63.
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint(),
+            18446744073709551615ULL);
+  EXPECT_EQ(Json::parse("18446744073709551615").dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(), INT64_MIN);
+  EXPECT_EQ(Json(std::uint64_t{0x5eed}).dump(), "24301");
+}
+
+TEST(Json, ObjectKeysSerializeSorted) {
+  const Json parsed = Json::parse(R"({"b":1,"a":2,"c":{"z":0,"y":1}})");
+  EXPECT_EQ(parsed.dump(), R"({"a":2,"b":1,"c":{"y":1,"z":0}})");
+  // Same logical value, different input order -> identical bytes: the
+  // property the cache-key hashing relies on.
+  EXPECT_EQ(Json::parse(R"({"a":2,"c":{"y":1,"z":0},"b":1})").dump(),
+            parsed.dump());
+}
+
+TEST(Json, StringEscapes) {
+  const Json parsed = Json::parse(R"("line\nfeed\t\"q\" \\ \u0041")");
+  EXPECT_EQ(parsed.as_string(), "line\nfeed\t\"q\" \\ A");
+  // Control characters re-escape on dump.
+  EXPECT_EQ(Json(std::string("a\nb")).dump(), "\"a\\nb\"");
+  // Surrogate pair -> UTF-8.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, Arrays) {
+  const Json parsed = Json::parse("[1, [2, 3], {\"k\": []}]");
+  ASSERT_TRUE(parsed.is_array());
+  EXPECT_EQ(parsed.as_array().size(), 3u);
+  EXPECT_EQ(parsed.dump(), R"([1,[2,3],{"k":[]}])");
+}
+
+TEST(Json, FindAndAccessors) {
+  const Json parsed = Json::parse(R"({"seed": 7, "name": "b9"})");
+  ASSERT_NE(parsed.find("seed"), nullptr);
+  EXPECT_EQ(parsed.find("seed")->as_uint(), 7u);
+  EXPECT_EQ(parsed.find("missing"), nullptr);
+  EXPECT_THROW(parsed.find("name")->as_uint(), JsonError);
+  EXPECT_THROW(parsed.as_array(), JsonError);
+}
+
+TEST(Json, MalformedDocumentsThrow) {
+  const char* bad[] = {
+      "",           "{",        "[1,",      "{\"a\":}",  "tru",
+      "nul",        "01x",      "\"open",   "{\"a\" 1}", "[1 2]",
+      "{}extra",    "\"\\q\"",  "\"\\u12\"", "-",        "1-2",
+      "[1,2,,3]",   "{1: 2}",   "\"\\ud800\"",
+      // RFC 8259 number strictness and duplicate-key rejection.
+      "+5",         "01",       ".5",       "5.",        "1e",
+      "1e+",        "--1",      "{\"a\":1,\"a\":2}",
+  };
+  for (const char* text : bad)
+    EXPECT_THROW(Json::parse(text), JsonError) << "input: " << text;
+}
+
+TEST(Json, OutOfRangeDoubleToIntConversionsThrow) {
+  // Casting an unrepresentable double would be UB; these arrive from
+  // untrusted network input, so they must throw instead.
+  EXPECT_THROW(Json::parse("1e300").as_int(), JsonError);
+  EXPECT_THROW(Json::parse("2e19").as_int(), JsonError);
+  EXPECT_THROW(Json::parse("1e300").as_uint(), JsonError);
+  EXPECT_THROW(Json::parse("-1.5").as_uint(), JsonError);
+  EXPECT_EQ(Json::parse("1e15").as_int(), 1000000000000000LL);
+}
+
+TEST(Json, NonFiniteNumbersAreRejectedBothWays) {
+  // JSON has no inf/nan: overflowing literals must not parse to inf,
+  // and non-finite doubles must refuse to serialize.
+  EXPECT_THROW(Json::parse("1e400"), JsonError);
+  EXPECT_THROW(Json::parse("-1e400"), JsonError);
+  EXPECT_THROW(Json(1.0 / 0.0).dump(), JsonError);
+  EXPECT_THROW(Json(0.0 / 0.0).dump(), JsonError);
+}
+
+TEST(Json, NestingDepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(Json, RawControlCharactersRejected) {
+  EXPECT_THROW(Json::parse("\"a\nb\""), JsonError);
+}
+
+TEST(Json, Fnv1a64KnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a64("{\"a\":1}"), fnv1a64("{\"a\":2}"));
+}
+
+}  // namespace
+}  // namespace dvs

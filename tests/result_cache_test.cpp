@@ -1,0 +1,193 @@
+// The dvsd result cache: content-addressed key stability across
+// serialization round trips (the property that makes the cache safe to
+// key on), LRU eviction order, and thread-safety under pool hammering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "benchgen/mcnc.hpp"
+#include "library/library.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog.hpp"
+#include "service/cache.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dvs {
+namespace {
+
+const Library& lib() {
+  static const Library kLib = build_compass_library();
+  return kLib;
+}
+
+CacheKey key_of(const Network& net) {
+  CacheKey key;
+  key.topology = topology_hash(net);
+  key.mapping = mapping_fingerprint(net);
+  key.options = 0x0123456789abcdefULL;
+  key.library = lib().fingerprint();
+  return key;
+}
+
+// ---- key stability --------------------------------------------------------
+
+TEST(CacheKey, StableAcrossBlifAndVerilogRoundTrips) {
+  for (const char* name : {"x2", "b9", "z4ml", "my_adder"}) {
+    const Network mapped = build_mcnc_circuit(lib(), *find_mcnc(name));
+    // Canonical unmapped form: what a client-submitted BLIF parses to.
+    const Network n0 = read_blif_string(write_blif_string(mapped));
+    const Network via_blif = read_blif_string(write_blif_string(n0));
+    const Network via_verilog =
+        read_verilog_string(write_verilog_string(n0, lib()), lib());
+    EXPECT_EQ(topology_hash(n0), topology_hash(via_blif)) << name;
+    EXPECT_EQ(topology_hash(n0), topology_hash(via_verilog)) << name;
+    EXPECT_EQ(key_of(n0), key_of(via_blif)) << name;
+    EXPECT_EQ(key_of(n0), key_of(via_verilog)) << name;
+  }
+}
+
+TEST(CacheKey, MappedVerilogRoundTripKeepsMappingFingerprint) {
+  const Network mapped = build_mcnc_circuit(lib(), *find_mcnc("b9"));
+  const Network back =
+      read_verilog_string(write_verilog_string(mapped, lib()), lib());
+  EXPECT_EQ(topology_hash(mapped), topology_hash(back));
+  EXPECT_EQ(mapping_fingerprint(mapped), mapping_fingerprint(back));
+  EXPECT_NE(mapping_fingerprint(mapped), 0u);
+}
+
+TEST(CacheKey, BlifRoundTripDropsMappingFingerprint) {
+  // BLIF carries no cell binding: a mapped circuit written to BLIF reads
+  // back unmapped, so the key's mapping half flips to 0 — "will be
+  // re-mapped" must not alias "sized exactly like this".
+  const Network mapped = build_mcnc_circuit(lib(), *find_mcnc("b9"));
+  const Network back = read_blif_string(write_blif_string(mapped));
+  EXPECT_NE(mapping_fingerprint(mapped), 0u);
+  EXPECT_EQ(mapping_fingerprint(back), 0u);
+  // And the unmapped read-back is a fixpoint under further trips.
+  const Network again = read_blif_string(write_blif_string(back));
+  EXPECT_EQ(topology_hash(back), topology_hash(again));
+  EXPECT_EQ(mapping_fingerprint(again), 0u);
+}
+
+TEST(CacheKey, SwappedCellBindingsChangeMappingFingerprint) {
+  // Two structurally identical gates bound to different drive variants:
+  // swapping the variants is a different physical design and must not
+  // alias in the cache (a commutative per-gate sum would be blind here).
+  const int small = lib().smallest_of("nand2");
+  ASSERT_GE(small, 0);
+  const int big = lib().upsize(small);
+  ASSERT_GE(big, 0);
+  const auto build = [&](int cell_x, int cell_y) {
+    Network net("m");
+    const NodeId a = net.add_input("a");
+    const NodeId b = net.add_input("b");
+    const TruthTable tt = lib().cell(small).function;
+    const NodeId x = net.add_gate(tt, {a, b}, cell_x, "x");
+    const NodeId y = net.add_gate(tt, {a, b}, cell_y, "y");
+    net.add_output("o0", x);
+    net.add_output("o1", y);
+    return net;
+  };
+  const Network ab = build(small, big);
+  const Network ba = build(big, small);
+  EXPECT_EQ(topology_hash(ab), topology_hash(ba));
+  EXPECT_NE(mapping_fingerprint(ab), mapping_fingerprint(ba));
+}
+
+TEST(CacheKey, DistinctCircuitsDistinctHashes) {
+  const Network a = build_mcnc_circuit(lib(), *find_mcnc("x2"));
+  const Network b = build_mcnc_circuit(lib(), *find_mcnc("b9"));
+  EXPECT_NE(topology_hash(a), topology_hash(b));
+}
+
+TEST(CacheKey, NamesDoNotMatterStructureDoes) {
+  const Network a = read_blif_string(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n");
+  const Network renamed = read_blif_string(
+      ".model other\n.inputs p q\n.outputs r\n.names p q r\n11 1\n.end\n");
+  const Network different = read_blif_string(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n");
+  EXPECT_EQ(topology_hash(a), topology_hash(renamed));
+  EXPECT_NE(topology_hash(a), topology_hash(different));
+}
+
+// ---- LRU behavior ---------------------------------------------------------
+
+CacheKey key_n(std::uint64_t n) {
+  CacheKey key;
+  key.topology = n;
+  key.mapping = 1;
+  key.options = 2;
+  key.library = 3;
+  return key;
+}
+
+ResultCache::Payload payload(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ResultCache, HitMissCounters) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.get(key_n(1)), nullptr);
+  cache.put(key_n(1), payload("one"));
+  EXPECT_EQ(*cache.get(key_n(1)), "one");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedInOrder) {
+  ResultCache cache(3);
+  cache.put(key_n(1), payload("1"));
+  cache.put(key_n(2), payload("2"));
+  cache.put(key_n(3), payload("3"));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(cache.get(key_n(1)), nullptr);
+  cache.put(key_n(4), payload("4"));  // evicts 2
+  EXPECT_EQ(cache.get(key_n(2)), nullptr);
+  EXPECT_NE(cache.get(key_n(1)), nullptr);
+  EXPECT_NE(cache.get(key_n(3)), nullptr);
+  EXPECT_NE(cache.get(key_n(4)), nullptr);
+  cache.put(key_n(5), payload("5"));  // 1-3-4 re-touched; victim is 1
+  EXPECT_EQ(cache.get(key_n(1)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ResultCache, ReplacingAKeyIsNotAnEviction) {
+  ResultCache cache(2);
+  cache.put(key_n(1), payload("a"));
+  cache.put(key_n(1), payload("b"));
+  EXPECT_EQ(*cache.get(key_n(1)), "b");
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, ConcurrentGetPutHammering) {
+  ResultCache cache(16);  // far smaller than the key space: constant
+                          // eviction churn while threads race
+  ThreadPool pool(4);
+  std::atomic<int> payload_mismatches{0};
+  pool.parallel_for(2000, [&](int i) {
+    const std::uint64_t k = static_cast<std::uint64_t>(i % 64);
+    const std::string expected = "payload-" + std::to_string(k);
+    if (auto hit = cache.get(key_n(k))) {
+      if (*hit != expected) payload_mismatches.fetch_add(1);
+    } else {
+      cache.put(key_n(k), payload(expected));
+    }
+  });
+  EXPECT_EQ(payload_mismatches.load(), 0);
+  const CacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 16u);
+  EXPECT_EQ(stats.hits + stats.misses, 2000u);
+  // With 64 keys over 16 slots there must have been evictions.
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -13,7 +13,7 @@
 
 #include "benchgen/mcnc.hpp"
 #include "netlist/blif.hpp"
-#include "netlist/topo.hpp"
+#include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
 #include "sim/bitsim.hpp"
 #include "support/rng.hpp"
@@ -22,30 +22,9 @@
 namespace dvs {
 namespace {
 
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-/// Structural topology hash: name- and id-independent, insensitive to
-/// fanin permutation (a commutative combine), sensitive to depth, fanin
-/// counts, node kinds, and output-port order.
-std::uint64_t topology_hash(const Network& net) {
-  std::vector<std::uint64_t> h(net.size(), 0);
-  for (NodeId id : topo_order(net)) {
-    const Node& n = net.node(id);
-    std::uint64_t combined = 0;
-    for (NodeId f : n.fanins)
-      combined += h[f] * 0x100000001b3ULL;  // commutative (sum)
-    std::uint64_t base = mix(static_cast<std::uint64_t>(n.kind) + 1,
-                             n.fanins.size());
-    h[n.id] = mix(base, combined);
-  }
-  std::uint64_t out = 0;
-  for (const OutputPort& port : net.outputs())
-    out = mix(out, h[port.driver]);
-  return out;
-}
+// Structural identity across hops is asserted with the real
+// dvs::topology_hash (netlist/stats.hpp) — the canonical,
+// truth-table-sensitive hash the dvsd result cache keys on.
 
 /// Output-port words from simulating 64 random patterns.
 std::vector<std::uint64_t> simulate_ports(const Network& net, Rng rng) {

@@ -1,0 +1,272 @@
+// End-to-end wall for the dvsd service: boots a real Service on an
+// ephemeral loopback port and drives it through sockets exactly like a
+// client would — protocol fidelity, suite-engine equality, cache
+// behavior across netlist formats, error containment, batch streaming,
+// and shutdown.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/suite.hpp"
+#include "library/library.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/verilog.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+
+namespace dvs {
+namespace {
+
+const char* kDemoBlif = R"(.model demo
+.inputs a b c d e f
+.outputs y z
+.names a b t1
+11 1
+.names c d t2
+1- 1
+-1 1
+.names t1 t2 t3
+10 1
+01 1
+.names t3 e t4
+11 1
+.names t4 f y
+1- 1
+-1 1
+.names t2 e z
+11 1
+.end
+)";
+
+/// A connected test client speaking NDJSON.
+class Client {
+ public:
+  explicit Client(int port)
+      : socket_(Socket::connect_tcp("127.0.0.1", port)),
+        reader_(&socket_, 64u << 20) {}
+
+  void send(const std::string& request) {
+    socket_.send_all(request + "\n");
+  }
+
+  Json recv() {
+    std::string line;
+    EXPECT_TRUE(reader_.read_line(&line)) << "connection closed early";
+    return Json::parse(line);
+  }
+
+ private:
+  Socket socket_;
+  LineReader reader_;
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServiceConfig config;
+    config.tcp_port = 0;
+    config.num_threads = 2;
+    config.cache_entries = 64;
+    service_.emplace(config);
+    service_->start();
+  }
+
+  void TearDown() override {
+    if (service_) {
+      service_->request_stop();
+      service_->stop();
+    }
+  }
+
+  int port() const { return service_->port(); }
+
+  std::optional<Service> service_;
+};
+
+/// The report with wall-clock columns zeroed (legitimately nondeterministic).
+std::string comparable(Json report) {
+  auto& object = report.as_object();
+  if (auto it = object.find("gscale"); it != object.end())
+    it->second.as_object()["seconds"] = Json(0.0);
+  return report.dump();
+}
+
+TEST_F(ServiceTest, PingStatsAndUnknownType) {
+  Client client(port());
+  client.send(R"({"type":"ping","id":7})");
+  Json pong = client.recv();
+  EXPECT_EQ(pong.find("type")->as_string(), "pong");
+  EXPECT_EQ(pong.find("id")->as_int(), 7);
+
+  client.send(R"({"type":"stats"})");
+  Json stats = client.recv();
+  EXPECT_EQ(stats.find("type")->as_string(), "stats");
+  EXPECT_EQ(stats.find("cache")->find("hits")->as_uint(), 0u);
+  EXPECT_EQ(stats.find("cache")->find("capacity")->as_uint(), 64u);
+
+  client.send(R"({"type":"frobnicate"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  // Connection still serves after the error.
+  client.send(R"({"type":"ping"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "pong");
+}
+
+TEST_F(ServiceTest, NamedCircuitMatchesSuiteEngineAndCaches) {
+  SuiteOptions suite;
+  suite.circuits = {"x2"};
+  suite.num_threads = 1;
+  const SuiteReport reference = run_suite(suite);
+  const std::string expected =
+      comparable(report_json(reference.rows[0], true, true, true));
+
+  Client client(port());
+  const std::string request = R"({"type":"optimize","circuit":"x2"})";
+  client.send(request);
+  Json first = client.recv();
+  ASSERT_EQ(first.find("type")->as_string(), "result")
+      << first.dump();
+  EXPECT_EQ(first.find("cache")->as_string(), "miss");
+  EXPECT_EQ(comparable(*first.find("report")), expected);
+  // Metrics are attached for every enabled algorithm.
+  EXPECT_NE(first.find("metrics")->find("gscale"), nullptr);
+
+  client.send(request);
+  Json second = client.recv();
+  EXPECT_EQ(second.find("cache")->as_string(), "hit");
+  EXPECT_EQ(comparable(*second.find("report")),
+            comparable(*first.find("report")));
+
+  // A different seed is a different job, not a stale hit.
+  client.send(
+      R"({"type":"optimize","circuit":"x2","options":{"seed":99}})");
+  EXPECT_EQ(client.recv().find("cache")->as_string(), "miss");
+}
+
+TEST_F(ServiceTest, BlifAndVerilogSubmissionsShareOneCacheEntry) {
+  const Library lib = build_compass_library();
+  const Network parsed = read_blif_string(kDemoBlif);
+  const std::string verilog = write_verilog_string(parsed, lib);
+
+  Json::Object blif_req;
+  blif_req["type"] = Json("optimize");
+  blif_req["netlist"] = Json(std::string(kDemoBlif));
+  Json::Object verilog_req;
+  verilog_req["type"] = Json("optimize");
+  verilog_req["netlist"] = Json(verilog);
+  verilog_req["format"] = Json("verilog");
+
+  Client client(port());
+  client.send(Json(blif_req).dump());
+  Json first = client.recv();
+  ASSERT_EQ(first.find("type")->as_string(), "result") << first.dump();
+  EXPECT_EQ(first.find("cache")->as_string(), "miss");
+
+  // The same circuit as Verilog text: content addressing must hit.
+  client.send(Json(verilog_req).dump());
+  Json second = client.recv();
+  ASSERT_EQ(second.find("type")->as_string(), "result") << second.dump();
+  EXPECT_EQ(second.find("cache")->as_string(), "hit");
+  EXPECT_EQ(comparable(*second.find("report")),
+            comparable(*first.find("report")));
+}
+
+TEST_F(ServiceTest, ReturnNetlistRoundTrips) {
+  Json::Object request;
+  request["type"] = Json("optimize");
+  request["netlist"] = Json(std::string(kDemoBlif));
+  request["return_netlist"] = Json(true);
+  Json::Array algos;
+  algos.emplace_back("dscale");
+  request["algos"] = Json(std::move(algos));
+
+  Client client(port());
+  client.send(Json(request).dump());
+  Json response = client.recv();
+  ASSERT_EQ(response.find("type")->as_string(), "result")
+      << response.dump();
+  ASSERT_NE(response.find("netlist"), nullptr);
+  ASSERT_NE(response.find("low_gates"), nullptr);
+  // The returned netlist is valid BLIF (converters materialized).
+  EXPECT_NO_THROW(read_blif_string(response.find("netlist")->as_string()));
+  const Json& metrics = *response.find("metrics")->find("dscale");
+  EXPECT_GT(metrics.find("power_uw")->as_double(), 0.0);
+  EXPECT_GT(metrics.find("area_um2")->as_double(), 0.0);
+}
+
+TEST_F(ServiceTest, BatchStreamsEveryRowMatchingTheSuite) {
+  SuiteOptions suite;
+  suite.circuits = {"x2", "z4ml", "pm1"};
+  suite.num_threads = 1;
+  const SuiteReport reference = run_suite(suite);
+
+  Client client(port());
+  client.send(
+      R"({"type":"batch","circuits":["x2","z4ml","pm1"],"id":"B"})");
+  std::set<std::uint64_t> seen;
+  bool done = false;
+  while (!done) {
+    Json response = client.recv();
+    const std::string type = response.find("type")->as_string();
+    ASSERT_TRUE(type == "batch_item" || type == "batch_done")
+        << response.dump();
+    EXPECT_EQ(response.find("id")->as_string(), "B");
+    if (type == "batch_done") {
+      EXPECT_EQ(response.find("count")->as_uint(), 3u);
+      EXPECT_EQ(response.find("failed")->as_uint(), 0u);
+      done = true;
+      continue;
+    }
+    ASSERT_EQ(response.find("error"), nullptr) << response.dump();
+    const std::uint64_t index = response.find("index")->as_uint();
+    ASSERT_LT(index, reference.rows.size());
+    EXPECT_TRUE(seen.insert(index).second) << "duplicate item";
+    EXPECT_EQ(
+        comparable(*response.find("report")),
+        comparable(report_json(reference.rows[index], true, true, true)));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(ServiceTest, ErrorContainment) {
+  Client client(port());
+  // Malformed JSON.
+  client.send("this is not json");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  // Unknown field (strict parsing).
+  client.send(R"({"type":"optimize","circuit":"x2","bogus":1})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  // Unknown circuit.
+  client.send(R"({"type":"optimize","circuit":"nope"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  // Malformed netlist (duplicate driver).
+  Json::Object request;
+  request["type"] = Json("optimize");
+  request["netlist"] = Json(std::string(
+      ".model m\n.inputs a b\n.outputs y\n"
+      ".names a y\n1 1\n.names b y\n1 1\n.end\n"));
+  client.send(Json(request).dump());
+  Json error = client.recv();
+  EXPECT_EQ(error.find("type")->as_string(), "error");
+  // return_netlist with several algorithms is rejected.
+  client.send(
+      R"({"type":"optimize","circuit":"x2","return_netlist":true})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  // The connection survived all of it.
+  client.send(R"({"type":"ping"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "pong");
+}
+
+TEST_F(ServiceTest, ShutdownRequestStopsTheService) {
+  Client client(port());
+  client.send(R"({"type":"shutdown"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "bye");
+  service_->wait();  // returns because the stop flag is set
+  service_->stop();
+  service_.reset();
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,328 @@
+// dvs-client — command-line client for the dvsd optimization daemon.
+//
+//   $ dvs-client --port 7117 ping
+//   $ dvs-client --port 7117 optimize --circuit b9
+//   $ dvs-client --port 7117 optimize my.blif --algo dscale --return-netlist
+//   $ dvs-client --unix /tmp/dvsd.sock batch --all --max-gates 300
+//   $ dvs-client --port 7117 stats
+//   $ dvs-client --port 7117 shutdown
+//
+// Default output is a human summary; --json prints the daemon's raw
+// NDJSON responses unmodified (one per line).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: dvs-client [--port N | --unix PATH] [--host IP] [--json]\n"
+      "                  COMMAND [args]\n"
+      "\n"
+      "commands:\n"
+      "  ping                       round-trip check\n"
+      "  stats                      cache/job counters\n"
+      "  shutdown                   stop the daemon\n"
+      "  optimize FILE | --circuit NAME\n"
+      "      [--format blif|verilog]   input format of FILE (default blif)\n"
+      "      [--algo cvs|dscale|gscale|all]   (default all)\n"
+      "      [--seed S] [--vectors N] [--freq-mhz F] [--tspec-relax R]\n"
+      "      [--return-netlist]        embed the optimized netlist\n"
+      "      [--no-cache]              skip the cache lookup\n"
+      "  batch --circuits a,b,c | --all [--max-gates N]\n"
+      "      [--algo ...] [--seed S] [--vectors N] [--no-cache]\n",
+      out);
+}
+
+struct Cli {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string unix_path;
+  bool raw_json = false;
+};
+
+dvs::Socket connect(const Cli& cli) {
+  if (!cli.unix_path.empty())
+    return dvs::Socket::connect_unix(cli.unix_path);
+  if (cli.port < 0)
+    throw dvs::SocketError("no --port or --unix given");
+  return dvs::Socket::connect_tcp(cli.host, cli.port);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const dvs::Json* get(const dvs::Json& json, const char* key) {
+  return json.find(key);
+}
+
+double dbl(const dvs::Json& json, const char* key, double fallback = 0) {
+  const dvs::Json* v = json.find(key);
+  return v ? v->as_double() : fallback;
+}
+
+void print_algo(const dvs::Json& report, const char* name) {
+  const dvs::Json* algo = report.find(name);
+  if (!algo) return;
+  std::printf("  %-7s improve %6.2f%%  low %4lld", name,
+              dbl(*algo, "improve_pct"),
+              static_cast<long long>(algo->find("low")->as_int()));
+  if (const dvs::Json* lcs = algo->find("level_converters"))
+    std::printf("  LCs %lld", static_cast<long long>(lcs->as_int()));
+  if (const dvs::Json* resized = algo->find("resized"))
+    std::printf("  resized %lld  area +%.3f",
+                static_cast<long long>(resized->as_int()),
+                dbl(*algo, "area_increase"));
+  std::printf("\n");
+}
+
+/// Pretty-prints one response line.  Returns false on {"type":"error"}.
+bool print_response(const std::string& line) {
+  const dvs::Json json = dvs::Json::parse(line);
+  const std::string type =
+      get(json, "type") ? get(json, "type")->as_string() : "?";
+  if (type == "error") {
+    const dvs::Json* message = get(json, "message");
+    std::fprintf(stderr, "error: %s\n",
+                 message ? message->as_string().c_str() : line.c_str());
+    return false;
+  }
+  if (type == "pong") {
+    std::printf("pong\n");
+  } else if (type == "bye") {
+    std::printf("daemon stopping\n");
+  } else if (type == "stats") {
+    const dvs::Json& cache = *get(json, "cache");
+    std::printf("cache: %llu hits / %llu misses / %llu evictions "
+                "(%llu/%llu entries)\n",
+                static_cast<unsigned long long>(
+                    cache.find("hits")->as_uint()),
+                static_cast<unsigned long long>(
+                    cache.find("misses")->as_uint()),
+                static_cast<unsigned long long>(
+                    cache.find("evictions")->as_uint()),
+                static_cast<unsigned long long>(
+                    cache.find("entries")->as_uint()),
+                static_cast<unsigned long long>(
+                    cache.find("capacity")->as_uint()));
+    const dvs::Json& jobs = *get(json, "jobs");
+    std::printf("jobs: %llu completed, %llu failed | requests %llu | "
+                "connections %llu | threads %lld | up %.1fs\n",
+                static_cast<unsigned long long>(
+                    jobs.find("completed")->as_uint()),
+                static_cast<unsigned long long>(
+                    jobs.find("failed")->as_uint()),
+                static_cast<unsigned long long>(
+                    get(json, "requests")->as_uint()),
+                static_cast<unsigned long long>(
+                    get(json, "connections")->as_uint()),
+                static_cast<long long>(get(json, "threads")->as_int()),
+                dbl(json, "uptime_seconds"));
+  } else if (type == "result" || type == "batch_item") {
+    if (const dvs::Json* error = get(json, "error")) {
+      std::fprintf(stderr, "error (%s): %s\n",
+                   get(json, "name")->as_string().c_str(),
+                   error->as_string().c_str());
+      return false;
+    }
+    const dvs::Json& report = *get(json, "report");
+    std::printf("%s: %lld gates, tspec %.3f ns, original %.2f uW  [%s, "
+                "%.1f ms]\n",
+                report.find("name")->as_string().c_str(),
+                static_cast<long long>(report.find("gates")->as_int()),
+                dbl(report, "tspec_ns"), dbl(report, "org_power_uw"),
+                get(json, "cache")->as_string().c_str(),
+                dbl(json, "wall_ms"));
+    print_algo(report, "cvs");
+    print_algo(report, "dscale");
+    print_algo(report, "gscale");
+    if (const dvs::Json* netlist = get(json, "netlist"))
+      std::printf("--- optimized netlist ---\n%s",
+                  netlist->as_string().c_str());
+  } else if (type == "batch_done") {
+    std::printf("batch done: %llu circuits, %llu cache hits, "
+                "%llu failed, %.1f ms\n",
+                static_cast<unsigned long long>(
+                    get(json, "count")->as_uint()),
+                static_cast<unsigned long long>(
+                    get(json, "cache_hits")->as_uint()),
+                static_cast<unsigned long long>(
+                    get(json, "failed")->as_uint()),
+                dbl(json, "wall_ms"));
+  } else {
+    std::printf("%s\n", line.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  // Connection / output flags may appear anywhere before the command.
+  std::size_t at = 0;
+  auto value = [&](const char* flag) -> std::string {
+    if (at + 1 >= args.size()) {
+      std::fprintf(stderr, "dvs-client: %s needs a value\n", flag);
+      std::exit(1);
+    }
+    return args[++at];
+  };
+  std::string command;
+  for (; at < args.size(); ++at) {
+    const std::string& arg = args[at];
+    if (arg == "--port")
+      cli.port = std::atoi(value("--port").c_str());
+    else if (arg == "--host")
+      cli.host = value("--host");
+    else if (arg == "--unix")
+      cli.unix_path = value("--unix");
+    else if (arg == "--json")
+      cli.raw_json = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      command = arg;
+      ++at;
+      break;
+    } else {
+      std::fprintf(stderr, "dvs-client: unknown flag '%s'\n", arg.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (command.empty()) {
+    usage(stderr);
+    return 1;
+  }
+
+  try {
+    dvs::Json::Object request;
+    int expected_responses = 1;  // batch reads until batch_done instead
+
+    if (command == "ping" || command == "stats" || command == "shutdown") {
+      if (at != args.size()) {
+        std::fprintf(stderr, "dvs-client: %s takes no arguments\n",
+                     command.c_str());
+        return 1;
+      }
+      request["type"] = dvs::Json(command);
+    } else if (command == "optimize" || command == "batch") {
+      request["type"] = dvs::Json(command);
+      dvs::Json::Object options;
+      std::string file;
+      for (; at < args.size(); ++at) {
+        const std::string& arg = args[at];
+        if (arg == "--circuit")
+          request["circuit"] = dvs::Json(value("--circuit"));
+        else if (arg == "--circuits") {
+          dvs::Json::Array names;
+          std::istringstream list(value("--circuits"));
+          std::string name;
+          while (std::getline(list, name, ','))
+            if (!name.empty()) names.emplace_back(name);
+          request["circuits"] = dvs::Json(std::move(names));
+        } else if (arg == "--all")
+          request["all"] = dvs::Json(true);
+        else if (arg == "--max-gates")
+          request["max_gates"] =
+              dvs::Json(std::atoi(value("--max-gates").c_str()));
+        else if (arg == "--format")
+          request["format"] = dvs::Json(value("--format"));
+        else if (arg == "--algo") {
+          dvs::Json::Array algos;
+          algos.emplace_back(value("--algo"));
+          request["algos"] = dvs::Json(std::move(algos));
+        } else if (arg == "--seed")
+          options["seed"] = dvs::Json(static_cast<std::uint64_t>(
+              std::strtoull(value("--seed").c_str(), nullptr, 0)));
+        else if (arg == "--vectors")
+          options["vectors"] =
+              dvs::Json(std::atoi(value("--vectors").c_str()));
+        else if (arg == "--freq-mhz")
+          options["freq_mhz"] =
+              dvs::Json(std::atof(value("--freq-mhz").c_str()));
+        else if (arg == "--tspec-relax")
+          options["tspec_relax"] =
+              dvs::Json(std::atof(value("--tspec-relax").c_str()));
+        else if (arg == "--return-netlist")
+          request["return_netlist"] = dvs::Json(true);
+        else if (arg == "--no-cache")
+          request["use_cache"] = dvs::Json(false);
+        else if (!arg.empty() && arg[0] != '-' && file.empty())
+          file = arg;
+        else {
+          std::fprintf(stderr, "dvs-client: unknown argument '%s'\n",
+                       arg.c_str());
+          return 1;
+        }
+      }
+      if (!options.empty())
+        request["options"] = dvs::Json(std::move(options));
+      if (command == "optimize") {
+        if (!file.empty())
+          request["netlist"] = dvs::Json(read_file(file));
+        if (request.count("netlist") == request.count("circuit")) {
+          std::fprintf(stderr,
+                       "dvs-client: optimize needs a FILE or --circuit\n");
+          return 1;
+        }
+      } else {
+        expected_responses = -1;  // stream until batch_done
+      }
+    } else {
+      std::fprintf(stderr, "dvs-client: unknown command '%s'\n",
+                   command.c_str());
+      usage(stderr);
+      return 1;
+    }
+
+    dvs::Socket socket = connect(cli);
+    socket.send_all(dvs::Json(std::move(request)).dump() + "\n");
+
+    dvs::LineReader reader(&socket, 64u << 20);
+    std::string line;
+    bool ok = true;
+    int remaining = expected_responses;
+    while ((remaining != 0) && reader.read_line(&line)) {
+      if (line.empty()) continue;
+      const dvs::Json json = dvs::Json::parse(line);
+      const dvs::Json* type = json.find("type");
+      const std::string type_name = type ? type->as_string() : "?";
+      if (cli.raw_json) {
+        std::printf("%s\n", line.c_str());
+        if (type_name == "error" || json.find("error") != nullptr)
+          ok = false;
+      } else {
+        ok = print_response(line) && ok;
+      }
+      if (remaining > 0) --remaining;
+      // Batch stream: stop after batch_done / top-level error.
+      if (remaining < 0 &&
+          (type_name == "batch_done" || type_name == "error"))
+        break;
+    }
+    return ok ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dvs-client: %s\n", e.what());
+    return 1;
+  }
+}

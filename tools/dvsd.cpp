@@ -1,0 +1,101 @@
+// dvsd — the dual-Vdd optimization daemon.  Serves the NDJSON protocol
+// documented in README.md ("Optimization as a service") on a loopback
+// TCP port or a Unix-domain socket until SIGINT/SIGTERM or a client
+// `shutdown` request.
+//
+//   $ dvsd --port 7117                 # TCP on 127.0.0.1:7117
+//   $ dvsd --unix /tmp/dvsd.sock      # Unix-domain socket
+//   $ dvsd --port 0                    # kernel-assigned port (printed)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+namespace {
+
+dvs::Service* g_service = nullptr;
+
+void on_signal(int) {
+  if (g_service != nullptr) g_service->request_stop();
+}
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: dvsd [--port N | --unix PATH] [--threads N]\n"
+      "            [--cache-entries N] [--verbose]\n"
+      "\n"
+      "Serves dual-Vdd optimization jobs over newline-delimited JSON\n"
+      "(protocol: see README.md).  Options:\n"
+      "  --port N           listen on 127.0.0.1:N (0 = kernel-assigned;\n"
+      "                     the bound port is printed on stdout)\n"
+      "  --unix PATH        listen on a Unix-domain socket instead\n"
+      "  --threads N        flow worker threads (default: all cores)\n"
+      "  --cache-entries N  result-cache capacity (default 1024)\n"
+      "  --verbose          log connections to stderr\n"
+      "  --help             this text\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dvs::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--port")
+      config.tcp_port = std::atoi(value());
+    else if (flag == "--unix")
+      config.unix_path = value();
+    else if (flag == "--threads")
+      config.num_threads = std::atoi(value());
+    else if (flag == "--cache-entries")
+      config.cache_entries =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
+    else if (flag == "--verbose")
+      config.verbose = true;
+    else if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "dvsd: unknown flag '%s'\n", flag.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (config.cache_entries == 0) {
+    std::fprintf(stderr, "dvsd: --cache-entries must be >= 1\n");
+    return 1;
+  }
+
+  try {
+    dvs::Service service(config);
+    service.start();
+    g_service = &service;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    if (config.unix_path.empty())
+      std::printf("dvsd: listening on 127.0.0.1:%d\n", service.port());
+    else
+      std::printf("dvsd: listening on %s\n", config.unix_path.c_str());
+    std::fflush(stdout);
+    service.wait();
+    service.stop();
+    g_service = nullptr;
+    const dvs::CacheStats cache = service.cache_stats();
+    std::printf("dvsd: bye (%llu hits, %llu misses, %llu evictions)\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dvsd: %s\n", e.what());
+    return 1;
+  }
+}
