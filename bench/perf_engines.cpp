@@ -18,6 +18,7 @@
 #include "graph/separator.hpp"
 #include "power/activity.hpp"
 #include "support/rng.hpp"
+#include "timing/graph.hpp"
 #include "timing/incremental.hpp"
 #include "timing/sta.hpp"
 
@@ -40,6 +41,8 @@ const dvs::Network& circuit(const std::string& name) {
 
 const char* kByIndex[] = {"x2", "b9", "apex7", "alu4", "k2", "C7552"};
 
+/// Cold-start STA: every iteration compiles a throwaway timing graph and
+/// analyzes over it (the convenience-overload path).
 void BM_Sta(benchmark::State& state) {
   const dvs::Network& net = circuit(kByIndex[state.range(0)]);
   for (auto _ : state)
@@ -48,6 +51,32 @@ void BM_Sta(benchmark::State& state) {
   state.counters["gates"] = net.num_gates();
 }
 BENCHMARK(BM_Sta)->DenseRange(0, 5);
+
+/// Steady-state full STA over a pre-compiled graph: the shape of every
+/// re-analysis inside the optimization loops, and the row to compare
+/// against the seed's pointer-chasing BM_Sta numbers.
+void BM_FullSta(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  dvs::Design design(net, lib());
+  const dvs::TimingContext ctx = design.timing_context();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dvs::run_sta(ctx, design.tspec()));
+  state.SetLabel(net.name());
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_FullSta)->DenseRange(0, 5);
+
+/// One-shot compilation of Network + Library into the CSR/SoA form.
+void BM_TimingGraphCompile(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  for (auto _ : state) {
+    dvs::TimingGraph graph(net, lib());
+    benchmark::DoNotOptimize(graph.topo_order().data());
+  }
+  state.SetLabel(net.name());
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_TimingGraphCompile)->DenseRange(0, 5);
 
 void BM_ActivityEstimation(benchmark::State& state) {
   const dvs::Network& net = circuit(kByIndex[state.range(0)]);
@@ -151,10 +180,12 @@ int main(int argc, char** argv) {
       std::fputs(
           "usage: perf_engines [--json] [google-benchmark flags]\n"
           "\n"
-          "Engine microbenchmarks (STA, activity estimation, antichain\n"
-          "max-flow, CVS/Dscale/Gscale, incremental-STA flips) over MCNC\n"
-          "stand-ins.  --json = --benchmark_format=json; everything else\n"
-          "is passed to google-benchmark (--benchmark_filter=REGEX,\n"
+          "Engine microbenchmarks (cold/steady-state full STA, timing-\n"
+          "graph compilation, activity estimation, antichain max-flow,\n"
+          "CVS/Dscale/Gscale, per-flip incremental STA) over MCNC\n"
+          "stand-ins.  --json = --benchmark_format=json (CI stores it as\n"
+          "BENCH_engines.json); everything else is passed to\n"
+          "google-benchmark (--benchmark_filter=REGEX,\n"
           "--benchmark_min_time=T, ...).  Unknown flags exit non-zero.\n",
           stdout);
       return 0;

@@ -1,7 +1,7 @@
 #include "core/cvs.hpp"
 
-#include "netlist/topo.hpp"
 #include "support/contracts.hpp"
+#include "timing/graph.hpp"
 #include "timing/incremental.hpp"
 #include "timing/tcb.hpp"
 
@@ -32,7 +32,10 @@ CvsResult run_cvs(Design& design, const CvsOptions& options) {
   // acceptance sound against the *committed* state (the paper's
   // incurred-penalty check).
   IncrementalSta timer(design.timing_context(), design.tspec());
-  const std::vector<NodeId> order = topo_order(net);
+  const std::vector<NodeId>& order = design.timing_graph().topo_order();
+  const Library& lib = design.library();
+  const double f_high = lib.voltage_model().delay_factor(lib.vdd_high());
+  const double f_low = lib.voltage_model().delay_factor(lib.vdd_low());
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const Node& gate = net.node(*it);
     if (!gate.is_gate() || gate.cell < 0) continue;
@@ -40,9 +43,7 @@ CvsResult run_cvs(Design& design, const CvsOptions& options) {
     if (!fanouts_all_low(design, gate)) continue;
     const StaResult& sta = timer.result();
     const double increase = worst_delay_increase(
-        design.library(), design.library().cell(gate.cell),
-        design.library().vdd_high(), design.library().vdd_low(),
-        sta.load[gate.id]);
+        f_high, f_low, lib.cell(gate.cell), sta.load[gate.id]);
     if (increase + options.slack_margin > sta.slack[gate.id]) continue;
     design.set_level(gate.id, VddLevel::kLow);
     DVS_ASSERT(!design.needs_lc(gate.id));  // cluster rule: never an LC

@@ -80,12 +80,20 @@ int Design::count_resized() const {
   return count;
 }
 
+const TimingGraph& Design::timing_graph() const {
+  if (!graph_.graph || !graph_.graph->describes(net_, *lib_))
+    graph_.graph = std::make_shared<TimingGraph>(net_, *lib_);
+  return *graph_.graph;
+}
+
 TimingContext Design::timing_context() const {
   TimingContext ctx;
   ctx.net = &net_;
   ctx.lib = lib_;
   ctx.node_vdd = node_vdd_;
   ctx.lc_on_output = lc_flags_;
+  ctx.graph = &timing_graph();
+  ctx.graph_owner = graph_.graph;
   return ctx;
 }
 
@@ -95,7 +103,9 @@ StaResult Design::run_timing() const {
 
 const Activity& Design::activity() const {
   if (!activity_valid_) {
-    activity_ = estimate_activity(net_, activity_options_);
+    activity_ =
+        estimate_activity(net_, activity_options_,
+                          timing_graph().topo_order());
     activity_valid_ = true;
   }
   return activity_;
@@ -114,6 +124,7 @@ PowerBreakdown Design::run_power() const {
   ctx.lc_on_output = lc_flags_;
   ctx.alpha01 = activity().alpha01;
   ctx.freq_mhz = freq_mhz_;
+  ctx.graph = &timing_graph();
   return compute_power(ctx);
 }
 

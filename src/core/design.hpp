@@ -9,12 +9,14 @@
 // gates for export.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "library/library.hpp"
 #include "netlist/network.hpp"
 #include "power/activity.hpp"
 #include "power/power_model.hpp"
+#include "timing/graph.hpp"
 #include "timing/sta.hpp"
 
 namespace dvs {
@@ -66,6 +68,16 @@ class Design {
   int count_resized() const;
 
   // ---- evaluation ---------------------------------------------------------
+  /// Compiled flat timing graph of the current network, recompiled
+  /// automatically when the network's structural version moves (point
+  /// changes — supplies, cells, LC flags — patch in place instead).  The
+  /// reference stays valid until the next structural edit or relocation
+  /// of this Design; contexts from timing_context() share ownership and
+  /// outlive recompiles.  Like the graph's sync methods, the lazy
+  /// compile/sync here writes through const: timing a shared Design from
+  /// several threads at once is not supported.
+  const TimingGraph& timing_graph() const;
+
   TimingContext timing_context() const;
   StaResult run_timing() const;
 
@@ -97,9 +109,28 @@ class Design {
   std::vector<char> lc_flags_;
   std::vector<int> original_cells_;
   double original_area_ = 0.0;
+  /// Cache slot for the compiled graph: copies and moves of the Design
+  /// start empty (the graph is keyed to the source's network object), so
+  /// every other special member can stay defaulted.
+  struct GraphSlot {
+    GraphSlot() = default;
+    GraphSlot(const GraphSlot&) noexcept {}
+    GraphSlot(GraphSlot&&) noexcept {}
+    GraphSlot& operator=(const GraphSlot&) noexcept {
+      graph.reset();
+      return *this;
+    }
+    GraphSlot& operator=(GraphSlot&&) noexcept {
+      graph.reset();
+      return *this;
+    }
+    mutable std::shared_ptr<TimingGraph> graph;
+  };
+
   ActivityOptions activity_options_;
   mutable Activity activity_;
   mutable bool activity_valid_ = false;
+  GraphSlot graph_;
 };
 
 }  // namespace dvs

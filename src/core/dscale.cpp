@@ -6,6 +6,7 @@
 #include "graph/reachability.hpp"
 #include "support/contracts.hpp"
 #include "support/units.hpp"
+#include "timing/graph.hpp"
 #include "timing/incremental.hpp"
 #include "timing/loads.hpp"
 
@@ -22,9 +23,15 @@ struct LoweringEffect {
   double delay_increase = 0.0;
 };
 
-LoweringEffect evaluate_lowering(const Design& design, const StaResult& sta,
+/// `graph` is the design's compiled timing graph with a current cell
+/// snapshot; `f_high` / `f_low` are the voltage model's delay factors at
+/// the two supplies.  Both are hoisted by the caller out of the
+/// per-candidate loop.
+LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
+                                 const StaResult& sta,
                                  const Activity& activity, NodeId id,
-                                 double slack_margin) {
+                                 double slack_margin, double f_high,
+                                 double f_low) {
   const Network& net = design.network();
   const Library& lib = design.library();
   const Node& gate = net.node(id);
@@ -39,32 +46,29 @@ LoweringEffect evaluate_lowering(const Design& design, const StaResult& sta,
 
   // ---- fanout split after lowering -------------------------------------
   // Gate fanouts still high move behind a converter; low gates and output
-  // ports stay direct.
+  // ports stay direct.  The compiled entry list carries the matching
+  // (sink, pin, cap) triples directly — the seed code rescanned every
+  // sink's full fanin list per unique fanout, O(pins^2) on wide nets —
+  // and its entry order keeps the cap accumulation bit-identical.
   double direct_pins = 0.0;
   double lc_pins = 0.0;
   int direct_count = 0;
   int lc_count = 0;
-  for_each_unique_fanout(gate, [&](NodeId fo) {
-    const Node& sink = net.node(fo);
-    for (std::size_t pin = 0; pin < sink.fanins.size(); ++pin) {
-      if (sink.fanins[pin] != id) continue;
-      const double cap = sink.cell >= 0
-                             ? lib.cell(sink.cell).input_cap[pin]
-                             : 6.0;
-      if (sink.is_gate() && design.level(fo) == VddLevel::kHigh) {
-        lc_pins += cap;
-        ++lc_count;
-      } else {
-        direct_pins += cap;
-        ++direct_count;
-      }
-    }
-  });
-  for (const OutputPort& port : net.outputs()) {
-    if (port.driver == id) {
-      direct_pins += 25.0;  // keep in sync with TimingContext default
+  const auto pins = graph.fanout_pins(id);
+  const auto caps = graph.fanout_pin_caps(id);
+  for (std::size_t e = 0; e < pins.size(); ++e) {
+    const NodeId fo = pins[e].sink;
+    if (graph.is_gate(fo) && design.level(fo) == VddLevel::kHigh) {
+      lc_pins += caps[e];
+      ++lc_count;
+    } else {
+      direct_pins += caps[e];
       ++direct_count;
     }
+  }
+  for (int k = 0; k < graph.port_fanout_count(id); ++k) {
+    direct_pins += 25.0;  // keep in sync with TimingContext default
+    ++direct_count;
   }
   const bool needs_lc = lc_count > 0;
   if (needs_lc && lc == nullptr)
@@ -81,8 +85,6 @@ LoweringEffect evaluate_lowering(const Design& design, const StaResult& sta,
   new_direct += lib.wire_load().wire_cap(new_direct_count);
 
   // ---- timing -----------------------------------------------------------
-  const double f_high = vm.delay_factor(vh);
-  const double f_low = vm.delay_factor(vl);
   double self_increase = 0.0;
   for (const TimingArc& arc : cell.arcs) {
     const double old_rise =
@@ -209,6 +211,14 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
 
   const Network& net = design.network();
   const Activity& activity = design.activity();
+  const VoltageModel& vm = design.library().voltage_model();
+  const double f_high = vm.delay_factor(design.library().vdd_high());
+  const double f_low = vm.delay_factor(design.library().vdd_low());
+  // The candidate scans read pin caps off the compiled graph; Dscale
+  // itself never resizes, so one sync up front keeps the snapshot
+  // current for the whole run.
+  const TimingGraph& graph = design.timing_graph();
+  graph.sync_cells();
 
   // One incremental timer lives across all rounds: candidate collection
   // reads its current state, and every commit/revert/trim below notifies
@@ -226,8 +236,9 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
     net.for_each_gate([&](const Node& gate) {
       if (gate.cell < 0 || design.level(gate.id) == VddLevel::kLow) return;
       if (sta.slack[gate.id] <= options.slack_margin) return;
-      const LoweringEffect effect = evaluate_lowering(
-          design, sta, activity, gate.id, options.slack_margin);
+      const LoweringEffect effect =
+          evaluate_lowering(design, graph, sta, activity, gate.id,
+                            options.slack_margin, f_high, f_low);
       const double weight = options.lc_aware_weights ? effect.net_gain_uw
                                                      : effect.gross_gain_uw;
       if (effect.feasible && weight > options.min_gain_uw)

@@ -1,6 +1,7 @@
 #include "netlist/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 namespace dvs {
@@ -14,7 +15,54 @@ void erase_one(std::vector<NodeId>& vec, NodeId value) {
   vec.erase(it);
 }
 
+std::uint64_t next_structural_stamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
+
+void Network::bump_structural_version() {
+  structural_version_ = next_structural_stamp();
+}
+
+Network::Network(const Network& other)
+    : name_(other.name_),
+      nodes_(other.nodes_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_) {
+  bump_structural_version();
+}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  nodes_ = other.nodes_;
+  inputs_ = other.inputs_;
+  outputs_ = other.outputs_;
+  bump_structural_version();
+  return *this;
+}
+
+Network::Network(Network&& other) noexcept
+    : name_(std::move(other.name_)),
+      nodes_(std::move(other.nodes_)),
+      inputs_(std::move(other.inputs_)),
+      outputs_(std::move(other.outputs_)) {
+  bump_structural_version();
+  other.bump_structural_version();
+}
+
+Network& Network::operator=(Network&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  nodes_ = std::move(other.nodes_);
+  inputs_ = std::move(other.inputs_);
+  outputs_ = std::move(other.outputs_);
+  bump_structural_version();
+  other.bump_structural_version();
+  return *this;
+}
 
 bool is_positive_unate(const TruthTable& tt, int var) {
   DVS_EXPECTS(var >= 0 && var < tt.num_vars);
@@ -41,6 +89,7 @@ bool is_negative_unate(const TruthTable& tt, int var) {
 }
 
 NodeId Network::new_node(NodeKind kind, std::string name) {
+  bump_structural_version();
   Node n;
   n.id = static_cast<NodeId>(nodes_.size());
   n.kind = kind;
@@ -77,6 +126,7 @@ NodeId Network::add_gate(TruthTable function, std::vector<NodeId> fanins,
 
 void Network::add_output(std::string port_name, NodeId driver) {
   DVS_EXPECTS(is_valid(driver));
+  bump_structural_version();
   outputs_.push_back(OutputPort{std::move(port_name), driver});
 }
 
@@ -110,6 +160,7 @@ void Network::set_cell(NodeId id, int cell) {
 void Network::replace_fanin(NodeId node_id, NodeId old_fanin,
                             NodeId new_fanin) {
   DVS_EXPECTS(is_valid(node_id) && is_valid(new_fanin));
+  bump_structural_version();
   Node& n = nodes_[node_id];
   auto it = std::find(n.fanins.begin(), n.fanins.end(), old_fanin);
   DVS_EXPECTS(it != n.fanins.end());
@@ -152,6 +203,7 @@ NodeId Network::insert_between(NodeId driver,
 
 void Network::remove_node(NodeId id) {
   DVS_EXPECTS(is_valid(id));
+  bump_structural_version();
   Node& n = nodes_[id];
   DVS_EXPECTS(n.fanouts.empty());
   for (const OutputPort& port : outputs_) DVS_EXPECTS(port.driver != id);
@@ -182,6 +234,7 @@ int Network::sweep_dangling() {
 }
 
 void Network::compact() {
+  bump_structural_version();
   std::vector<NodeId> remap(nodes_.size(), kNoNode);
   std::vector<Node> live;
   live.reserve(nodes_.size());

@@ -107,6 +107,14 @@ class Network {
  public:
   explicit Network(std::string name = "top") : name_(std::move(name)) {}
 
+  // Copies and moves restamp the structural version (source included for
+  // moves): a network object that changes content wholesale must never
+  // keep a version a compiled view could mistake for its own.
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&& other) noexcept;
+
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
@@ -179,13 +187,23 @@ class Network {
   /// references only.  Aborts (contract failure) on violation.
   void check() const;
 
+  /// Process-unique stamp renewed by every structural mutation (node or
+  /// port creation, rewiring, removal, compaction) and by whole-object
+  /// copies/moves.  Point changes that leave the topology alone
+  /// (`set_cell`) keep it.  Compiled views of the network
+  /// (timing/graph.hpp) key their validity on it; drawing stamps from one
+  /// global counter means two different topologies can never share one.
+  std::uint64_t structural_version() const { return structural_version_; }
+
  private:
   NodeId new_node(NodeKind kind, std::string name);
+  void bump_structural_version();
 
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<NodeId> inputs_;
   std::vector<OutputPort> outputs_;
+  std::uint64_t structural_version_ = 0;
 };
 
 // Convenience truth tables for common functions (n-input where stated).

@@ -9,15 +9,16 @@
 
 namespace dvs {
 
-Activity estimate_activity(const Network& net,
-                           const ActivityOptions& options) {
+namespace {
+
+Activity estimate_with(const Network& net, const ActivityOptions& options,
+                       const BitSimulator& sim) {
   DVS_EXPECTS(options.num_vectors >= 2);
   const int n = net.size();
   Activity act;
   act.alpha01.assign(n, 0.0);
   act.prob_one.assign(n, 0.0);
 
-  BitSimulator sim(net);
   Rng rng(options.seed);
   const int num_words = (options.num_vectors + 63) / 64;
 
@@ -66,6 +67,18 @@ Activity estimate_activity(const Network& net,
     act.prob_one[node.id] = static_cast<double>(ones[node.id]) / cycles;
   });
   return act;
+}
+
+}  // namespace
+
+Activity estimate_activity(const Network& net,
+                           const ActivityOptions& options) {
+  return estimate_with(net, options, BitSimulator(net));
+}
+
+Activity estimate_activity(const Network& net, const ActivityOptions& options,
+                           std::span<const NodeId> topo) {
+  return estimate_with(net, options, BitSimulator(net, topo));
 }
 
 Activity propagate_probabilities(const Network& net,

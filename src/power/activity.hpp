@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "netlist/network.hpp"
@@ -29,6 +30,11 @@ struct Activity {
 /// Random-simulation estimate (SIS-like).
 Activity estimate_activity(const Network& net,
                            const ActivityOptions& options = {});
+
+/// Same estimate over a caller-provided topological order (e.g. the one
+/// cached on the compiled timing graph), skipping the internal sort.
+Activity estimate_activity(const Network& net, const ActivityOptions& options,
+                           std::span<const NodeId> topo);
 
 /// Analytic estimate assuming spatial and temporal independence:
 /// prob_one via truth-table propagation, alpha01 = p(1-p).

@@ -15,7 +15,7 @@ PowerBreakdown compute_power(const PowerContext& ctx) {
   DVS_EXPECTS(static_cast<int>(ctx.alpha01.size()) >= n);
 
   LoadContext lctx{ctx.net, ctx.lib, ctx.node_vdd, ctx.lc_on_output,
-                   ctx.output_port_load};
+                   ctx.output_port_load, ctx.graph};
   const NodeLoads loads = compute_loads(lctx);
 
   PowerBreakdown p;

@@ -8,6 +8,12 @@ namespace dvs {
 BitSimulator::BitSimulator(const Network& net)
     : net_(&net), order_(topo_order(net)) {}
 
+BitSimulator::BitSimulator(const Network& net,
+                           std::span<const NodeId> order)
+    : net_(&net), order_(order.begin(), order.end()) {
+  DVS_EXPECTS(static_cast<int>(order_.size()) == net.num_live_nodes());
+}
+
 void BitSimulator::simulate_into(std::span<const std::uint64_t> input_words,
                                  std::vector<std::uint64_t>& values) const {
   const Network& net = *net_;

@@ -13,7 +13,11 @@ namespace dvs {
 
 class BitSimulator {
  public:
+  /// Computes the evaluation order itself (one topological sort).
   explicit BitSimulator(const Network& net);
+  /// Reuses a caller-provided topological order (e.g. the one cached on
+  /// Design's compiled timing graph) instead of recomputing it.
+  BitSimulator(const Network& net, std::span<const NodeId> order);
 
   const Network& network() const { return *net_; }
 

@@ -4,12 +4,42 @@
 #pragma once
 
 #include <algorithm>
+#include <limits>
 
 #include "library/cell.hpp"
+#include "library/voltage_model.hpp"
 #include "netlist/network.hpp"
 #include "timing/sta.hpp"
 
 namespace dvs::timing_detail {
+
+/// Two-slot memo for VoltageModel::delay_factor.  The model evaluates two
+/// non-integer powers per call and the sweeps call it once per gate per
+/// direction, yet a dual-Vdd design only ever carries two distinct supply
+/// values — so nearly every call is a repeat.  Keyed on the exact double,
+/// the memo returns bit-identical results to calling the model directly.
+class DelayFactorCache {
+ public:
+  explicit DelayFactorCache(const VoltageModel& vm) : vm_(&vm) {}
+
+  double operator()(double vdd) {
+    if (vdd == v0_) return f0_;
+    if (vdd == v1_) return f1_;
+    const double f = vm_->delay_factor(vdd);
+    v1_ = v0_;
+    f1_ = f0_;
+    v0_ = vdd;
+    f0_ = f;
+    return f;
+  }
+
+ private:
+  const VoltageModel* vm_;
+  double v0_ = std::numeric_limits<double>::quiet_NaN();
+  double f0_ = 0.0;
+  double v1_ = std::numeric_limits<double>::quiet_NaN();
+  double f1_ = 0.0;
+};
 
 inline constexpr double kVoltEps = 1e-6;
 inline constexpr double kDefaultPinCap = 6.0;  // fF, unmapped gates
@@ -30,7 +60,7 @@ inline TimingArc default_arc(const TruthTable& tt, int pin) {
 }
 
 struct ArcView {
-  TimingArc arc;
+  const TimingArc& arc;
   double vdd_factor;
   double load;
 

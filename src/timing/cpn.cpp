@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "support/contracts.hpp"
+#include "timing/arc_eval.hpp"
+#include "timing/graph.hpp"
 
 namespace dvs {
 
@@ -34,12 +36,22 @@ CriticalPathNetwork extract_cpn(const TimingContext& ctx,
     return !ctx.lc_on_output.empty() && ctx.lc_on_output[id] != 0;
   };
 
+  // The compiled graph (when current) supplies flat fanin spans and
+  // pre-resolved arcs; stale or absent graphs fall back to the library.
+  const TimingGraph* graph =
+      ctx.graph && ctx.graph->describes(net, lib) ? ctx.graph : nullptr;
+  if (graph) graph->sync_cells();
+  timing_detail::DelayFactorCache delay_factor(lib.voltage_model());
+
   while (!worklist.empty()) {
     const NodeId vid = worklist.back();
     worklist.pop_back();
     const Node& v = net.node(vid);
     if (!v.is_gate() || v.cell < 0) continue;
     const Cell& cell = lib.cell(v.cell);
+    const std::span<const TimingArc> arcs =
+        graph ? graph->arcs(vid) : std::span<const TimingArc>(cell.arcs);
+    const double vf = delay_factor(ctx.node_vdd[vid]);
     const double target = sta.arrival[vid].max();
     for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
       const NodeId uid = v.fanins[pin];
@@ -47,12 +59,12 @@ CriticalPathNetwork extract_cpn(const TimingContext& ctx,
           has_lc(uid) && ctx.node_vdd[vid] > ctx.node_vdd[uid] + kVoltEps;
       const RiseFall& in =
           through_lc ? sta.lc_arrival[uid] : sta.arrival[uid];
-      const RiseFall d = arc_delay(lib, cell, static_cast<int>(pin),
-                                   ctx.node_vdd[vid], sta.load[vid]);
+      const RiseFall d =
+          timing_detail::ArcView{arcs[pin], vf, sta.load[vid]}.delay();
       // Worst contribution of this pin to the output arrival, respecting
       // the arc sense the same way the STA does.
       double contribution;
-      switch (cell.arcs[pin].sense) {
+      switch (arcs[pin].sense) {
         case ArcSense::kPositiveUnate:
           contribution = std::max(in.rise + d.rise, in.fall + d.fall);
           break;

@@ -3,9 +3,9 @@
 #include <cmath>
 #include <set>
 
-#include "netlist/topo.hpp"
 #include "support/contracts.hpp"
 #include "timing/arc_eval.hpp"
+#include "timing/graph.hpp"
 
 namespace dvs {
 
@@ -15,21 +15,13 @@ constexpr double kEps = 1e-12;
 
 using timing_detail::ArcView;
 using timing_detail::back_propagate;
-using timing_detail::default_arc;
+using timing_detail::DelayFactorCache;
 using timing_detail::kVoltEps;
 using timing_detail::propagate;
 
 bool differs(const RiseFall& a, const RiseFall& b) {
   return std::abs(a.rise - b.rise) > kEps ||
          std::abs(a.fall - b.fall) > kEps;
-}
-
-/// Topological rank of every live node, for worklist ordering.
-std::vector<int> topo_ranks(const Network& net) {
-  std::vector<int> rank(net.size(), 0);
-  int r = 0;
-  for (NodeId id : topo_order(net)) rank[id] = r++;
-  return rank;
 }
 
 }  // namespace
@@ -39,46 +31,56 @@ IncrementalSta::IncrementalSta(const TimingContext& ctx, double tspec)
   full_recompute();
 }
 
+IncrementalSta::~IncrementalSta() = default;
+
+StaResult IncrementalSta::analyze_full() const {
+  TimingContext ctx = ctx_;
+  ctx.graph = graph_;
+  return run_sta(ctx, tspec_);
+}
+
 void IncrementalSta::full_recompute() {
-  result_ = run_sta(ctx_, tspec_);
-  ranks_ = topo_ranks(*ctx_.net);
+  // Prefer the caller's compiled graph; compile (or recompile, after a
+  // structural edit) a private one otherwise.
+  if (ctx_.graph && ctx_.graph->describes(*ctx_.net, *ctx_.lib)) {
+    graph_ = ctx_.graph;
+    owned_graph_.reset();
+  } else if (owned_graph_ &&
+             owned_graph_->describes(*ctx_.net, *ctx_.lib)) {
+    graph_ = owned_graph_.get();
+  } else {
+    owned_graph_ =
+        std::make_unique<TimingGraph>(*ctx_.net, *ctx_.lib);
+    graph_ = owned_graph_.get();
+  }
+  result_ = analyze_full();
 }
 
 bool IncrementalSta::recompute_load(NodeId id) {
-  const Network& net = *ctx_.net;
   const Library& lib = *ctx_.lib;
-  auto has_lc = [&](NodeId v) {
-    return !ctx_.lc_on_output.empty() && ctx_.lc_on_output[v] != 0;
-  };
-  auto pin_cap = [&](const Node& sink, int pin) {
-    if (sink.cell >= 0) return lib.cell(sink.cell).input_cap[pin];
-    return timing_detail::kDefaultPinCap;
-  };
+  const TimingGraph& g = *graph_;
+  const bool id_has_lc =
+      !ctx_.lc_on_output.empty() && ctx_.lc_on_output[id] != 0;
 
   double direct = 0.0, lc = 0.0;
   int direct_count = 0, lc_count = 0;
-  const Node& u = net.node(id);
-  for_each_unique_fanout(u, [&](NodeId vid) {
-    const Node& v = net.node(vid);
-    for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
-      if (v.fanins[pin] != id) continue;
-      const bool through_lc =
-          has_lc(id) && ctx_.node_vdd[vid] > ctx_.node_vdd[id] + kVoltEps;
-      const double cap = pin_cap(v, static_cast<int>(pin));
-      if (through_lc) {
-        lc += cap;
-        ++lc_count;
-      } else {
-        direct += cap;
-        ++direct_count;
-      }
-    }
-  });
-  for (const OutputPort& port : net.outputs()) {
-    if (port.driver == id) {
-      direct += ctx_.output_port_load;
+  const auto pins = g.fanout_pins(id);
+  const auto caps = g.fanout_pin_caps(id);
+  const double id_vdd = ctx_.node_vdd[id];
+  for (std::size_t e = 0; e < pins.size(); ++e) {
+    const bool through_lc =
+        id_has_lc && ctx_.node_vdd[pins[e].sink] > id_vdd + kVoltEps;
+    if (through_lc) {
+      lc += caps[e];
+      ++lc_count;
+    } else {
+      direct += caps[e];
       ++direct_count;
     }
+  }
+  for (int k = 0; k < g.port_fanout_count(id); ++k) {
+    direct += ctx_.output_port_load;
+    ++direct_count;
   }
   if (lc_count > 0) {
     const Cell& lc_cell = lib.cell(lib.level_converter());
@@ -95,24 +97,24 @@ bool IncrementalSta::recompute_load(NodeId id) {
   return changed;
 }
 
-bool IncrementalSta::recompute_arrival(NodeId id) {
-  const Network& net = *ctx_.net;
+bool IncrementalSta::recompute_arrival(NodeId id, DelayFactorCache& df) {
   const Library& lib = *ctx_.lib;
-  const Node& v = net.node(id);
+  const TimingGraph& g = *graph_;
   auto has_lc = [&](NodeId n) {
     return !ctx_.lc_on_output.empty() && ctx_.lc_on_output[n] != 0;
   };
 
+  const std::span<const NodeId> fi = g.fanins(id);
   RiseFall arr{0.0, 0.0};
-  if (v.is_gate() && !v.fanins.empty()) {
+  if (g.is_gate(id) && !fi.empty()) {
     arr = {-1e30, -1e30};
-    const double vf = lib.voltage_model().delay_factor(ctx_.node_vdd[id]);
-    for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
-      const NodeId uid = v.fanins[pin];
-      const TimingArc arc =
-          v.cell >= 0 ? lib.cell(v.cell).arcs[pin]
-                      : default_arc(v.function, static_cast<int>(pin));
-      const RiseFall d = ArcView{arc, vf, result_.load[id]}.delay();
+    const double vf = df(ctx_.node_vdd[id]);
+    const std::span<const TimingArc> arcs = g.arcs(id);
+    const double load = result_.load[id];
+    for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+      const NodeId uid = fi[pin];
+      const TimingArc& arc = arcs[pin];
+      const RiseFall d = ArcView{arc, vf, load}.delay();
       const bool through_lc =
           has_lc(uid) && ctx_.node_vdd[id] > ctx_.node_vdd[uid] + kVoltEps;
       const RiseFall& in =
@@ -126,7 +128,7 @@ bool IncrementalSta::recompute_arrival(NodeId id) {
   RiseFall lc_arr{};
   if (has_lc(id) && result_.lc_load[id] > 0.0) {
     const Cell& lc_cell = lib.cell(lib.level_converter());
-    const double vf = lib.voltage_model().delay_factor(lib.vdd_high());
+    const double vf = df(lib.vdd_high());
     const RiseFall d =
         ArcView{lc_cell.arcs[0], vf, result_.lc_load[id]}.delay();
     lc_arr = propagate(arr, lc_cell.arcs[0], d);
@@ -141,45 +143,35 @@ bool IncrementalSta::recompute_arrival(NodeId id) {
   return changed;
 }
 
-bool IncrementalSta::recompute_required(NodeId id) {
-  const Network& net = *ctx_.net;
+bool IncrementalSta::recompute_required(NodeId id, DelayFactorCache& df) {
   const Library& lib = *ctx_.lib;
-  auto has_lc = [&](NodeId n) {
-    return !ctx_.lc_on_output.empty() && ctx_.lc_on_output[n] != 0;
-  };
+  const TimingGraph& g = *graph_;
+  const bool id_has_lc =
+      !ctx_.lc_on_output.empty() && ctx_.lc_on_output[id] != 0;
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   RiseFall req{kInf, kInf};
-  for (const OutputPort& port : net.outputs()) {
-    if (port.driver == id) {
-      req.rise = std::min(req.rise, result_.tspec);
-      req.fall = std::min(req.fall, result_.tspec);
-    }
+  for (int k = 0; k < g.port_fanout_count(id); ++k) {
+    req.rise = std::min(req.rise, result_.tspec);
+    req.fall = std::min(req.fall, result_.tspec);
   }
-  for (NodeId vid : net.node(id).fanouts) {
-    const Node& v = net.node(vid);
-    const double vf =
-        lib.voltage_model().delay_factor(ctx_.node_vdd[vid]);
-    for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
-      if (v.fanins[pin] != id) continue;
-      const TimingArc arc =
-          v.cell >= 0 ? lib.cell(v.cell).arcs[pin]
-                      : default_arc(v.function, static_cast<int>(pin));
-      const RiseFall d = ArcView{arc, vf, result_.load[vid]}.delay();
-      RiseFall pin_req = back_propagate(result_.required[vid], arc, d);
-      const bool through_lc =
-          has_lc(id) && ctx_.node_vdd[vid] > ctx_.node_vdd[id] + kVoltEps;
-      if (through_lc) {
-        const Cell& lc_cell = lib.cell(lib.level_converter());
-        const double lcvf =
-            lib.voltage_model().delay_factor(lib.vdd_high());
-        const RiseFall lcd =
-            ArcView{lc_cell.arcs[0], lcvf, result_.lc_load[id]}.delay();
-        pin_req = back_propagate(pin_req, lc_cell.arcs[0], lcd);
-      }
-      req.rise = std::min(req.rise, pin_req.rise);
-      req.fall = std::min(req.fall, pin_req.fall);
+  for (const TimingGraph::FanoutPin& fo : g.fanout_pins(id)) {
+    const NodeId vid = fo.sink;
+    const double vf = df(ctx_.node_vdd[vid]);
+    const TimingArc& arc = g.arcs(vid)[fo.pin];
+    const RiseFall d = ArcView{arc, vf, result_.load[vid]}.delay();
+    RiseFall pin_req = back_propagate(result_.required[vid], arc, d);
+    const bool through_lc =
+        id_has_lc && ctx_.node_vdd[vid] > ctx_.node_vdd[id] + kVoltEps;
+    if (through_lc) {
+      const Cell& lc_cell = lib.cell(lib.level_converter());
+      const double lcvf = df(lib.vdd_high());
+      const RiseFall lcd =
+          ArcView{lc_cell.arcs[0], lcvf, result_.lc_load[id]}.delay();
+      pin_req = back_propagate(pin_req, lc_cell.arcs[0], lcd);
     }
+    req.rise = std::min(req.rise, pin_req.rise);
+    req.fall = std::min(req.fall, pin_req.fall);
   }
 
   const bool changed = differs(req, result_.required[id]);
@@ -199,9 +191,12 @@ void IncrementalSta::refresh_worst_arrival() {
 }
 
 void IncrementalSta::on_node_changed(NodeId id) {
-  const Network& net = *ctx_.net;
-  DVS_EXPECTS(net.is_valid(id));
-  const std::vector<int>& ranks = ranks_;
+  const TimingGraph& g = *graph_;
+  DVS_EXPECTS(ctx_.net->is_valid(id));
+  // Absorb a possible cell change before touching arcs or caps.
+  g.sync_node(id);
+  const std::vector<int>& ranks = g.topo_ranks();
+  DelayFactorCache df(ctx_.lib->voltage_model());
 
   // Loads that can move: the node's own (LC split, port/pin mix) and its
   // fanins' (the node's pin caps change with its cell; its supply decides
@@ -210,7 +205,7 @@ void IncrementalSta::on_node_changed(NodeId id) {
   auto seed_forward = [&](NodeId v) { forward.emplace(ranks[v], v); };
   recompute_load(id);
   seed_forward(id);
-  for (NodeId fi : net.node(id).fanins) {
+  for (NodeId fi : g.fanins(id)) {
     recompute_load(fi);
     seed_forward(fi);
   }
@@ -223,29 +218,29 @@ void IncrementalSta::on_node_changed(NodeId id) {
   while (!forward.empty()) {
     const NodeId v = forward.begin()->second;
     forward.erase(forward.begin());
-    if (recompute_arrival(v))
-      for (NodeId fo : net.node(v).fanouts) seed_forward(fo);
+    if (recompute_arrival(v, df))
+      for (NodeId fo : g.unique_fanouts(v)) seed_forward(fo);
   }
 
   // Required sweep in reverse topological order.  Arc delays into the
   // changed nodes moved with their loads/supplies, so their fanins (and
   // transitively, everything upstream that notices) re-pull.
   seed_required(id);
-  for (NodeId fi : net.node(id).fanins) {
+  for (NodeId fi : g.fanins(id)) {
     seed_required(fi);
-    for (NodeId gfi : net.node(fi).fanins) seed_required(gfi);
+    for (NodeId gfi : g.fanins(fi)) seed_required(gfi);
   }
   while (!required_seeds.empty()) {
     const NodeId v = required_seeds.begin()->second;
     required_seeds.erase(required_seeds.begin());
-    if (recompute_required(v))
-      for (NodeId fi : net.node(v).fanins) seed_required(fi);
+    if (recompute_required(v, df))
+      for (NodeId fi : g.fanins(v)) seed_required(fi);
   }
   refresh_worst_arrival();
 }
 
 bool IncrementalSta::matches_full_sta(double eps) const {
-  const StaResult fresh = run_sta(ctx_, tspec_);
+  const StaResult fresh = analyze_full();
   const Network& net = *ctx_.net;
   bool ok = true;
   net.for_each_node([&](const Node& n) {

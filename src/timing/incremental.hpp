@@ -9,17 +9,25 @@
 // `on_node_changed(id)`.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "timing/sta.hpp"
 
 namespace dvs {
 
+namespace timing_detail {
+class DelayFactorCache;
+}
+
 class IncrementalSta {
  public:
   /// Captures the context (the spans must outlive this object) and runs a
-  /// full analysis.
+  /// full analysis.  When `ctx.graph` carries a current compiled graph the
+  /// engine shares it (worklists, ranks and adjacency all come from it);
+  /// otherwise it compiles a private one.
   IncrementalSta(const TimingContext& ctx, double tspec);
+  ~IncrementalSta();
 
   /// Current timing state; always consistent with the last notified
   /// change.
@@ -40,17 +48,20 @@ class IncrementalSta {
  private:
   /// Recomputes arrival (and LC arrival) of one node from its fanins.
   /// Returns true when the stored value moved by more than kEps.
-  bool recompute_arrival(NodeId id);
+  bool recompute_arrival(NodeId id, timing_detail::DelayFactorCache& df);
   /// Recomputes required time of one node from its fanouts (pull).
-  bool recompute_required(NodeId id);
+  bool recompute_required(NodeId id, timing_detail::DelayFactorCache& df);
   /// Recomputes the direct/LC load of one node.  Returns true on change.
   bool recompute_load(NodeId id);
   void refresh_worst_arrival();
+  /// Fresh full analysis over the engine's graph.
+  StaResult analyze_full() const;
 
   TimingContext ctx_;
   double tspec_;
   StaResult result_;
-  std::vector<int> ranks_;  // topological rank, for worklist ordering
+  const TimingGraph* graph_ = nullptr;
+  std::unique_ptr<TimingGraph> owned_graph_;  // when the caller gave none
 };
 
 }  // namespace dvs

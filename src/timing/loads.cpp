@@ -1,26 +1,23 @@
 #include "timing/loads.hpp"
 
 #include "support/contracts.hpp"
+#include "timing/graph.hpp"
+#include "timing/reference.hpp"
 
 namespace dvs {
 
 namespace {
 constexpr double kVoltEps = 1e-6;
-constexpr double kDefaultPinCap = 6.0;  // fF, for unmapped gates
-
-double pin_cap(const Library& lib, const Node& sink, int pin) {
-  if (sink.cell >= 0) return lib.cell(sink.cell).input_cap[pin];
-  return kDefaultPinCap;
-}
 }  // namespace
 
-bool arc_through_lc(const LoadContext& ctx, NodeId driver, NodeId sink) {
-  if (ctx.lc_on_output.empty() || !ctx.lc_on_output[driver]) return false;
-  return ctx.node_vdd[sink] > ctx.node_vdd[driver] + kVoltEps;
-}
+namespace timing_detail {
 
-NodeLoads compute_loads(const LoadContext& ctx) {
-  DVS_EXPECTS(ctx.net != nullptr && ctx.lib != nullptr);
+/// Flat walk over the compiled fanout pin entries: no per-visit fanout
+/// deduplication, no sink fanin rescans, no cell lookups.  Entry order is
+/// the seed's canonical visit order, so every accumulation below is
+/// bit-identical to compute_loads_reference.
+NodeLoads compute_loads_presynced(const LoadContext& ctx,
+                                  const TimingGraph& g) {
   const Network& net = *ctx.net;
   const Library& lib = *ctx.lib;
   const int n = net.size();
@@ -32,38 +29,60 @@ NodeLoads compute_loads(const LoadContext& ctx) {
   loads.lc_fanout_pins.assign(n, 0);
   std::vector<int> direct_count(n, 0);
 
-  net.for_each_node([&](const Node& u) {
-    for_each_unique_fanout(u, [&](NodeId vid) {
-      const Node& v = net.node(vid);
-      for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
-        if (v.fanins[pin] != u.id) continue;
-        const double cap = pin_cap(lib, v, static_cast<int>(pin));
-        if (arc_through_lc(ctx, u.id, vid)) {
-          loads.lc[u.id] += cap;
-          ++loads.lc_fanout_pins[u.id];
-        } else {
-          loads.direct[u.id] += cap;
-          ++direct_count[u.id];
-        }
+  const bool any_lc = !ctx.lc_on_output.empty();
+  for (NodeId u : g.topo_order()) {
+    const auto pins = g.fanout_pins(u);
+    const auto caps = g.fanout_pin_caps(u);
+    const bool u_has_lc = any_lc && ctx.lc_on_output[u] != 0;
+    const double u_vdd = ctx.node_vdd[u];
+    double direct = 0.0, lc = 0.0;
+    int dcount = 0, lcount = 0;
+    for (std::size_t e = 0; e < pins.size(); ++e) {
+      if (u_has_lc && ctx.node_vdd[pins[e].sink] > u_vdd + kVoltEps) {
+        lc += caps[e];
+        ++lcount;
+      } else {
+        direct += caps[e];
+        ++dcount;
       }
-    });
-  });
+    }
+    loads.direct[u] = direct;
+    loads.lc[u] = lc;
+    loads.lc_fanout_pins[u] = lcount;
+    direct_count[u] = dcount;
+  }
   for (const OutputPort& port : net.outputs()) {
     loads.direct[port.driver] += ctx.output_port_load;
     ++direct_count[port.driver];
   }
   const Cell* lc_cell =
       lib.level_converter() >= 0 ? &lib.cell(lib.level_converter()) : nullptr;
-  net.for_each_node([&](const Node& u) {
-    if (loads.lc_fanout_pins[u.id] > 0) {
+  for (NodeId u : g.topo_order()) {
+    if (loads.lc_fanout_pins[u] > 0) {
       DVS_ASSERT(lc_cell != nullptr);
-      loads.direct[u.id] += lc_cell->input_cap[0];
-      ++direct_count[u.id];
-      loads.lc[u.id] += lib.wire_load().wire_cap(loads.lc_fanout_pins[u.id]);
+      loads.direct[u] += lc_cell->input_cap[0];
+      ++direct_count[u];
+      loads.lc[u] += lib.wire_load().wire_cap(loads.lc_fanout_pins[u]);
     }
-    loads.direct[u.id] += lib.wire_load().wire_cap(direct_count[u.id]);
-  });
+    loads.direct[u] += lib.wire_load().wire_cap(direct_count[u]);
+  }
   return loads;
+}
+
+}  // namespace timing_detail
+
+bool arc_through_lc(const LoadContext& ctx, NodeId driver, NodeId sink) {
+  if (ctx.lc_on_output.empty() || !ctx.lc_on_output[driver]) return false;
+  return ctx.node_vdd[sink] > ctx.node_vdd[driver] + kVoltEps;
+}
+
+NodeLoads compute_loads(const LoadContext& ctx) {
+  DVS_EXPECTS(ctx.net != nullptr && ctx.lib != nullptr);
+  if (ctx.graph && ctx.graph->describes(*ctx.net, *ctx.lib)) {
+    ctx.graph->sync_cells();
+    return timing_detail::compute_loads_presynced(ctx, *ctx.graph);
+  }
+  return compute_loads_reference(ctx);
 }
 
 }  // namespace dvs

@@ -10,12 +10,16 @@
 
 namespace dvs {
 
+class TimingGraph;
+
 struct LoadContext {
   const Network* net = nullptr;
   const Library* lib = nullptr;
   std::span<const double> node_vdd;
   std::span<const char> lc_on_output;
   double output_port_load = 25.0;
+  /// Optional compiled graph; drives the flat fast path when current.
+  const TimingGraph* graph = nullptr;
 };
 
 struct NodeLoads {
@@ -29,5 +33,13 @@ NodeLoads compute_loads(const LoadContext& ctx);
 /// True iff the fanout arc driver->sink crosses upward in voltage and the
 /// driver has an LC (i.e. the arc runs through the converter).
 bool arc_through_lc(const LoadContext& ctx, NodeId driver, NodeId sink);
+
+namespace timing_detail {
+/// Flat-path load computation over a current compiled graph whose cell
+/// snapshot the caller has already synced (the full STA syncs once for
+/// both its load and propagation passes).
+NodeLoads compute_loads_presynced(const LoadContext& ctx,
+                                  const TimingGraph& graph);
+}  // namespace timing_detail
 
 }  // namespace dvs

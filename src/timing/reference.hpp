@@ -1,0 +1,20 @@
+// Seed (pre-compiled-graph) timing walks, kept verbatim as the oracle for
+// the flat-graph engines: pointer-chasing AoS traversal, per-visit fanout
+// deduplication, per-arc library resolution.  The randomized equivalence
+// suite (tests/timing_graph_test.cpp) requires the graph-based STA and
+// load computation to reproduce these bit-for-bit; they also serve as the
+// fallback when a caller provides no compiled graph.
+#pragma once
+
+#include "timing/loads.hpp"
+#include "timing/sta.hpp"
+
+namespace dvs {
+
+/// Full STA over the raw Network, ignoring any ctx.graph.
+StaResult run_sta_reference(const TimingContext& ctx, double tspec);
+
+/// Load computation over the raw Network, ignoring any ctx.graph.
+NodeLoads compute_loads_reference(const LoadContext& ctx);
+
+}  // namespace dvs

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "netlist/topo.hpp"
 #include "support/contracts.hpp"
 #include "timing/arc_eval.hpp"
+#include "timing/graph.hpp"
 #include "timing/loads.hpp"
 
 namespace dvs {
@@ -16,45 +16,29 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 using timing_detail::ArcView;
 using timing_detail::back_propagate;
-using timing_detail::default_arc;
+using timing_detail::DelayFactorCache;
 using timing_detail::kVoltEps;
 using timing_detail::propagate;
 
-}  // namespace
-
-RiseFall arc_delay(const Library& lib, const Cell& cell, int pin, double vdd,
-                   double load_ff) {
-  DVS_EXPECTS(pin >= 0 && pin < cell.num_inputs());
-  const double vf = lib.voltage_model().delay_factor(vdd);
-  return ArcView{cell.arcs[pin], vf, load_ff}.delay();
-}
-
-double worst_delay_increase(const Library& lib, const Cell& cell,
-                            double vdd_from, double vdd_to, double load_ff) {
-  const double f_from = lib.voltage_model().delay_factor(vdd_from);
-  const double f_to = lib.voltage_model().delay_factor(vdd_to);
-  const double df = f_to - f_from;
-  double worst = 0.0;
-  for (const TimingArc& arc : cell.arcs) {
-    worst = std::max(
-        worst, df * (arc.intrinsic_rise + arc.resistance_rise * load_ff));
-    worst = std::max(
-        worst, df * (arc.intrinsic_fall + arc.resistance_fall * load_ff));
-  }
-  return worst;
-}
-
-StaResult run_sta(const TimingContext& ctx, double tspec) {
-  DVS_EXPECTS(ctx.net != nullptr && ctx.lib != nullptr);
+/// Full analysis over the compiled graph: one levelized sweep per
+/// direction over flat CSR spans, pre-resolved arcs, no per-node fanout
+/// deduplication and no library lookups inside the loops.  Numerically
+/// bit-identical to run_sta_reference (tests/timing_graph_test.cpp holds
+/// it to that).
+StaResult run_sta_flat(const TimingContext& ctx, const TimingGraph& g,
+                       double tspec) {
   const Network& net = *ctx.net;
   const Library& lib = *ctx.lib;
   const int n = net.size();
   DVS_EXPECTS(static_cast<int>(ctx.node_vdd.size()) >= n);
   DVS_EXPECTS(ctx.lc_on_output.empty() ||
               static_cast<int>(ctx.lc_on_output.size()) >= n);
+  g.sync_cells();
+  DelayFactorCache delay_factor(lib.voltage_model());
 
+  const bool any_lc = !ctx.lc_on_output.empty();
   auto has_lc = [&](NodeId id) {
-    return !ctx.lc_on_output.empty() && ctx.lc_on_output[id] != 0;
+    return any_lc && ctx.lc_on_output[id] != 0;
   };
   const Cell* lc_cell =
       lib.level_converter() >= 0 ? &lib.cell(lib.level_converter()) : nullptr;
@@ -65,31 +49,28 @@ StaResult run_sta(const TimingContext& ctx, double tspec) {
   r.required.assign(n, RiseFall{kInf, kInf});
   r.slack.assign(n, kInf);
 
-  // Arcs into fanouts at a strictly higher supply run through the node's
-  // level converter when one is present; everything else is direct.
   LoadContext lctx{ctx.net, ctx.lib, ctx.node_vdd, ctx.lc_on_output,
-                   ctx.output_port_load};
-  NodeLoads loads = compute_loads(lctx);
+                   ctx.output_port_load, &g};
+  NodeLoads loads = timing_detail::compute_loads_presynced(lctx, g);
   r.load = std::move(loads.direct);
   r.lc_load = std::move(loads.lc);
   const std::vector<int>& lc_count = loads.lc_fanout_pins;
 
   // ---- forward arrival propagation ---------------------------------------
-  const std::vector<NodeId> order = topo_order(net);
+  const std::vector<NodeId>& order = g.topo_order();
   const double vdd_high = lib.vdd_high();
   for (NodeId id : order) {
-    const Node& v = net.node(id);
+    const std::span<const NodeId> fi = g.fanins(id);
     RiseFall arr{0.0, 0.0};
-    if (v.is_gate()) {
+    if (g.is_gate(id) && !fi.empty()) {
       arr = {-kInf, -kInf};
-      const double vf = lib.voltage_model().delay_factor(ctx.node_vdd[id]);
-      for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
-        const NodeId uid = v.fanins[pin];
-        const TimingArc arc = v.cell >= 0
-                                  ? lib.cell(v.cell).arcs[pin]
-                                  : default_arc(v.function,
-                                                static_cast<int>(pin));
-        const RiseFall d = ArcView{arc, vf, r.load[id]}.delay();
+      const double vf = delay_factor(ctx.node_vdd[id]);
+      const std::span<const TimingArc> arcs = g.arcs(id);
+      const double load = r.load[id];
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        const NodeId uid = fi[pin];
+        const TimingArc& arc = arcs[pin];
+        const RiseFall d = ArcView{arc, vf, load}.delay();
         const bool through_lc =
             has_lc(uid) && ctx.node_vdd[id] > ctx.node_vdd[uid] + kVoltEps;
         const RiseFall& in =
@@ -98,11 +79,10 @@ StaResult run_sta(const TimingContext& ctx, double tspec) {
         arr.rise = std::max(arr.rise, cand.rise);
         arr.fall = std::max(arr.fall, cand.fall);
       }
-      if (v.fanins.empty()) arr = {0.0, 0.0};
     }
     r.arrival[id] = arr;
     if (has_lc(id) && lc_count[id] > 0) {
-      const double vf = lib.voltage_model().delay_factor(vdd_high);
+      const double vf = delay_factor(vdd_high);
       const RiseFall d =
           ArcView{lc_cell->arcs[0], vf, r.lc_load[id]}.delay();
       r.lc_arrival[id] = propagate(arr, lc_cell->arcs[0], d);
@@ -121,20 +101,21 @@ StaResult run_sta(const TimingContext& ctx, double tspec) {
     req.fall = std::min(req.fall, r.tspec);
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const Node& v = net.node(*it);
-    if (!v.is_gate()) continue;
-    const double vf = lib.voltage_model().delay_factor(ctx.node_vdd[v.id]);
-    for (std::size_t pin = 0; pin < v.fanins.size(); ++pin) {
-      const NodeId uid = v.fanins[pin];
-      const TimingArc arc =
-          v.cell >= 0 ? lib.cell(v.cell).arcs[pin]
-                      : default_arc(v.function, static_cast<int>(pin));
-      const RiseFall d = ArcView{arc, vf, r.load[v.id]}.delay();
-      RiseFall pin_req = back_propagate(r.required[v.id], arc, d);
+    const NodeId vid = *it;
+    if (!g.is_gate(vid)) continue;
+    const std::span<const NodeId> fi = g.fanins(vid);
+    const std::span<const TimingArc> arcs = g.arcs(vid);
+    const double vf = delay_factor(ctx.node_vdd[vid]);
+    const double load = r.load[vid];
+    for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+      const NodeId uid = fi[pin];
+      const TimingArc& arc = arcs[pin];
+      const RiseFall d = ArcView{arc, vf, load}.delay();
+      RiseFall pin_req = back_propagate(r.required[vid], arc, d);
       const bool through_lc =
-          has_lc(uid) && ctx.node_vdd[v.id] > ctx.node_vdd[uid] + kVoltEps;
+          has_lc(uid) && ctx.node_vdd[vid] > ctx.node_vdd[uid] + kVoltEps;
       if (through_lc) {
-        const double lcvf = lib.voltage_model().delay_factor(vdd_high);
+        const double lcvf = delay_factor(vdd_high);
         const RiseFall lcd =
             ArcView{lc_cell->arcs[0], lcvf, r.lc_load[uid]}.delay();
         pin_req = back_propagate(pin_req, lc_cell->arcs[0], lcd);
@@ -146,12 +127,49 @@ StaResult run_sta(const TimingContext& ctx, double tspec) {
   }
 
   // ---- slack ------------------------------------------------------------
-  net.for_each_node([&](const Node& v) {
-    const RiseFall& a = r.arrival[v.id];
-    const RiseFall& q = r.required[v.id];
-    r.slack[v.id] = std::min(q.rise - a.rise, q.fall - a.fall);
-  });
+  for (NodeId id : order) {
+    const RiseFall& a = r.arrival[id];
+    const RiseFall& q = r.required[id];
+    r.slack[id] = std::min(q.rise - a.rise, q.fall - a.fall);
+  }
   return r;
+}
+
+}  // namespace
+
+RiseFall arc_delay(const Library& lib, const Cell& cell, int pin, double vdd,
+                   double load_ff) {
+  DVS_EXPECTS(pin >= 0 && pin < cell.num_inputs());
+  const double vf = lib.voltage_model().delay_factor(vdd);
+  return ArcView{cell.arcs[pin], vf, load_ff}.delay();
+}
+
+double worst_delay_increase(const Library& lib, const Cell& cell,
+                            double vdd_from, double vdd_to, double load_ff) {
+  return worst_delay_increase(lib.voltage_model().delay_factor(vdd_from),
+                              lib.voltage_model().delay_factor(vdd_to),
+                              cell, load_ff);
+}
+
+double worst_delay_increase(double factor_from, double factor_to,
+                            const Cell& cell, double load_ff) {
+  const double df = factor_to - factor_from;
+  double worst = 0.0;
+  for (const TimingArc& arc : cell.arcs) {
+    worst = std::max(
+        worst, df * (arc.intrinsic_rise + arc.resistance_rise * load_ff));
+    worst = std::max(
+        worst, df * (arc.intrinsic_fall + arc.resistance_fall * load_ff));
+  }
+  return worst;
+}
+
+StaResult run_sta(const TimingContext& ctx, double tspec) {
+  DVS_EXPECTS(ctx.net != nullptr && ctx.lib != nullptr);
+  if (ctx.graph && ctx.graph->describes(*ctx.net, *ctx.lib))
+    return run_sta_flat(ctx, *ctx.graph, tspec);
+  const TimingGraph local(*ctx.net, *ctx.lib);
+  return run_sta_flat(ctx, local, tspec);
 }
 
 StaResult run_sta(const Network& net, const Library& lib, double tspec) {

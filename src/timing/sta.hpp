@@ -9,6 +9,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "netlist/network.hpp"
 
 namespace dvs {
+
+class TimingGraph;
 
 struct RiseFall {
   double rise = 0.0;
@@ -36,6 +39,16 @@ struct TimingContext {
   std::span<const char> lc_on_output;
   /// Capacitive load charged to each driven primary-output port (fF).
   double output_port_load = 25.0;
+  /// Compiled flat view of `net` (timing/graph.hpp).  When present and
+  /// current it carries the hot loops; when absent or stale the analysis
+  /// compiles a throwaway graph, so results never depend on freshness.
+  const TimingGraph* graph = nullptr;
+  /// Keeps `graph` alive for consumers that retain the context past the
+  /// provider's next recompile (IncrementalSta stores its context; the
+  /// provider — e.g. Design — may replace its cached graph after a
+  /// structural edit while the engine still probes the old one for
+  /// staleness).  Analyses that use the context transiently ignore it.
+  std::shared_ptr<const TimingGraph> graph_owner;
 };
 
 struct StaResult {
@@ -79,5 +92,10 @@ RiseFall arc_delay(const Library& lib, const Cell& cell, int pin,
 /// `load_ff`.  Used by the voltage-scaling candidate checks.
 double worst_delay_increase(const Library& lib, const Cell& cell,
                             double vdd_from, double vdd_to, double load_ff);
+
+/// Same check with the two voltage delay factors already evaluated —
+/// sweeps over many gates at a fixed supply pair hoist the model calls.
+double worst_delay_increase(double factor_from, double factor_to,
+                            const Cell& cell, double load_ff);
 
 }  // namespace dvs

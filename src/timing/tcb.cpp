@@ -1,28 +1,36 @@
 #include "timing/tcb.hpp"
 
 #include "support/contracts.hpp"
+#include "timing/arc_eval.hpp"
 
 namespace dvs {
 
 namespace {
 constexpr double kVoltEps = 1e-6;
+
+bool can_lower_with(timing_detail::DelayFactorCache& delay_factor,
+                    const TimingContext& ctx, const StaResult& sta,
+                    NodeId id) {
+  const Node& n = ctx.net->node(id);
+  if (!n.is_gate() || n.cell < 0) return false;
+  const double increase = worst_delay_increase(
+      delay_factor(ctx.node_vdd[id]), delay_factor(ctx.lib->vdd_low()),
+      ctx.lib->cell(n.cell), sta.load[id]);
+  return increase <= sta.slack[id] + 1e-12;
 }
+}  // namespace
 
 bool can_lower_within_slack(const TimingContext& ctx, const StaResult& sta,
                             NodeId id) {
-  const Node& n = ctx.net->node(id);
-  if (!n.is_gate() || n.cell < 0) return false;
-  const double increase =
-      worst_delay_increase(*ctx.lib, ctx.lib->cell(n.cell),
-                           ctx.node_vdd[id], ctx.lib->vdd_low(),
-                           sta.load[id]);
-  return increase <= sta.slack[id] + 1e-12;
+  timing_detail::DelayFactorCache delay_factor(ctx.lib->voltage_model());
+  return can_lower_with(delay_factor, ctx, sta, id);
 }
 
 std::vector<NodeId> compute_tcb(const TimingContext& ctx,
                                 const StaResult& sta) {
   const Network& net = *ctx.net;
   const double vdd_high = ctx.lib->vdd_high();
+  timing_detail::DelayFactorCache delay_factor(ctx.lib->voltage_model());
 
   std::vector<char> drives_port(net.size(), 0);
   for (const OutputPort& port : net.outputs()) drives_port[port.driver] = 1;
@@ -34,7 +42,7 @@ std::vector<NodeId> compute_tcb(const TimingContext& ctx,
     for (NodeId fo : n.fanouts)
       if (ctx.node_vdd[fo] < vdd_high - kVoltEps) adjacent_to_low = true;
     if (!adjacent_to_low) return;
-    if (can_lower_within_slack(ctx, sta, n.id)) return;  // not blocked
+    if (can_lower_with(delay_factor, ctx, sta, n.id)) return;  // not blocked
     tcb.push_back(n.id);
   });
   return tcb;
