@@ -14,6 +14,7 @@
 #include "core/cvs.hpp"
 #include "core/dscale.hpp"
 #include "core/gscale.hpp"
+#include "opt/pipeline.hpp"
 #include "graph/antichain.hpp"
 #include "graph/separator.hpp"
 #include "power/activity.hpp"
@@ -148,6 +149,49 @@ void BM_Gscale(benchmark::State& state) {
 }
 BENCHMARK(BM_Gscale)->DenseRange(0, 3);
 
+/// The direct equivalent of one legacy flow cell: engine call plus the
+/// power/delay measurements every cell always paid (the baseline row
+/// for BM_PipelineOverhead; BM_Cvs measures the bare engine).
+void BM_FlowCellDirect(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  for (auto _ : state) {
+    dvs::Design design(net, lib());
+    dvs::run_cvs(design);
+    benchmark::DoNotOptimize(design.count_low());
+    benchmark::DoNotOptimize(design.run_power().total());
+    benchmark::DoNotOptimize(design.run_timing().worst_arrival);
+  }
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_FlowCellDirect)->DenseRange(0, 3);
+
+/// The same cell through the pipeline API: spec parse, registry
+/// factory, schema-backed options, and per-pass trajectory capture on
+/// top of BM_FlowCellDirect's work.  The gap between the two rows is
+/// the price of the composable surface; it must stay a small fraction
+/// of the cell (the engine + measurement dominate), not multiply it.
+void BM_PipelineOverhead(benchmark::State& state) {
+  const dvs::Network& net = circuit(kByIndex[state.range(0)]);
+  for (auto _ : state) {
+    dvs::Design design(net, lib());
+    dvs::Pipeline pipeline = dvs::Pipeline::parse("cvs");
+    benchmark::DoNotOptimize(pipeline.run(design));
+  }
+  state.counters["gates"] = net.num_gates();
+}
+BENCHMARK(BM_PipelineOverhead)->DenseRange(0, 3);
+
+/// Spec-grammar parse + registry dispatch alone (no circuit work): the
+/// per-request constant the dvsd service pays to compile a pipeline.
+void BM_PipelineParse(benchmark::State& state) {
+  for (auto _ : state) {
+    dvs::Pipeline pipeline = dvs::Pipeline::parse(
+        "cvs | gscale(area_budget=0.05, selector=random) | dscale | trim");
+    benchmark::DoNotOptimize(pipeline.fingerprint());
+  }
+}
+BENCHMARK(BM_PipelineParse);
+
 /// The Dscale/Gscale hot-loop primitive: one voltage flip + incremental
 /// re-time, versus the full re-analysis it replaced (BM_Sta).
 void BM_IncrementalFlip(benchmark::State& state) {
@@ -182,7 +226,8 @@ int main(int argc, char** argv) {
           "\n"
           "Engine microbenchmarks (cold/steady-state full STA, timing-\n"
           "graph compilation, activity estimation, antichain max-flow,\n"
-          "CVS/Dscale/Gscale, per-flip incremental STA) over MCNC\n"
+          "CVS/Dscale/Gscale, pipeline-dispatch overhead, per-flip\n"
+          "incremental STA) over MCNC\n"
           "stand-ins.  --json = --benchmark_format=json (CI stores it as\n"
           "BENCH_engines.json); everything else is passed to\n"
           "google-benchmark (--benchmark_filter=REGEX,\n"

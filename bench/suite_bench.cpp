@@ -6,10 +6,13 @@
 //   $ ./suite_bench                      # all 39 circuits, all cores
 //   $ ./suite_bench --threads 1          # serial reference run
 //   $ ./suite_bench --quick --json q.json
+//   $ ./suite_bench --pipeline 'cvs | gscale | dscale' --quick
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "benchgen/mcnc.hpp"
 #include "core/suite.hpp"
@@ -21,9 +24,13 @@ void usage(std::FILE* out) {
       "usage: suite_bench [--threads N] [--json FILE] "
       "[--quick | --max-gates N]\n"
       "                   [--circuit NAME]... [--seed S] [--vectors N]\n"
+      "                   [--pipeline SPEC]...\n"
       "\n"
       "Runs the MCNC x {CVS, Dscale, Gscale} matrix across the thread\n"
       "pool, prints Table 1 / Table 2 and writes BENCH_suite.json.\n"
+      "With --pipeline, runs the MCNC x SPEC matrix through the pass\n"
+      "registry instead and reports per-pass trajectories\n"
+      "(schema dvs-bench-pipeline-v1).\n"
       "  --threads N    worker threads (1 = serial reference, 0 = all "
       "cores)\n"
       "  --json FILE    output path (default BENCH_suite.json)\n"
@@ -31,7 +38,9 @@ void usage(std::FILE* out) {
       "  --max-gates N  only circuits with <= N gates\n"
       "  --circuit NAME run one circuit (repeatable)\n"
       "  --seed S       suite root seed (default 0x5eed)\n"
-      "  --vectors N    activity-estimation vectors (default 4096)\n",
+      "  --vectors N    activity-estimation vectors (default 4096)\n"
+      "  --pipeline SPEC  registry pipeline, e.g. 'cvs | "
+      "gscale(area_budget=0.05) | dscale' (repeatable)\n",
       out);
 }
 
@@ -39,6 +48,7 @@ void usage(std::FILE* out) {
 
 int main(int argc, char** argv) {
   dvs::SuiteOptions options;
+  std::vector<std::string> pipelines;
   std::string json_path = "BENCH_suite.json";
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -59,6 +69,8 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(value(), nullptr, 0);
     else if (flag == "--vectors")
       options.flow.activity.num_vectors = std::atoi(value());
+    else if (flag == "--pipeline")
+      pipelines.push_back(value());
     else if (flag == "--help" || flag == "-h") {
       usage(stdout);
       return 0;
@@ -78,6 +90,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "\n");
       return 1;
     }
+  }
+
+  if (!pipelines.empty()) {
+    try {
+      const dvs::PipelineSuiteReport report =
+          dvs::run_pipeline_suite(options, pipelines);
+      std::fputs(report.table().c_str(), stdout);
+      std::printf("\n%zu cells on %d threads in %.2fs -> %s\n",
+                  report.cells.size(), report.num_threads,
+                  report.wall_seconds, json_path.c_str());
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot write: " + json_path);
+      out << report.to_json();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "suite_bench: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   const dvs::SuiteReport report = dvs::run_suite(options);

@@ -204,6 +204,10 @@ int commit_with_repair(Design& design, IncrementalSta& timer,
 
 }  // namespace
 
+int trim_boundary(Design& design, IncrementalSta& timer) {
+  return trim_unprofitable_boundary(design, timer);
+}
+
 DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
   DscaleResult result;
   if (options.run_initial_cvs)

@@ -13,6 +13,8 @@
 
 namespace dvs {
 
+class IncrementalSta;
+
 struct DscaleOptions {
   CvsOptions cvs;
   /// Minimum weight (uW) for a gate to become a candidate.
@@ -49,5 +51,11 @@ struct DscaleResult {
 };
 
 DscaleResult run_dscale(Design& design, const DscaleOptions& options = {});
+
+/// Dscale's final cleanup as a standalone primitive (the registry's
+/// `trim` pass): raises low->high boundary drivers back to vdd_high
+/// while doing so reduces total power, re-verifying timing per raise
+/// through `timer`.  Returns the number of gates raised.
+int trim_boundary(Design& design, IncrementalSta& timer);
 
 }  // namespace dvs

@@ -1,41 +1,18 @@
 #include "core/flow.hpp"
 
-#include <chrono>
-#include <ctime>
-
-#include "support/contracts.hpp"
-
 namespace dvs {
-
-namespace {
-
-/// CPU seconds consumed by the calling thread — the paper's CPU column.
-/// Unlike wall clock, this stays meaningful when the suite engine runs
-/// many circuits concurrently on shared cores.
-double thread_cpu_seconds() {
-#if defined(CLOCK_THREAD_CPUTIME_ID)
-  timespec ts;
-  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
-    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
-#endif
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 double improvement_pct(double original, double optimized) {
   return original > 0.0 ? 100.0 * (original - optimized) / original : 0.0;
 }
 
-Design make_design(const Network& mapped, const Library& lib,
-                   const FlowOptions& options, double tspec) {
+Design make_flow_design(const Network& mapped, const Library& lib,
+                        const FlowOptions& options, double tspec) {
   Design design(mapped, lib, tspec);
   design.set_activity_options(options.activity);
   design.set_freq_mhz(options.freq_mhz);
   return design;
 }
-
-}  // namespace
 
 void init_flow_row(const Network& mapped, const Library& lib,
                    const FlowOptions& options, CircuitRunResult* row) {
@@ -47,50 +24,8 @@ void init_flow_row(const Network& mapped, const Library& lib,
   row->tspec_ns = base_sta.worst_arrival * (1.0 + options.tspec_relax);
 
   // Original power: everything at vdd_high.
-  Design original = make_design(mapped, lib, options, row->tspec_ns);
+  Design original = make_flow_design(mapped, lib, options, row->tspec_ns);
   row->org_power_uw = original.run_power().total();
-}
-
-void run_flow_algo(const Network& mapped, const Library& lib,
-                   const FlowOptions& options, PaperAlgo algo,
-                   CircuitRunResult* row,
-                   std::optional<Design>* final_design) {
-  Design design = make_design(mapped, lib, options, row->tspec_ns);
-  switch (algo) {
-    case PaperAlgo::kCvs: {
-      run_cvs(design, options.cvs);
-      row->cvs_low = design.count_low();
-      row->cvs_improve_pct =
-          improvement_pct(row->org_power_uw, design.run_power().total());
-      break;
-    }
-    case PaperAlgo::kDscale: {
-      DscaleOptions dscale = options.dscale;
-      dscale.cvs = options.cvs;
-      run_dscale(design, dscale);
-      row->dscale_low = design.count_low();
-      row->dscale_lcs = design.count_lcs();
-      row->dscale_improve_pct =
-          improvement_pct(row->org_power_uw, design.run_power().total());
-      break;
-    }
-    case PaperAlgo::kGscale: {
-      // Timed: the paper's CPU column reports Gscale.
-      GscaleOptions gscale = options.gscale;
-      gscale.cvs = options.cvs;
-      const double start = thread_cpu_seconds();
-      const GscaleResult res = run_gscale(design, gscale);
-      row->gscale_seconds = thread_cpu_seconds() - start;
-      row->gscale_low = design.count_low();
-      row->gscale_resized = res.num_resized;
-      row->gscale_area_increase = res.area_increase_ratio;
-      row->gscale_improve_pct =
-          improvement_pct(row->org_power_uw, design.run_power().total());
-      break;
-    }
-  }
-  DVS_ASSERT(design.run_timing().meets_constraint(1e-6));
-  if (final_design) final_design->emplace(std::move(design));
 }
 
 }  // namespace dvs

@@ -5,7 +5,6 @@
 // random simulation, and run CVS / Dscale / Gscale each from a fresh copy.
 #pragma once
 
-#include <optional>
 #include <string>
 
 #include "core/cvs.hpp"
@@ -62,19 +61,18 @@ enum class PaperAlgo { kCvs, kDscale, kGscale };
 
 /// Fills the shared columns of a row: name, gate count, the timing
 /// constraint frozen at the mapped delay, and the original (all-high)
-/// power.  Every algorithm cell of the matrix starts from this state.
+/// power.  Every pipeline cell of the matrix starts from this state.
 void init_flow_row(const Network& mapped, const Library& lib,
                    const FlowOptions& options, CircuitRunResult* row);
 
-/// Runs one algorithm from a fresh copy of the mapped circuit and fills
-/// its columns of `row` (expects `init_flow_row` to have run on `row`).
-/// When `final_design` is non-null it receives the optimized Design
-/// (voltage assignment, sizing, virtual converters) — the state the dvsd
-/// service serializes back to the client; passing nullptr is free.
-void run_flow_algo(const Network& mapped, const Library& lib,
-                   const FlowOptions& options, PaperAlgo algo,
-                   CircuitRunResult* row,
-                   std::optional<Design>* final_design = nullptr);
+/// Fresh per-cell starting state: the mapped circuit with every gate at
+/// vdd_high, the activity options / frequency applied, and the timing
+/// constraint frozen at `tspec`.
+Design make_flow_design(const Network& mapped, const Library& lib,
+                        const FlowOptions& options, double tspec);
+
+/// 100 * (original - optimized) / original, 0 when original is 0.
+double improvement_pct(double original, double optimized);
 
 /// Runs the full paper flow on one mapped circuit (all three algorithms;
 /// implemented on run_single_job, see core/job.hpp).

@@ -1,8 +1,75 @@
 #include "core/job.hpp"
 
+#include <utility>
+
+#include "opt/passes.hpp"
+#include "support/contracts.hpp"
 #include "support/rng.hpp"
 
 namespace dvs {
+
+namespace {
+
+/// Copies a paper cell's single-pass stats into its legacy row columns.
+/// The values are read back exactly as the hard-wired flow computed
+/// them, so pipeline-backed rows are bit-identical to the seed rows.
+void fill_paper_columns(const JobCellResult& cell, CircuitRunResult* row) {
+  const PassStats& last = cell.run.passes.back();
+  if (cell.label == "cvs") {
+    row->cvs_low = last.low_gates;
+    row->cvs_improve_pct = cell.improve_pct;
+  } else if (cell.label == "dscale") {
+    row->dscale_low = last.low_gates;
+    row->dscale_lcs = last.level_converters;
+    row->dscale_improve_pct = cell.improve_pct;
+  } else if (cell.label == "gscale") {
+    row->gscale_low = last.low_gates;
+    row->gscale_resized =
+        static_cast<int>(last.details.at("resized").as_int());
+    row->gscale_area_increase = last.details.at("area_increase").as_double();
+    row->gscale_seconds = last.cpu_seconds;
+    row->gscale_improve_pct = cell.improve_pct;
+  }
+}
+
+}  // namespace
+
+const char* paper_algo_name(PaperAlgo algo) {
+  switch (algo) {
+    case PaperAlgo::kCvs: return "cvs";
+    case PaperAlgo::kDscale: return "dscale";
+    case PaperAlgo::kGscale: return "gscale";
+  }
+  return "?";
+}
+
+JobCell make_paper_cell(PaperAlgo algo, const FlowOptions& flow) {
+  JobCell cell;
+  cell.label = paper_algo_name(algo);
+  switch (algo) {
+    case PaperAlgo::kCvs:
+      cell.pipeline.append(make_cvs_pass(flow.cvs));
+      break;
+    case PaperAlgo::kDscale: {
+      DscaleOptions dscale = flow.dscale;
+      dscale.cvs = flow.cvs;
+      cell.pipeline.append(make_dscale_pass(dscale));
+      break;
+    }
+    case PaperAlgo::kGscale: {
+      GscaleOptions gscale = flow.gscale;
+      gscale.cvs = flow.cvs;
+      cell.pipeline.append(make_gscale_pass(gscale));
+      break;
+    }
+  }
+  return cell;
+}
+
+std::string pipeline_label(const Pipeline& pipeline) {
+  return pipeline.size() == 1 ? pipeline.pass(0).name()
+                              : std::string("pipeline");
+}
 
 FlowOptions derive_cell_flow(const FlowOptions& base,
                              std::uint64_t circuit_seed, PaperAlgo algo) {
@@ -13,20 +80,39 @@ FlowOptions derive_cell_flow(const FlowOptions& base,
   return flow;
 }
 
+PipelineJobResult run_pipeline_job(const Network& mapped, const Library& lib,
+                                   const FlowOptions& base_flow,
+                                   std::vector<JobCell> cells,
+                                   bool capture_designs) {
+  PipelineJobResult out;
+  init_flow_row(mapped, lib, base_flow, &out.row);
+  out.cells.reserve(cells.size());
+  for (JobCell& cell : cells) {
+    DVS_EXPECTS(!cell.pipeline.empty());
+    Design design =
+        make_flow_design(mapped, lib, base_flow, out.row.tspec_ns);
+    JobCellResult result;
+    result.label = cell.label;
+    result.spec = cell.pipeline.canonical_spec();
+    result.run = cell.pipeline.run(design);
+    result.improve_pct = improvement_pct(out.row.org_power_uw,
+                                         result.run.passes.back().power_uw);
+    if (cell.pipeline.size() == 1) fill_paper_columns(result, &out.row);
+    if (capture_designs) result.design.emplace(std::move(design));
+    out.cells.push_back(std::move(result));
+  }
+  return out;
+}
+
 CircuitRunResult run_single_job(const Network& mapped, const Library& lib,
-                                const JobSpec& spec,
-                                JobArtifacts* artifacts) {
-  CircuitRunResult row;
-  init_flow_row(mapped, lib, spec.flow, &row);
+                                const JobSpec& spec) {
+  std::vector<JobCell> cells;
   const PaperAlgo algos[] = {PaperAlgo::kCvs, PaperAlgo::kDscale,
                              PaperAlgo::kGscale};
   const bool enabled[] = {spec.run_cvs, spec.run_dscale, spec.run_gscale};
-  for (int i = 0; i < 3; ++i) {
-    if (!enabled[i]) continue;
-    run_flow_algo(mapped, lib, spec.flow, algos[i], &row,
-                  artifacts ? artifacts->slot(algos[i]) : nullptr);
-  }
-  return row;
+  for (int i = 0; i < 3; ++i)
+    if (enabled[i]) cells.push_back(make_paper_cell(algos[i], spec.flow));
+  return run_pipeline_job(mapped, lib, spec.flow, std::move(cells)).row;
 }
 
 CircuitRunResult run_paper_flow(const Network& mapped, const Library& lib,

@@ -1,23 +1,34 @@
-// The single-job flow runner: one mapped circuit through any subset of
-// the paper's three algorithms, producing one Table-1/2 row.  This is the
-// ONE code path behind every driver — each matrix cell of the parallel
-// suite engine (core/suite.cpp), run_paper_flow, and every dvsd service
-// request run through run_single_job, so a result computed by the daemon
-// is bit-identical to the same cell of a suite_bench run.
+// The single-job flow runner: one mapped circuit through an ordered
+// list of optimization-pass pipelines, producing one Table-1/2 row plus
+// per-pass trajectories.  This is the ONE code path behind every driver
+// — each matrix cell of the parallel suite engine (core/suite.cpp),
+// run_paper_flow, and every dvsd service request run through
+// run_pipeline_job, so a result computed by the daemon is bit-identical
+// to the same cell of a suite_bench run.
+//
+// The paper's three algorithms are not special-cased anywhere below
+// this line: the legacy three-boolean JobSpec is a thin adapter that
+// compiles into the canonical single-pass pipelines ("cvs", "dscale",
+// "gscale") via make_paper_cell, and arbitrary registry pipelines run
+// through exactly the same machinery.
 //
 // Seed discipline matches the suite engine: every stochastic knob is a
-// pure function of (circuit seed, algorithm) via derive_cell_flow, never
-// of scheduling or request order.
+// pure function of (circuit seed, algorithm/position) via
+// derive_cell_flow / Pipeline::resolve_seeds, never of scheduling or
+// request order.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/flow.hpp"
+#include "opt/pipeline.hpp"
 
 namespace dvs {
 
-/// What to run on one circuit.
+/// What to run on one circuit (legacy adapter surface).
 struct JobSpec {
   FlowOptions flow;
   bool run_cvs = true;
@@ -25,22 +36,41 @@ struct JobSpec {
   bool run_gscale = true;
 };
 
-/// Optional capture of the optimized Design per algorithm (the service
-/// uses this to serialize the optimized netlist / final power-delay-area;
-/// the suite engine passes nullptr and pays nothing).
-struct JobArtifacts {
-  std::optional<Design> cvs;
-  std::optional<Design> dscale;
-  std::optional<Design> gscale;
+/// One pipeline cell of a job.  `label` is "cvs"/"dscale"/"gscale" for
+/// the canonical paper cells (those fill the legacy row columns), the
+/// pass name for other single-pass pipelines, and "pipeline" for
+/// multi-pass specs.
+struct JobCell {
+  std::string label;
+  Pipeline pipeline;
+};
 
-  std::optional<Design>* slot(PaperAlgo algo) {
-    switch (algo) {
-      case PaperAlgo::kCvs: return &cvs;
-      case PaperAlgo::kDscale: return &dscale;
-      case PaperAlgo::kGscale: return &gscale;
-    }
-    return nullptr;
-  }
+const char* paper_algo_name(PaperAlgo algo);
+
+/// The canonical paper pipeline of one algorithm with `flow`'s options
+/// (including already-derived seeds) bound onto the pass — what the
+/// legacy JobSpec and the protocol's `algos` field compile to.
+JobCell make_paper_cell(PaperAlgo algo, const FlowOptions& flow);
+
+/// Builds `label` for a spec'd pipeline: the pass name when it has one
+/// pass, "pipeline" otherwise.
+std::string pipeline_label(const Pipeline& pipeline);
+
+/// Result of one executed cell, keyed by cell position: the canonical
+/// spec it ran, the per-pass trajectory, the final improvement over the
+/// original power, and — when capture was requested — the final
+/// optimized Design (voltage assignment, sizing, virtual converters).
+struct JobCellResult {
+  std::string label;
+  std::string spec;
+  double improve_pct = 0.0;
+  PipelineRun run;
+  std::optional<Design> design;
+};
+
+struct PipelineJobResult {
+  CircuitRunResult row;  // legacy columns filled from paper cells
+  std::vector<JobCellResult> cells;  // same order as the request
 };
 
 /// Derives the per-cell flow options from a base configuration: the
@@ -52,12 +82,17 @@ struct JobArtifacts {
 FlowOptions derive_cell_flow(const FlowOptions& base,
                              std::uint64_t circuit_seed, PaperAlgo algo);
 
-/// Runs the enabled algorithms on a fresh copy of `mapped` each and
-/// returns the filled row (shared columns + one column group per enabled
-/// algorithm).  `artifacts`, when non-null, receives the final Design of
-/// each enabled algorithm.
+/// Runs every cell on a fresh copy of `mapped` (shared columns from
+/// `base_flow`) and returns the filled row plus the per-cell results.
+/// `capture_designs` moves each cell's final Design into its result.
+PipelineJobResult run_pipeline_job(const Network& mapped, const Library& lib,
+                                   const FlowOptions& base_flow,
+                                   std::vector<JobCell> cells,
+                                   bool capture_designs = false);
+
+/// Legacy three-boolean adapter: compiles `spec` into the canonical
+/// paper pipelines and executes them through run_pipeline_job.
 CircuitRunResult run_single_job(const Network& mapped, const Library& lib,
-                                const JobSpec& spec,
-                                JobArtifacts* artifacts = nullptr);
+                                const JobSpec& spec);
 
 }  // namespace dvs

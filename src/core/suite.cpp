@@ -40,20 +40,9 @@ std::string num(double v) {
   return buf;
 }
 
-}  // namespace
-
-FlowOptions suite_task_flow(const SuiteOptions& options,
-                            const McncDescriptor& descriptor,
-                            PaperAlgo algo) {
-  return derive_cell_flow(options.flow,
-                          mix_seed(options.seed, descriptor.seed), algo);
-}
-
-SuiteReport run_suite(const SuiteOptions& options, const Library* lib) {
-  std::optional<Library> fallback;
-  if (lib == nullptr) lib = &fallback.emplace(build_compass_library());
-
-  // ---- select circuits --------------------------------------------------
+/// Circuit selection shared by the legacy and the pipeline matrix.
+std::vector<const McncDescriptor*> select_circuits(
+    const SuiteOptions& options) {
   std::vector<const McncDescriptor*> selected;
   if (options.circuits.empty()) {
     for (const McncDescriptor& d : mcnc_suite()) selected.push_back(&d);
@@ -69,6 +58,24 @@ SuiteReport run_suite(const SuiteOptions& options, const Library* lib) {
       return d->gates > options.max_gates;
     });
   }
+  return selected;
+}
+
+}  // namespace
+
+FlowOptions suite_task_flow(const SuiteOptions& options,
+                            const McncDescriptor& descriptor,
+                            PaperAlgo algo) {
+  return derive_cell_flow(options.flow,
+                          mix_seed(options.seed, descriptor.seed), algo);
+}
+
+SuiteReport run_suite(const SuiteOptions& options, const Library* lib) {
+  std::optional<Library> fallback;
+  if (lib == nullptr) lib = &fallback.emplace(build_compass_library());
+
+  const std::vector<const McncDescriptor*> selected =
+      select_circuits(options);
 
   SuiteReport report;
   report.vdd_high = lib->vdd_high();
@@ -198,6 +205,124 @@ void write_suite_json(const SuiteReport& report, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write suite JSON: " + path);
   out << report.to_json();
+}
+
+// ---- pipeline matrices -----------------------------------------------------
+
+PipelineSuiteReport run_pipeline_suite(
+    const SuiteOptions& options, const std::vector<std::string>& pipelines,
+    const Library* lib) {
+  std::optional<Library> fallback;
+  if (lib == nullptr) lib = &fallback.emplace(build_compass_library());
+  DVS_EXPECTS(!pipelines.empty());
+
+  PipelineSuiteReport report;
+  // Validate every spec up front (a typo fails the whole matrix
+  // immediately) and record the circuit-independent canonical form.
+  for (const std::string& spec : pipelines)
+    report.specs.push_back(Pipeline::parse(spec).canonical_spec());
+
+  const std::vector<const McncDescriptor*> selected =
+      select_circuits(options);
+  report.cells.resize(selected.size() * pipelines.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  ThreadPool pool(options.num_threads);
+  report.num_threads = pool.num_threads();
+  pool.parallel_for(
+      static_cast<int>(report.cells.size()), [&](int t) {
+        const McncDescriptor& descriptor =
+            *selected[t / pipelines.size()];
+        const std::string& spec = pipelines[t % pipelines.size()];
+        const std::uint64_t circuit_seed =
+            mix_seed(options.seed, descriptor.seed);
+        // Parse from the *original* spec per task: which options the
+        // spec set explicitly drives seed resolution, and canonical
+        // respellings would erase that distinction.
+        JobCell cell;
+        Pipeline pipeline = Pipeline::parse(spec);
+        pipeline.resolve_seeds(circuit_seed);
+        cell.label = pipeline_label(pipeline);
+        cell.pipeline = std::move(pipeline);
+
+        FlowOptions flow = options.flow;
+        flow.activity.seed = circuit_seed;
+        std::vector<JobCell> cells;
+        cells.push_back(std::move(cell));
+        const Network net = build_mcnc_circuit(*lib, descriptor);
+        PipelineJobResult job =
+            run_pipeline_job(net, *lib, flow, std::move(cells));
+
+        PipelineSuiteCell& out = report.cells[t];
+        out.circuit = job.row.name;
+        out.num_gates = job.row.num_gates;
+        out.tspec_ns = job.row.tspec_ns;
+        out.org_power_uw = job.row.org_power_uw;
+        out.label = job.cells[0].label;
+        out.spec = job.cells[0].spec;
+        out.improve_pct = job.cells[0].improve_pct;
+        out.run = std::move(job.cells[0].run);
+      });
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  return report;
+}
+
+std::string PipelineSuiteReport::table() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-10s %-44s %9s %6s %5s %5s %9s\n",
+                "circuit", "pipeline", "improve%", "low", "LCs", "resz",
+                "cpu_ms");
+  out += buf;
+  for (const PipelineSuiteCell& cell : cells) {
+    const PassStats& last = cell.run.passes.back();
+    std::snprintf(buf, sizeof buf,
+                  "%-10s %-44.44s %9.2f %6d %5d %5d %9.2f\n",
+                  cell.circuit.c_str(), cell.spec.c_str(),
+                  cell.improve_pct, last.low_gates, last.level_converters,
+                  last.resized, cell.run.cpu_seconds * 1e3);
+    out += buf;
+    // Trajectory: one line per pass (power/arrival/area after it ran).
+    for (const PassStats& p : cell.run.passes) {
+      std::snprintf(buf, sizeof buf,
+                    "  [%d] %-8s power %9.3f uW  arrival %7.4f ns  area "
+                    "%9.1f um2  low %4d  touched %4d\n",
+                    p.position, p.pass.c_str(), p.power_uw, p.arrival_ns,
+                    p.area_um2, p.low_gates, p.gates_touched);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string PipelineSuiteReport::to_json() const {
+  Json::Object doc;
+  doc["schema"] = Json("dvs-bench-pipeline-v1");
+  doc["num_threads"] = Json(num_threads);
+  doc["wall_seconds"] = Json(wall_seconds);
+  Json::Array spec_array;
+  for (const std::string& spec : specs) spec_array.emplace_back(spec);
+  doc["pipelines"] = Json(std::move(spec_array));
+  Json::Array cell_array;
+  for (const PipelineSuiteCell& cell : cells) {
+    Json::Object entry;
+    entry["circuit"] = Json(cell.circuit);
+    entry["gates"] = Json(cell.num_gates);
+    entry["tspec_ns"] = Json(cell.tspec_ns);
+    entry["org_power_uw"] = Json(cell.org_power_uw);
+    entry["label"] = Json(cell.label);
+    entry["spec"] = Json(cell.spec);
+    entry["improve_pct"] = Json(cell.improve_pct);
+    Json::Array passes;
+    for (const PassStats& stats : cell.run.passes)
+      passes.emplace_back(pass_stats_json(stats));
+    entry["passes"] = Json(std::move(passes));
+    cell_array.emplace_back(std::move(entry));
+  }
+  doc["cells"] = Json(std::move(cell_array));
+  return Json(std::move(doc)).dump() + "\n";
 }
 
 }  // namespace dvs

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "opt/pipeline.hpp"
 #include "support/paper_ref.hpp"
 
 namespace dvs {
@@ -70,5 +71,55 @@ FlowOptions suite_task_flow(const SuiteOptions& options,
                             PaperAlgo algo);
 
 void write_suite_json(const SuiteReport& report, const std::string& path);
+
+// ---- pipeline matrices -----------------------------------------------------
+// The suite engine generalized over the pass registry: the matrix is
+// circuits x pipeline specs instead of circuits x the three hard-wired
+// algorithms.  Every pass knob comes from the spec itself (that is what
+// makes a spec's canonical form the cell's full identity) — the
+// per-algorithm structs in SuiteOptions::flow are deliberately not
+// consulted; only the shared knobs (activity, freq_mhz, tspec_relax)
+// are.  With those spec'd or defaulted knobs matching, the canonical
+// single-pass specs ("cvs", "dscale", "gscale") reproduce the legacy
+// matrix cells bit-identically (pipeline_test.cpp holds the engine to
+// that); arbitrary specs open hybrid flows like
+// "cvs | gscale(area_budget=0.05) | dscale" across the whole suite.
+
+/// One (circuit, pipeline) cell: shared columns plus the executed
+/// pipeline's per-pass trajectory.
+struct PipelineSuiteCell {
+  std::string circuit;
+  int num_gates = 0;
+  double tspec_ns = 0.0;
+  double org_power_uw = 0.0;
+  std::string label;       // pass name / "pipeline"
+  std::string spec;        // canonical spec of the executed (resolved) cell
+  double improve_pct = 0.0;
+  PipelineRun run;
+};
+
+struct PipelineSuiteReport {
+  std::vector<std::string> specs;        // canonical, one per request spec
+  std::vector<PipelineSuiteCell> cells;  // circuit-major, spec-minor
+  int num_threads = 0;
+  double wall_seconds = 0.0;
+
+  /// Human-readable matrix with one trajectory line per executed pass.
+  std::string table() const;
+  /// Machine-readable document (schema "dvs-bench-pipeline-v1").
+  std::string to_json() const;
+};
+
+/// Runs the circuits x `pipelines` matrix on the thread pool with the
+/// suite engine's determinism contract: every stochastic knob derives
+/// from (suite seed, circuit seed, pipeline position), never from
+/// scheduling.  `options.run_*` flags and the per-algorithm structs in
+/// `options.flow` are ignored (pass knobs belong to the spec, see
+/// above); circuit selection, threads, the root seed, and the shared
+/// flow knobs (activity vectors, freq_mhz, tspec_relax) come from
+/// `options` as in run_suite.
+PipelineSuiteReport run_pipeline_suite(
+    const SuiteOptions& options, const std::vector<std::string>& pipelines,
+    const Library* lib = nullptr);
 
 }  // namespace dvs

@@ -1,0 +1,33 @@
+// The built-in passes behind the registry names:
+//   cvs     — clustered voltage scaling (core/cvs.hpp)
+//   dscale  — MWIS-based voltage scaling with level converters
+//   gscale  — separator-based gate sizing growing the CVS cluster
+//   trim    — the boundary-trim cleanup as a standalone pass (raises
+//             low->high boundary drivers whose converter costs more than
+//             their cluster saves)
+//   measure — no-op probe that records a power/delay/area trajectory
+//             point between other passes
+#pragma once
+
+#include <memory>
+
+#include "core/cvs.hpp"
+#include "core/dscale.hpp"
+#include "core/gscale.hpp"
+#include "opt/pass.hpp"
+
+namespace dvs {
+
+class PassRegistry;
+
+/// Registers the five built-ins; called once by pass_registry().
+void register_builtin_passes(PassRegistry& registry);
+
+/// Pre-configured pass instances for the legacy FlowOptions adapter
+/// (core/job.cpp): the pass carries exactly the options the hard-wired
+/// flow used, so adapter-built pipelines reproduce rows bit-identically.
+std::unique_ptr<Pass> make_cvs_pass(const CvsOptions& options);
+std::unique_ptr<Pass> make_dscale_pass(const DscaleOptions& options);
+std::unique_ptr<Pass> make_gscale_pass(const GscaleOptions& options);
+
+}  // namespace dvs

@@ -1,0 +1,298 @@
+#include "opt/pipeline.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <utility>
+
+#include "core/design.hpp"
+#include "support/contracts.hpp"
+
+namespace dvs {
+
+namespace {
+
+/// CPU seconds consumed by the calling thread — the paper's CPU column.
+/// Unlike wall clock, this stays meaningful when the suite engine runs
+/// many pipeline cells concurrently on shared cores.
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// One (supply level, cell) entry per node id; gates only are filled.
+std::vector<std::pair<VddLevel, int>> gate_state(const Design& design) {
+  std::vector<std::pair<VddLevel, int>> state(
+      design.network().size(), {VddLevel::kHigh, -1});
+  design.network().for_each_gate([&](const Node& n) {
+    state[n.id] = {design.level(n.id), n.cell};
+  });
+  return state;
+}
+
+/// Grammar cursor over a spec string.
+struct SpecCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool done() {
+    skip_ws();
+    return pos >= text.size();
+  }
+  bool accept(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c, const std::string& where) {
+    if (!accept(c))
+      throw PipelineError(std::string("pipeline: expected '") + c +
+                          "' in " + where);
+  }
+  std::string word(const char* what) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() && is_word_char(text[pos])) ++pos;
+    if (pos == start)
+      throw PipelineError(std::string("pipeline: expected ") + what);
+    return text.substr(start, pos - start);
+  }
+};
+
+/// One grammar value: quoted string, or a bare token classified by the
+/// JSON parser (number / true / false) with identifiers as strings.
+Json parse_value(SpecCursor& cursor) {
+  cursor.skip_ws();
+  if (cursor.pos < cursor.text.size() && cursor.text[cursor.pos] == '"') {
+    const std::size_t close = cursor.text.find('"', cursor.pos + 1);
+    if (close == std::string::npos)
+      throw PipelineError("pipeline: unterminated string");
+    Json value(cursor.text.substr(cursor.pos + 1, close - cursor.pos - 1));
+    cursor.pos = close + 1;
+    return value;
+  }
+  const std::size_t start = cursor.pos;
+  while (cursor.pos < cursor.text.size()) {
+    const char c = cursor.text[cursor.pos];
+    if (c == ',' || c == ')' || c == '|' ||
+        std::isspace(static_cast<unsigned char>(c)))
+      break;
+    ++cursor.pos;
+  }
+  if (cursor.pos == start)
+    throw PipelineError("pipeline: expected a value");
+  const std::string token = cursor.text.substr(start, cursor.pos - start);
+  try {
+    return Json::parse(token);  // number / true / false / null
+  } catch (const JsonError&) {
+    return Json(token);  // identifier (enum choice)
+  }
+}
+
+/// True iff the string renders as a bare grammar identifier.
+bool is_identifier(const std::string& s) {
+  if (s.empty() || s == "true" || s == "false" || s == "null") return false;
+  if (std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s)
+    if (!is_word_char(c)) return false;
+  return true;
+}
+
+std::string value_spec(const Json& value) {
+  if (value.is_string()) {
+    const std::string& s = value.as_string();
+    return is_identifier(s) ? s : "\"" + s + "\"";
+  }
+  if (value.is_number()) {
+    std::string text = value.dump();
+    if (text.find_first_of(".eE") == std::string::npos)
+      return text;  // exact integer representation
+    // Shortest double spelling that round-trips to the same bits, so
+    // canonical specs read "1e-09" instead of 17-digit noise while
+    // parse(canonical_spec()) stays a fixpoint.  (The fingerprint hashes
+    // canonical_json().dump(), not this spelling.)
+    const double d = value.as_double();
+    char buf[40];
+    for (int precision = 1; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+      if (std::strtod(buf, nullptr) == d) break;
+    }
+    return buf;
+  }
+  return value.dump();  // bools
+}
+
+}  // namespace
+
+Pipeline Pipeline::parse(const std::string& spec,
+                         const PassRegistry& registry) {
+  Pipeline pipeline;
+  SpecCursor cursor{spec};
+  if (cursor.done()) throw PipelineError("pipeline: empty spec");
+  do {
+    const std::string name = cursor.word("a pass name");
+    std::unique_ptr<Pass> pass = registry.create(name);
+    if (cursor.accept('(')) {
+      Json::Object options;
+      if (!cursor.accept(')')) {
+        do {
+          const std::string key = cursor.word("an option name");
+          cursor.expect('=', name + "() options");
+          options[key] = parse_value(cursor);
+        } while (cursor.accept(','));
+        cursor.expect(')', name + "() options");
+      }
+      pass->configure(options);
+    }
+    pipeline.append(std::move(pass));
+  } while (cursor.accept('|'));
+  if (!cursor.done())
+    throw PipelineError("pipeline: trailing characters after spec");
+  return pipeline;
+}
+
+Pipeline Pipeline::from_spec(const Json& spec, const PassRegistry& registry) {
+  if (spec.is_string()) return parse(spec.as_string(), registry);
+  if (!spec.is_array())
+    throw PipelineError("pipeline must be a string or an array");
+  Pipeline pipeline;
+  for (const Json& stage : spec.as_array()) {
+    if (stage.is_string()) {
+      pipeline.append(registry.create(stage.as_string()));
+      continue;
+    }
+    if (!stage.is_object())
+      throw PipelineError(
+          "pipeline stage must be a pass name or an object");
+    const Json* name = stage.find("pass");
+    if (name == nullptr)
+      throw PipelineError("pipeline stage without 'pass'");
+    for (const auto& [key, _] : stage.as_object())
+      if (key != "pass" && key != "options")
+        throw PipelineError("unknown field '" + key +
+                            "' in pipeline stage");
+    std::unique_ptr<Pass> pass = registry.create(name->as_string());
+    if (const Json* options = stage.find("options"))
+      pass->configure(options->as_object());
+    pipeline.append(std::move(pass));
+  }
+  if (pipeline.empty()) throw PipelineError("pipeline: empty spec");
+  return pipeline;
+}
+
+void Pipeline::append(std::unique_ptr<Pass> pass) {
+  DVS_EXPECTS(pass != nullptr);
+  passes_.push_back(std::move(pass));
+}
+
+Json Pipeline::canonical_json() const {
+  Json::Array stages;
+  for (const auto& pass : passes_) {
+    Json::Object stage;
+    stage["pass"] = Json(pass->name());
+    stage["options"] = Json(pass->canonical_options());
+    stages.emplace_back(std::move(stage));
+  }
+  return Json(std::move(stages));
+}
+
+std::string Pipeline::canonical_spec() const {
+  std::string out;
+  for (const auto& pass : passes_) {
+    if (!out.empty()) out += " | ";
+    out += pass->name();
+    const Json::Object options = pass->canonical_options();
+    if (options.empty()) continue;
+    out += '(';
+    bool first = true;
+    for (const auto& [key, value] : options) {
+      if (!first) out += ", ";
+      first = false;
+      out += key + "=" + value_spec(value);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+std::uint64_t Pipeline::fingerprint() const {
+  return fnv1a64(canonical_json().dump());
+}
+
+void Pipeline::resolve_seeds(std::uint64_t circuit_seed) {
+  for (std::size_t i = 0; i < passes_.size(); ++i)
+    passes_[i]->resolve_seeds(circuit_seed, static_cast<int>(i));
+}
+
+PipelineRun Pipeline::run(Design& design) {
+  PipelineRun out;
+  out.passes.reserve(passes_.size());
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    Pass& pass = *passes_[i];
+    PassStats stats;
+    stats.pass = pass.name();
+    stats.position = static_cast<int>(i);
+    const auto before = gate_state(design);
+
+    const double start = thread_cpu_seconds();
+    pass.run(design, &stats);
+    stats.cpu_seconds = thread_cpu_seconds() - start;
+
+    stats.power_uw = design.run_power().total();
+    const StaResult timing = design.run_timing();
+    stats.arrival_ns = timing.worst_arrival;
+    stats.area_um2 = design.total_area();
+    stats.low_gates = design.count_low();
+    stats.level_converters = design.count_lcs();
+    stats.resized = design.count_resized();
+    const auto after = gate_state(design);
+    for (std::size_t n = 0; n < after.size(); ++n)
+      if (before[n] != after[n]) ++stats.gates_touched;
+
+    // Every built-in pass maintains the constraint; a pass that breaks
+    // it has a bug, and silently reporting its "savings" would be worse
+    // than stopping.
+    DVS_ASSERT(timing.meets_constraint(1e-6));
+
+    out.cpu_seconds += stats.cpu_seconds;
+    out.passes.push_back(std::move(stats));
+  }
+  return out;
+}
+
+Json pass_stats_json(const PassStats& stats) {
+  Json::Object point;
+  point["pass"] = Json(stats.pass);
+  point["cpu_ms"] = Json(stats.cpu_seconds * 1e3);
+  point["power_uw"] = Json(stats.power_uw);
+  point["arrival_ns"] = Json(stats.arrival_ns);
+  point["area_um2"] = Json(stats.area_um2);
+  point["low"] = Json(stats.low_gates);
+  point["level_converters"] = Json(stats.level_converters);
+  point["resized"] = Json(stats.resized);
+  point["gates_touched"] = Json(stats.gates_touched);
+  point["details"] = Json(stats.details);
+  return Json(std::move(point));
+}
+
+}  // namespace dvs

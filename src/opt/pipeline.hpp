@@ -1,0 +1,102 @@
+// Composable optimization pipeline: an ordered list of registry-created
+// passes parsed from a declarative spec and run on a Design with
+// per-pass instrumentation (thread CPU time, power/delay/area
+// trajectory, gates touched).
+//
+// Two spec forms, interchangeable:
+//
+//   compact string grammar    "cvs | gscale(area_budget=0.05) | dscale"
+//       pipeline := stage ('|' stage)*
+//       stage    := name [ '(' [key '=' value {',' key '=' value}] ')' ]
+//       value    := number | true | false | identifier | "quoted string"
+//
+//   JSON                      ["cvs", {"pass":"gscale",
+//                                      "options":{"area_budget":0.05}},
+//                              "dscale"]
+//
+// canonical_json() dumps every pass with every option explicit (sorted
+// keys), so two specs mean the same pipeline iff their canonical dumps
+// are byte-identical; fingerprint() hashes that dump and is the
+// options half of the dvsd result-cache key.  parse -> canonical ->
+// reparse is a fixpoint (pipeline_test.cpp holds it to that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "opt/pass.hpp"
+#include "opt/registry.hpp"
+
+namespace dvs {
+
+class Design;
+
+class PipelineError : public std::runtime_error {
+ public:
+  explicit PipelineError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Instrumentation of one Pipeline::run: one PassStats per pass, in
+/// pipeline order.
+struct PipelineRun {
+  std::vector<PassStats> passes;
+  double cpu_seconds = 0.0;  // sum over the passes
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Parses the compact string grammar.  Throws PipelineError on
+  /// malformed specs, OptionError on unknown passes/options/ranges.
+  static Pipeline parse(const std::string& spec,
+                        const PassRegistry& registry = pass_registry());
+
+  /// Accepts either spec form: a grammar string or a JSON array whose
+  /// elements are pass names or {"pass": name, "options": {...}}.
+  static Pipeline from_spec(const Json& spec,
+                            const PassRegistry& registry = pass_registry());
+
+  void append(std::unique_ptr<Pass> pass);
+
+  std::size_t size() const { return passes_.size(); }
+  bool empty() const { return passes_.empty(); }
+  Pass& pass(std::size_t i) { return *passes_[i]; }
+  const Pass& pass(std::size_t i) const { return *passes_[i]; }
+
+  /// [{"pass": name, "options": {every field, explicit}}, ...].
+  Json canonical_json() const;
+
+  /// The string-grammar spelling of canonical_json(); reparses to an
+  /// identical pipeline.
+  std::string canonical_spec() const;
+
+  /// fnv1a64 over canonical_json().dump() — the cache-key ingredient.
+  std::uint64_t fingerprint() const;
+
+  /// Derives unset stochastic knobs per (circuit seed, position); call
+  /// before run() and before canonical_json() when the canonical form
+  /// feeds a cache key (derived seeds are part of the job's identity).
+  void resolve_seeds(std::uint64_t circuit_seed);
+
+  /// Runs every pass in order on `design`, asserting the timing
+  /// constraint still holds after each one, and returns the per-pass
+  /// trajectory.
+  PipelineRun run(Design& design);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Serializes one trajectory point for reports and the wire protocol:
+/// {"pass","cpu_ms","power_uw","arrival_ns","area_um2","low",
+///  "level_converters","resized","gates_touched","details"}.
+Json pass_stats_json(const PassStats& stats);
+
+}  // namespace dvs

@@ -1,7 +1,10 @@
 #include "service/protocol.hpp"
 
-#include <cmath>
 #include <set>
+#include <utility>
+
+#include "opt/option_schema.hpp"
+#include "opt/pipeline.hpp"
 
 namespace dvs {
 
@@ -18,32 +21,26 @@ void check_known_keys(const Json::Object& object,
   }
 }
 
+/// The protocol's job-option block, declared once: the same schema
+/// parses, range-checks, and canonicalizes, with the error text the
+/// protocol always used ("unknown field 'x' in options",
+/// "<name> out of range").
+const OptionSchema& job_options_schema() {
+  static const OptionSchema kSchema = [] {
+    OptionSchema s("options");
+    s.seed("seed", &JobOptions::seed);
+    s.number("freq_mhz", &JobOptions::freq_mhz, 0.0, 1e6,
+             /*open_min=*/true);
+    s.number("tspec_relax", &JobOptions::tspec_relax, 0.0, 100.0);
+    s.integer("vectors", &JobOptions::vectors, 1, 1 << 22);
+    return s;
+  }();
+  return kSchema;
+}
+
 JobOptions parse_options(const Json& json) {
   JobOptions options;
-  const Json::Object& object = json.as_object();
-  check_known_keys(object, {"seed", "freq_mhz", "tspec_relax", "vectors"},
-                   "options");
-  if (const Json* v = json.find("seed")) options.seed = v->as_uint();
-  if (const Json* v = json.find("freq_mhz")) {
-    options.freq_mhz = v->as_double();
-    if (!(options.freq_mhz > 0) || !std::isfinite(options.freq_mhz) ||
-        options.freq_mhz > 1e6)
-      throw ProtocolError("freq_mhz out of range");
-  }
-  if (const Json* v = json.find("tspec_relax")) {
-    options.tspec_relax = v->as_double();
-    if (options.tspec_relax < 0 || !std::isfinite(options.tspec_relax) ||
-        options.tspec_relax > 100)
-      throw ProtocolError("tspec_relax out of range");
-  }
-  if (const Json* v = json.find("vectors")) {
-    // Range-check in 64 bits; a narrowing cast first would let
-    // wrapped values slip through.
-    const std::int64_t vectors = v->as_int();
-    if (vectors < 1 || vectors > (1 << 22))
-      throw ProtocolError("vectors out of range");
-    options.vectors = static_cast<int>(vectors);
-  }
+  job_options_schema().apply(&options, json.as_object());
   return options;
 }
 
@@ -106,8 +103,8 @@ Request parse_request(const std::string& line) {
 
   if (type == "optimize") {
     check_known_keys(json.as_object(),
-                     {"type", "id", "circuit", "netlist", "format",
-                      "algos", "options", "return_netlist", "use_cache"},
+                     {"type", "id", "circuit", "netlist", "format", "algos",
+                      "pipeline", "options", "return_netlist", "use_cache"},
                      "optimize");
     request.type = RequestType::kOptimize;
     OptimizeRequest& opt = request.optimize;
@@ -119,11 +116,17 @@ Request parse_request(const std::string& line) {
     if (const Json* v = json.find("format")) opt.format = parse_format(*v);
     if (const Json* v = json.find("algos"))
       parse_algos(*v, &opt.run_cvs, &opt.run_dscale, &opt.run_gscale);
+    if (const Json* v = json.find("pipeline")) {
+      if (json.find("algos") != nullptr)
+        throw ProtocolError("optimize takes 'algos' or 'pipeline', not both");
+      Pipeline::from_spec(*v);  // fail fast on bad specs
+      opt.pipeline = *v;
+    }
     if (const Json* v = json.find("options")) opt.options = parse_options(*v);
     if (const Json* v = json.find("return_netlist"))
       opt.return_netlist = v->as_bool();
     if (const Json* v = json.find("use_cache")) opt.use_cache = v->as_bool();
-    if (opt.return_netlist &&
+    if (opt.return_netlist && opt.pipeline.is_null() &&
         (opt.run_cvs + opt.run_dscale + opt.run_gscale) != 1)
       throw ProtocolError(
           "return_netlist requires exactly one algorithm");
@@ -132,8 +135,8 @@ Request parse_request(const std::string& line) {
 
   if (type == "batch") {
     check_known_keys(json.as_object(),
-                     {"type", "id", "circuits", "all", "max_gates",
-                      "algos", "options", "use_cache"},
+                     {"type", "id", "circuits", "all", "max_gates", "algos",
+                      "pipeline", "options", "use_cache"},
                      "batch");
     request.type = RequestType::kBatch;
     BatchRequest& batch = request.batch;
@@ -153,6 +156,12 @@ Request parse_request(const std::string& line) {
       throw ProtocolError("batch takes 'circuits' or 'all', not both");
     if (const Json* v = json.find("algos"))
       parse_algos(*v, &batch.run_cvs, &batch.run_dscale, &batch.run_gscale);
+    if (const Json* v = json.find("pipeline")) {
+      if (json.find("algos") != nullptr)
+        throw ProtocolError("batch takes 'algos' or 'pipeline', not both");
+      Pipeline::from_spec(*v);  // fail fast on bad specs
+      batch.pipeline = *v;
+    }
     if (const Json* v = json.find("options"))
       batch.options = parse_options(*v);
     if (const Json* v = json.find("use_cache"))
@@ -163,14 +172,44 @@ Request parse_request(const std::string& line) {
   throw ProtocolError("unknown request type '" + type + "'");
 }
 
-std::string canonical_options_json(const OptimizeRequest& request,
-                                   std::uint64_t circuit_seed) {
+std::vector<JobCell> build_job_cells(const OptimizeRequest& request,
+                                     std::uint64_t circuit_seed) {
+  std::vector<JobCell> cells;
+  if (!request.pipeline.is_null()) {
+    Pipeline pipeline = Pipeline::from_spec(request.pipeline);
+    pipeline.resolve_seeds(circuit_seed);
+    JobCell cell;
+    cell.label = pipeline_label(pipeline);
+    cell.pipeline = std::move(pipeline);
+    cells.push_back(std::move(cell));
+    return cells;
+  }
+  // Legacy algos mode: one canonical paper pipeline per enabled
+  // algorithm, each from a fresh copy — the suite engine's matrix cell.
+  const FlowOptions base = request.options.to_flow_options();
+  const PaperAlgo algos[] = {PaperAlgo::kCvs, PaperAlgo::kDscale,
+                             PaperAlgo::kGscale};
+  const bool enabled[] = {request.run_cvs, request.run_dscale,
+                          request.run_gscale};
+  for (int i = 0; i < 3; ++i)
+    if (enabled[i])
+      cells.push_back(make_paper_cell(
+          algos[i], derive_cell_flow(base, circuit_seed, algos[i])));
+  return cells;
+}
+
+std::string canonical_job_json(const OptimizeRequest& request,
+                               std::uint64_t circuit_seed) {
+  std::vector<JobCell> cells = build_job_cells(request, circuit_seed);
   Json::Object object;
-  Json::Array algos;
-  if (request.run_cvs) algos.emplace_back("cvs");
-  if (request.run_dscale) algos.emplace_back("dscale");
-  if (request.run_gscale) algos.emplace_back("gscale");
-  object["algos"] = Json(std::move(algos));
+  Json::Array cell_array;
+  for (const JobCell& cell : cells) {
+    Json::Object entry;
+    entry["label"] = Json(cell.label);
+    entry["passes"] = cell.pipeline.canonical_json();
+    cell_array.emplace_back(std::move(entry));
+  }
+  object["cells"] = Json(std::move(cell_array));
   object["circuit_seed"] = Json(circuit_seed);
   object["freq_mhz"] = Json(request.options.freq_mhz);
   object["tspec_relax"] = Json(request.options.tspec_relax);

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "core/flow.hpp"
+#include "core/job.hpp"
 #include "support/json.hpp"
 
 namespace dvs {
@@ -56,8 +56,13 @@ struct OptimizeRequest {
   bool run_cvs = true;
   bool run_dscale = true;
   bool run_gscale = true;
+  /// Registry pipeline spec (string grammar or JSON array; null =
+  /// legacy `algos` mode).  Kept as the client sent it — explicit-vs-
+  /// defaulted options matter for seed resolution — and compiled by
+  /// build_job_cells at execution time.
+  Json pipeline;
   JobOptions options;
-  bool return_netlist = false;  // requires exactly one algorithm
+  bool return_netlist = false;  // requires exactly one cell
   bool use_cache = true;
 };
 
@@ -68,6 +73,7 @@ struct BatchRequest {
   bool run_cvs = true;
   bool run_dscale = true;
   bool run_gscale = true;
+  Json pipeline;  // as in OptimizeRequest, applied to every item
   JobOptions options;
   bool use_cache = true;
 };
@@ -82,12 +88,24 @@ struct Request {
 /// Parses one NDJSON line.  Throws ProtocolError / JsonError.
 Request parse_request(const std::string& line);
 
-/// Canonical options document for the cache key: algorithms, the
-/// *derived* circuit seed, and every knob that changes the result body.
-/// The input format is deliberately excluded unless the response embeds
-/// a netlist — a circuit means the same thing as BLIF or as Verilog.
-std::string canonical_options_json(const OptimizeRequest& request,
-                                   std::uint64_t circuit_seed);
+/// Compiles the request into its ordered pipeline cells: the canonical
+/// paper pipelines for legacy `algos` requests, or the spec'd registry
+/// pipeline with stochastic knobs resolved from the derived circuit
+/// seed.  One code path feeds both the cache key and the execution, so
+/// a request can never run something its key does not describe.
+std::vector<JobCell> build_job_cells(const OptimizeRequest& request,
+                                     std::uint64_t circuit_seed);
+
+/// Canonical job document for the cache key: the fully-resolved
+/// pipeline cells (every pass, every option, derived seeds included),
+/// the derived circuit seed, and every knob that changes the result
+/// body.  Because the cells are canonicalized through the OptionSchema,
+/// `{"algos":["dscale","cvs"]}`, `{"algos":["cvs","dscale"]}`, and the
+/// equivalent pipeline spellings hash identically.  The input format is
+/// deliberately excluded unless the response embeds a netlist — a
+/// circuit means the same thing as BLIF or as Verilog.
+std::string canonical_job_json(const OptimizeRequest& request,
+                               std::uint64_t circuit_seed);
 
 /// The per-circuit report object (same field names and layout as the
 /// BENCH_suite.json circuit rows; disabled algorithms are omitted).

@@ -13,6 +13,7 @@
 #include "netlist/blif.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
+#include "opt/pipeline.hpp"
 #include "service/server.hpp"
 #include "support/rng.hpp"
 #include "synth/mapper.hpp"
@@ -102,7 +103,7 @@ ResolvedJob resolve(ServiceCore& core, const OptimizeRequest& request) {
       throw ProtocolError("netlist has no gates to optimize");
   }
   job.key.options =
-      fnv1a64(canonical_options_json(request, job.circuit_seed));
+      fnv1a64(canonical_job_json(request, job.circuit_seed));
   job.key.library = core.lib_fingerprint;
   return job;
 }
@@ -116,38 +117,52 @@ Json metrics_json(const Design& design) {
   return Json(std::move(metrics));
 }
 
-/// Runs the flow and assembles the response body object.
+/// Runs the job's pipeline cells and assembles the response body object.
 std::string compute_body(ServiceCore& core, const OptimizeRequest& request,
                          ResolvedJob& job) {
   const Library& lib = *core.lib;
   const Network& circuit = job.network(lib);
-  JobSpec spec;
-  // kGscale keys the only algorithm-private seed (the ablation cut
-  // selector), matching the suite's gscale cell; CVS/Dscale ignore it.
-  spec.flow = derive_cell_flow(request.options.to_flow_options(),
-                               job.circuit_seed, PaperAlgo::kGscale);
-  spec.run_cvs = request.run_cvs;
-  spec.run_dscale = request.run_dscale;
-  spec.run_gscale = request.run_gscale;
+  // Shared columns (tspec, original power) run off the derived circuit
+  // seed; per-cell seeds (Gscale's ablation cut selector) are resolved
+  // inside build_job_cells, matching the suite engine's derivation.
+  const FlowOptions base = derive_cell_flow(
+      request.options.to_flow_options(), job.circuit_seed, PaperAlgo::kCvs);
+  const PipelineJobResult result =
+      run_pipeline_job(circuit, lib, base,
+                       build_job_cells(request, job.circuit_seed),
+                       /*capture_designs=*/true);
 
-  JobArtifacts artifacts;
-  const CircuitRunResult row =
-      run_single_job(circuit, lib, spec, &artifacts);
+  bool with_cvs = false, with_dscale = false, with_gscale = false;
+  for (const JobCellResult& cell : result.cells) {
+    with_cvs |= cell.label == "cvs";
+    with_dscale |= cell.label == "dscale";
+    with_gscale |= cell.label == "gscale";
+  }
 
   Json::Object body;
-  body["report"] = report_json(row, spec.run_cvs, spec.run_dscale,
-                               spec.run_gscale);
+  body["report"] =
+      report_json(result.row, with_cvs, with_dscale, with_gscale);
   Json::Object metrics;
-  if (artifacts.cvs) metrics["cvs"] = metrics_json(*artifacts.cvs);
-  if (artifacts.dscale) metrics["dscale"] = metrics_json(*artifacts.dscale);
-  if (artifacts.gscale) metrics["gscale"] = metrics_json(*artifacts.gscale);
+  Json::Array trajectory;
+  for (const JobCellResult& cell : result.cells) {
+    metrics[cell.label] = metrics_json(*cell.design);
+    Json::Object entry;
+    entry["label"] = Json(cell.label);
+    entry["spec"] = Json(cell.spec);
+    entry["improve_pct"] = Json(cell.improve_pct);
+    Json::Array passes;
+    for (const PassStats& stats : cell.run.passes)
+      passes.emplace_back(pass_stats_json(stats));
+    entry["passes"] = Json(std::move(passes));
+    trajectory.emplace_back(std::move(entry));
+  }
   body["metrics"] = Json(std::move(metrics));
+  body["trajectory"] = Json(std::move(trajectory));
 
   if (request.return_netlist) {
-    // Exactly one algorithm is enabled (protocol invariant).
-    const Design& design = artifacts.cvs      ? *artifacts.cvs
-                           : artifacts.dscale ? *artifacts.dscale
-                                              : *artifacts.gscale;
+    // Exactly one cell ran (protocol invariant): its final Design is
+    // the netlist the client asked back.
+    const Design& design = *result.cells.front().design;
     std::vector<char> low_mask;
     const Network out = materialize_level_converters(design, &low_mask);
     body["netlist"] = Json(request.format == "verilog"
@@ -337,6 +352,7 @@ void Session::handle_batch(const Request& request) {
     item.run_cvs = batch.run_cvs;
     item.run_dscale = batch.run_dscale;
     item.run_gscale = batch.run_gscale;
+    item.pipeline = batch.pipeline;
     item.options = batch.options;
     item.use_cache = batch.use_cache;
     core_->pool->submit([this, core, progress, item, i,

@@ -12,6 +12,8 @@
 #include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
 #include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
 #include "support/thread_pool.hpp"
 
 namespace dvs {
@@ -111,6 +113,80 @@ TEST(CacheKey, NamesDoNotMatterStructureDoes) {
       ".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n");
   EXPECT_EQ(topology_hash(a), topology_hash(renamed));
   EXPECT_NE(topology_hash(a), topology_hash(different));
+}
+
+// ---- canonical job documents (the options half of the key) ---------------
+
+OptimizeRequest request_line(const std::string& line) {
+  Request request = parse_request(line);
+  EXPECT_EQ(request.type, RequestType::kOptimize);
+  return request.optimize;
+}
+
+TEST(CanonicalJobKey, AlgoOrderDoesNotMatter) {
+  // A client listing algorithms in any order (or spelling out the
+  // default) must hit the same cache entry.
+  const OptimizeRequest a = request_line(
+      R"({"type":"optimize","circuit":"x2","algos":["dscale","cvs"]})");
+  const OptimizeRequest b = request_line(
+      R"({"type":"optimize","circuit":"x2","algos":["cvs","dscale"]})");
+  EXPECT_EQ(canonical_job_json(a, 42), canonical_job_json(b, 42));
+  const OptimizeRequest all_listed = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("algos":["gscale","dscale","cvs"]})");
+  const OptimizeRequest all_default =
+      request_line(R"({"type":"optimize","circuit":"x2"})");
+  EXPECT_EQ(canonical_job_json(all_listed, 42),
+            canonical_job_json(all_default, 42));
+}
+
+TEST(CanonicalJobKey, LegacyAlgoAliasesWithEquivalentPipeline) {
+  // The single-algorithm request and the single-pass pipeline spelling
+  // of it are the same job: same canonical document, same key, and the
+  // derived Gscale cut seed resolves identically on both paths.
+  for (const char* algo : {"cvs", "dscale", "gscale"}) {
+    const OptimizeRequest legacy = request_line(
+        std::string(R"({"type":"optimize","circuit":"x2","algos":[")") +
+        algo + R"("]})");
+    const OptimizeRequest spec = request_line(
+        std::string(
+            R"({"type":"optimize","circuit":"x2","pipeline":")") +
+        algo + R"("})");
+    EXPECT_EQ(canonical_job_json(legacy, 1234),
+              canonical_job_json(spec, 1234))
+        << algo;
+  }
+  // Different circuit seeds stay different jobs (the gscale cut seed
+  // and the activity seed are part of the identity).
+  const OptimizeRequest gscale = request_line(
+      R"({"type":"optimize","circuit":"x2","pipeline":"gscale"})");
+  EXPECT_NE(canonical_job_json(gscale, 1), canonical_job_json(gscale, 2));
+}
+
+TEST(CanonicalJobKey, PipelineSpellingsCanonicalize) {
+  // Grammar string, JSON array, whitespace, and option order all reach
+  // one canonical document; a genuinely different option value does not.
+  const OptimizeRequest a = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"x("pipeline":"cvs|gscale(area_budget=0.05)"})x");
+  const OptimizeRequest b = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("pipeline":["cvs",{"pass":"gscale",)"
+      R"("options":{"area_budget":0.05}}]})");
+  const OptimizeRequest c = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("pipeline":"  cvs  |  gscale( area_budget = 0.05 )  "})");
+  EXPECT_EQ(canonical_job_json(a, 7), canonical_job_json(b, 7));
+  EXPECT_EQ(canonical_job_json(a, 7), canonical_job_json(c, 7));
+  const OptimizeRequest d = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"x("pipeline":"cvs|gscale(area_budget=0.06)"})x");
+  EXPECT_NE(canonical_job_json(a, 7), canonical_job_json(d, 7));
+  // Pass order is semantic for pipelines: gscale|cvs is another flow.
+  const OptimizeRequest e = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("pipeline":"gscale(area_budget=0.05)|cvs"})");
+  EXPECT_NE(canonical_job_json(a, 7), canonical_job_json(e, 7));
 }
 
 // ---- LRU behavior ---------------------------------------------------------

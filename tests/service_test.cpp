@@ -230,6 +230,130 @@ TEST_F(ServiceTest, BatchStreamsEveryRowMatchingTheSuite) {
   EXPECT_EQ(seen.size(), 3u);
 }
 
+TEST_F(ServiceTest, PipelineRequestsRunHybridsWithTrajectory) {
+  Client client(port());
+  client.send(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("pipeline":"cvs | gscale(area_budget=0.05) | dscale"})");
+  Json response = client.recv();
+  ASSERT_EQ(response.find("type")->as_string(), "result")
+      << response.dump();
+  // No paper columns: the report carries the shared columns only...
+  const Json& report = *response.find("report");
+  EXPECT_EQ(report.find("cvs"), nullptr);
+  EXPECT_GT(report.find("org_power_uw")->as_double(), 0.0);
+  // ...and the trajectory carries one point per executed pass.
+  const Json& trajectory = *response.find("trajectory");
+  ASSERT_EQ(trajectory.as_array().size(), 1u);
+  const Json& cell = trajectory.as_array()[0];
+  EXPECT_EQ(cell.find("label")->as_string(), "pipeline");
+  const Json::Array& passes = cell.find("passes")->as_array();
+  ASSERT_EQ(passes.size(), 3u);
+  EXPECT_EQ(passes[0].find("pass")->as_string(), "cvs");
+  EXPECT_EQ(passes[1].find("pass")->as_string(), "gscale");
+  EXPECT_EQ(passes[2].find("pass")->as_string(), "dscale");
+  // Monotone trajectory: each stage ends at or below the previous power.
+  EXPECT_LE(passes[2].find("power_uw")->as_double(),
+            passes[0].find("power_uw")->as_double() + 1e-6);
+  // Final metrics for the cell are attached under its label.
+  EXPECT_NE(response.find("metrics")->find("pipeline"), nullptr);
+
+  // The same pipeline again: canonical fingerprint makes it a hit.
+  client.send(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("pipeline":"cvs|gscale(area_budget=0.05)|dscale"})");
+  EXPECT_EQ(client.recv().find("cache")->as_string(), "hit");
+}
+
+TEST_F(ServiceTest, LegacyAlgosAndPipelineSpellingShareOneCacheEntry) {
+  Client client(port());
+  client.send(R"({"type":"optimize","circuit":"z4ml","algos":["dscale"]})");
+  Json first = client.recv();
+  ASSERT_EQ(first.find("type")->as_string(), "result") << first.dump();
+  EXPECT_EQ(first.find("cache")->as_string(), "miss");
+
+  // Same job, spelled as a pipeline: must hit and replay the same body.
+  client.send(R"({"type":"optimize","circuit":"z4ml","pipeline":"dscale"})");
+  Json second = client.recv();
+  EXPECT_EQ(second.find("cache")->as_string(), "hit");
+  EXPECT_EQ(comparable(*second.find("report")),
+            comparable(*first.find("report")));
+
+  // Algo order never splits entries either.
+  client.send(
+      R"({"type":"optimize","circuit":"z4ml","algos":["gscale","cvs"]})");
+  EXPECT_EQ(client.recv().find("cache")->as_string(), "miss");
+  client.send(
+      R"({"type":"optimize","circuit":"z4ml","algos":["cvs","gscale"]})");
+  EXPECT_EQ(client.recv().find("cache")->as_string(), "hit");
+}
+
+TEST_F(ServiceTest, PipelineReturnNetlistAndBatch) {
+  // return_netlist composes with hybrid pipelines (a pipeline is one
+  // cell, so the exactly-one-result invariant holds by construction).
+  Json::Object request;
+  request["type"] = Json("optimize");
+  request["netlist"] = Json(std::string(kDemoBlif));
+  request["pipeline"] = Json("cvs | dscale | trim");
+  request["return_netlist"] = Json(true);
+  Client client(port());
+  client.send(Json(request).dump());
+  Json response = client.recv();
+  ASSERT_EQ(response.find("type")->as_string(), "result")
+      << response.dump();
+  ASSERT_NE(response.find("netlist"), nullptr);
+  EXPECT_NO_THROW(read_blif_string(response.find("netlist")->as_string()));
+
+  // Batch fans a pipeline across circuits.
+  client.send(
+      R"({"type":"batch","circuits":["x2","z4ml"],)"
+      R"("pipeline":"cvs | dscale","id":"P"})");
+  int items = 0;
+  bool done = false;
+  while (!done) {
+    Json line = client.recv();
+    const std::string type = line.find("type")->as_string();
+    if (type == "batch_done") {
+      EXPECT_EQ(line.find("failed")->as_uint(), 0u);
+      done = true;
+      continue;
+    }
+    ASSERT_EQ(type, "batch_item") << line.dump();
+    ASSERT_EQ(line.find("error"), nullptr) << line.dump();
+    const Json& trajectory = *line.find("trajectory");
+    EXPECT_EQ(trajectory.as_array()[0]
+                  .find("passes")->as_array().size(),
+              2u);
+    ++items;
+  }
+  EXPECT_EQ(items, 2);
+}
+
+TEST_F(ServiceTest, PipelineErrorsAreContained) {
+  Client client(port());
+  // Unknown pass.
+  client.send(
+      R"({"type":"optimize","circuit":"x2","pipeline":"cvs | warp"})");
+  Json error = client.recv();
+  EXPECT_EQ(error.find("type")->as_string(), "error");
+  EXPECT_NE(error.find("message")->as_string().find("unknown pass"),
+            std::string::npos);
+  // Unknown option, malformed grammar, algos+pipeline conflict.
+  client.send(
+      R"x({"type":"optimize","circuit":"x2","pipeline":"cvs(bogus=1)"})x");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  client.send(
+      R"({"type":"optimize","circuit":"x2","pipeline":"cvs |"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  client.send(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("algos":["cvs"],"pipeline":"dscale"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "error");
+  // The connection still serves.
+  client.send(R"({"type":"ping"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "pong");
+}
+
 TEST_F(ServiceTest, ErrorContainment) {
   Client client(port());
   // Malformed JSON.

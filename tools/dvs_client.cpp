@@ -35,11 +35,15 @@ void usage(std::FILE* out) {
       "  optimize FILE | --circuit NAME\n"
       "      [--format blif|verilog]   input format of FILE (default blif)\n"
       "      [--algo cvs|dscale|gscale|all]   (default all)\n"
+      "      [--pipeline SPEC]         registry pipeline instead of --algo,\n"
+      "                                e.g. 'cvs | gscale(area_budget=0.05)"
+      " | dscale'\n"
       "      [--seed S] [--vectors N] [--freq-mhz F] [--tspec-relax R]\n"
       "      [--return-netlist]        embed the optimized netlist\n"
       "      [--no-cache]              skip the cache lookup\n"
       "  batch --circuits a,b,c | --all [--max-gates N]\n"
-      "      [--algo ...] [--seed S] [--vectors N] [--no-cache]\n",
+      "      [--algo ... | --pipeline SPEC] [--seed S] [--vectors N] "
+      "[--no-cache]\n",
       out);
 }
 
@@ -150,6 +154,29 @@ bool print_response(const std::string& line) {
     print_algo(report, "cvs");
     print_algo(report, "dscale");
     print_algo(report, "gscale");
+    // Pipeline cells (anything that is not a paper algorithm column)
+    // print their full per-pass trajectory.
+    if (const dvs::Json* trajectory = get(json, "trajectory")) {
+      for (const dvs::Json& cell : trajectory->as_array()) {
+        const std::string& label = cell.find("label")->as_string();
+        if (label == "cvs" || label == "dscale" || label == "gscale")
+          continue;
+        std::printf("  %s: %s  improve %.2f%%\n", label.c_str(),
+                    cell.find("spec")->as_string().c_str(),
+                    dbl(cell, "improve_pct"));
+        int position = 0;
+        for (const dvs::Json& pass : cell.find("passes")->as_array())
+          std::printf("    [%d] %-8s power %9.3f uW  arrival %7.4f ns"
+                      "  area %9.1f um2  low %4lld  touched %4lld\n",
+                      position++,
+                      pass.find("pass")->as_string().c_str(),
+                      dbl(pass, "power_uw"), dbl(pass, "arrival_ns"),
+                      dbl(pass, "area_um2"),
+                      static_cast<long long>(pass.find("low")->as_int()),
+                      static_cast<long long>(
+                          pass.find("gates_touched")->as_int()));
+      }
+    }
     if (const dvs::Json* netlist = get(json, "netlist"))
       std::printf("--- optimized netlist ---\n%s",
                   netlist->as_string().c_str());
@@ -251,7 +278,9 @@ int main(int argc, char** argv) {
           dvs::Json::Array algos;
           algos.emplace_back(value("--algo"));
           request["algos"] = dvs::Json(std::move(algos));
-        } else if (arg == "--seed")
+        } else if (arg == "--pipeline")
+          request["pipeline"] = dvs::Json(value("--pipeline"));
+        else if (arg == "--seed")
           options["seed"] = dvs::Json(static_cast<std::uint64_t>(
               std::strtoull(value("--seed").c_str(), nullptr, 0)));
         else if (arg == "--vectors")
