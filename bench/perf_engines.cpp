@@ -202,8 +202,8 @@ void BM_IncrementalFlip(benchmark::State& state) {
   bool low = false;
   for (auto _ : state) {
     low = !low;
-    design.set_level(victim,
-                     low ? dvs::VddLevel::kLow : dvs::VddLevel::kHigh);
+    design.set_level(victim, low ? design.supplies().deepest()
+                                 : dvs::kTopRung);
     timer.on_node_changed(victim);
     benchmark::DoNotOptimize(timer.result().worst_arrival);
   }

@@ -16,6 +16,7 @@
 
 #include "benchgen/mcnc.hpp"
 #include "core/suite.hpp"
+#include "library/supply.hpp"
 
 namespace {
 
@@ -24,7 +25,7 @@ void usage(std::FILE* out) {
       "usage: suite_bench [--threads N] [--json FILE] "
       "[--quick | --max-gates N]\n"
       "                   [--circuit NAME]... [--seed S] [--vectors N]\n"
-      "                   [--pipeline SPEC]...\n"
+      "                   [--supplies V1,V2,...] [--pipeline SPEC]...\n"
       "\n"
       "Runs the MCNC x {CVS, Dscale, Gscale} matrix across the thread\n"
       "pool, prints Table 1 / Table 2 and writes BENCH_suite.json.\n"
@@ -39,6 +40,8 @@ void usage(std::FILE* out) {
       "  --circuit NAME run one circuit (repeatable)\n"
       "  --seed S       suite root seed (default 0x5eed)\n"
       "  --vectors N    activity-estimation vectors (default 4096)\n"
+      "  --supplies L   supply ladder, strictly descending voltages\n"
+      "                 (default 5,4.3), e.g. --supplies 5.0,4.3,3.6\n"
       "  --pipeline SPEC  registry pipeline, e.g. 'cvs | "
       "gscale(area_budget=0.05) | dscale' (repeatable)\n",
       out);
@@ -69,7 +72,14 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(value(), nullptr, 0);
     else if (flag == "--vectors")
       options.flow.activity.num_vectors = std::atoi(value());
-    else if (flag == "--pipeline")
+    else if (flag == "--supplies") {
+      try {
+        options.supplies = dvs::parse_supply_ladder(value()).voltages();
+      } catch (const dvs::SupplyError& e) {
+        std::fprintf(stderr, "suite_bench: %s\n", e.what());
+        return 1;
+      }
+    } else if (flag == "--pipeline")
       pipelines.push_back(value());
     else if (flag == "--help" || flag == "-h") {
       usage(stdout);

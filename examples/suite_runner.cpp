@@ -104,7 +104,7 @@ void run_one(const dvs::Library& lib, const dvs::McncDescriptor& d,
       file << dvs::write_dot(out, [&](const dvs::Node& n) {
         dvs::DotStyle style;
         if (n.is_gate() && n.id < design.network().size() &&
-            design.level(n.id) == dvs::VddLevel::kLow) {
+            design.level(n.id) != dvs::kTopRung) {
           style.fill_color = "lightblue";
           style.label_suffix = " (Vlow)";
         }

@@ -7,10 +7,13 @@ namespace dvs {
 bool lc_needed(const Design& design, NodeId id) {
   const Network& net = design.network();
   if (!net.is_valid(id) || !net.node(id).is_gate()) return false;
-  if (design.level(id) != VddLevel::kLow) return false;
+  const SupplyId driver = design.level(id);
+  if (driver == kTopRung) return false;  // nothing sits above the top
   for (NodeId fo : net.node(id).fanouts) {
     const Node& sink = net.node(fo);
-    if (sink.is_gate() && design.level(fo) == VddLevel::kHigh) return true;
+    if (sink.is_gate() &&
+        SupplyLadder::converter_needed(driver, design.level(fo)))
+      return true;
   }
   return false;
 }
@@ -38,16 +41,19 @@ Network materialize_level_converters(const Design& design,
   std::vector<char> low(original_size, 0);
   for (NodeId id = 0; id < original_size; ++id)
     if (net.is_valid(id) && net.node(id).is_gate() &&
-        design.level(id) == VddLevel::kLow)
+        design.level(id) != kTopRung)
       low[id] = 1;
 
   for (NodeId id = 0; id < original_size; ++id) {
     if (!design.needs_lc(id)) continue;
-    // Gate fanouts still at vdd_high move behind one shared converter.
+    // Gate fanouts on strictly shallower rungs move behind one shared
+    // converter; same-or-deeper gates and output ports stay direct.
+    const SupplyId driver = design.level(id);
     std::vector<NodeId> moved;
     for (NodeId fo : net.node(id).fanouts) {
       const Node& sink = net.node(fo);
-      if (sink.is_gate() && !low[fo] && fo < original_size)
+      if (sink.is_gate() && fo < original_size &&
+          SupplyLadder::converter_needed(driver, design.level(fo)))
         moved.push_back(fo);
     }
     DVS_ASSERT(!moved.empty());

@@ -1,6 +1,8 @@
 // Level-converter boundary bookkeeping.  A gate needs a converter on its
-// output exactly when it runs at vdd_low and at least one fanout gate runs
-// at vdd_high (the DC-leakage "driving incompatibility" of the paper).
+// output exactly when at least one fanout gate sits on a strictly
+// shallower (higher voltage) ladder rung than the gate itself — the
+// DC-leakage "driving incompatibility" of the paper, generalized from
+// low->high to any upward rung boundary.  Stepping down never needs one.
 // Primary outputs are block boundaries: restoration there belongs to the
 // surrounding system (flip-flop style converters, as in Usami-Horowitz),
 // so driving a port never sets the flag.

@@ -1,5 +1,7 @@
 #include "core/cvs.hpp"
 
+#include <algorithm>
+
 #include "support/contracts.hpp"
 #include "timing/graph.hpp"
 #include "timing/incremental.hpp"
@@ -9,14 +11,16 @@ namespace dvs {
 
 namespace {
 
-/// All gate fanouts already low?  (Port fanouts are block boundaries and
-/// do not block lowering.)
-bool fanouts_all_low(const Design& design, const Node& gate) {
+/// Deepest rung `gate` may sit on without ever needing a converter: the
+/// cluster rule bounds a driver by its shallowest gate fanout (port
+/// fanouts are block boundaries and do not bind).
+SupplyId cluster_rung_limit(const Design& design, const Node& gate) {
+  SupplyId limit = design.supplies().deepest();
   for (NodeId fo : gate.fanouts) {
     const Node& sink = design.network().node(fo);
-    if (sink.is_gate() && design.level(fo) != VddLevel::kLow) return false;
+    if (sink.is_gate()) limit = std::min(limit, design.level(fo));
   }
-  return true;
+  return limit;
 }
 
 }  // namespace
@@ -27,29 +31,38 @@ CvsResult run_cvs(Design& design, const CvsOptions& options) {
 
   // The breadth-first traversal from the POs is realized as one reverse
   // topological sweep: every gate is visited after all of its fanouts, so
-  // the "all fanouts low" cluster test sees final decisions.  Timing is
-  // re-analyzed (incrementally) after each acceptance, which keeps every
-  // acceptance sound against the *committed* state (the paper's
-  // incurred-penalty check).
+  // the cluster rung limit sees final decisions.  Timing is re-analyzed
+  // (incrementally) after each acceptance, which keeps every acceptance
+  // sound against the *committed* state (the paper's incurred-penalty
+  // check).
   IncrementalSta timer(design.timing_context(), design.tspec());
   const std::vector<NodeId>& order = design.timing_graph().topo_order();
   const Library& lib = design.library();
-  const double f_high = lib.voltage_model().delay_factor(lib.vdd_high());
-  const double f_low = lib.voltage_model().delay_factor(lib.vdd_low());
+  // Per-rung delay factors, hoisted out of the per-gate loop.
+  const std::vector<double> factor =
+      lib.supplies().delay_factors(lib.voltage_model());
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const Node& gate = net.node(*it);
     if (!gate.is_gate() || gate.cell < 0) continue;
-    if (design.level(gate.id) == VddLevel::kLow) continue;
-    if (!fanouts_all_low(design, gate)) continue;
-    const StaResult& sta = timer.result();
-    const double increase = worst_delay_increase(
-        f_high, f_low, lib.cell(gate.cell), sta.load[gate.id]);
-    if (increase + options.slack_margin > sta.slack[gate.id]) continue;
-    design.set_level(gate.id, VddLevel::kLow);
-    DVS_ASSERT(!design.needs_lc(gate.id));  // cluster rule: never an LC
-    timer.on_node_changed(gate.id);
-    DVS_ASSERT(timer.result().meets_constraint(1e-6));
-    ++result.num_lowered;
+    const SupplyId current = design.level(gate.id);
+    const SupplyId limit = cluster_rung_limit(design, gate);
+    if (limit <= current) continue;  // already as deep as the cluster allows
+    // Deepest feasible rung first: the furthest the slack lets this gate
+    // drop.  For the dual ladder this is exactly the paper's single
+    // high->low test.
+    for (SupplyId target = limit; target > current; --target) {
+      const StaResult& sta = timer.result();
+      const double increase = worst_delay_increase(
+          factor[current], factor[target], lib.cell(gate.cell),
+          sta.load[gate.id]);
+      if (increase + options.slack_margin > sta.slack[gate.id]) continue;
+      design.set_level(gate.id, target);
+      DVS_ASSERT(!design.needs_lc(gate.id));  // cluster rule: never an LC
+      timer.on_node_changed(gate.id);
+      DVS_ASSERT(timer.result().meets_constraint(1e-6));
+      ++result.num_lowered;
+      break;
+    }
   }
   result.tcb = compute_tcb(design.timing_context(), timer.result());
   return result;
@@ -59,8 +72,14 @@ bool cvs_cluster_invariant_holds(const Design& design) {
   const Network& net = design.network();
   bool ok = true;
   net.for_each_gate([&](const Node& gate) {
-    if (design.level(gate.id) != VddLevel::kLow) return;
-    if (!fanouts_all_low(design, gate)) ok = false;
+    const SupplyId driver = design.level(gate.id);
+    if (driver == kTopRung) return;
+    for (NodeId fo : gate.fanouts) {
+      const Node& sink = net.node(fo);
+      if (sink.is_gate() &&
+          SupplyLadder::converter_needed(driver, design.level(fo)))
+        ok = false;
+    }
     if (design.needs_lc(gate.id)) ok = false;
   });
   return ok;

@@ -1,8 +1,10 @@
 // Clustered Voltage Scaling (Usami & Horowitz, ISLPED'95) — the paper's
-// baseline and the inner engine of Gscale.  Traverses from the primary
-// outputs; a gate may be lowered only when every gate fanout is already
-// low (keeping the low cluster contingent to the POs, so no internal
-// level converter is ever needed) and the added delay fits in its slack.
+// baseline and the inner engine of Gscale, generalized to the supply
+// ladder.  Traverses from the primary outputs; a gate may drop to the
+// deepest rung that is (a) no deeper than any of its gate fanouts
+// (keeping each cluster contingent to the POs, so no internal level
+// converter is ever needed) and (b) within its slack.  On the default
+// dual ladder this is exactly the paper's high->low test.
 #pragma once
 
 #include <vector>
@@ -26,8 +28,8 @@ struct CvsResult {
 /// re-invokes it after every sizing step to push the TCB).
 CvsResult run_cvs(Design& design, const CvsOptions& options = {});
 
-/// Invariant checker used by tests: every low gate's gate-fanouts are all
-/// low (cluster contingency), and no level converter flag is set.
+/// Invariant checker used by tests: no gate sits deeper than any of its
+/// gate fanouts (cluster contingency), and no level converter flag is set.
 bool cvs_cluster_invariant_holds(const Design& design);
 
 }  // namespace dvs

@@ -8,7 +8,7 @@ namespace dvs {
 Design::Design(Network net, const Library& lib, double tspec)
     : net_(std::move(net)), lib_(&lib) {
   const int n = net_.size();
-  levels_.assign(n, VddLevel::kHigh);
+  levels_.assign(n, kTopRung);
   node_vdd_.assign(n, lib.vdd_high());
   lc_flags_.assign(n, 0);
   original_cells_.assign(n, -1);
@@ -24,16 +24,16 @@ Design::Design(Network net, const Library& lib, double tspec)
   }
 }
 
-VddLevel Design::level(NodeId id) const {
+SupplyId Design::level(NodeId id) const {
   DVS_EXPECTS(id >= 0 && id < static_cast<NodeId>(levels_.size()));
   return levels_[id];
 }
 
-void Design::set_level(NodeId id, VddLevel level) {
+void Design::set_level(NodeId id, SupplyId level) {
   DVS_EXPECTS(net_.is_valid(id) && net_.node(id).is_gate());
+  DVS_EXPECTS(level < supplies().depth());
   levels_[id] = level;
-  node_vdd_[id] =
-      level == VddLevel::kHigh ? lib_->vdd_high() : lib_->vdd_low();
+  node_vdd_[id] = supplies().voltage(level);
   // The boundary can change at this node and at each gate fanin.
   refresh_boundary_around(*this, id);
 }
@@ -41,9 +41,23 @@ void Design::set_level(NodeId id, VddLevel level) {
 int Design::count_low() const {
   int count = 0;
   net_.for_each_gate([&](const Node& g) {
-    if (levels_[g.id] == VddLevel::kLow) ++count;
+    if (levels_[g.id] != kTopRung) ++count;
   });
   return count;
+}
+
+int Design::count_at(SupplyId level) const {
+  int count = 0;
+  net_.for_each_gate([&](const Node& g) {
+    if (levels_[g.id] == level) ++count;
+  });
+  return count;
+}
+
+std::vector<int> Design::count_per_level() const {
+  std::vector<int> counts(supplies().depth(), 0);
+  net_.for_each_gate([&](const Node& g) { ++counts[levels_[g.id]]; });
+  return counts;
 }
 
 int Design::count_lcs() const {
@@ -58,7 +72,7 @@ void Design::refresh_boundary() { recompute_boundary(*this); }
 
 void Design::sync_with_network() {
   const int n = net_.size();
-  levels_.resize(n, VddLevel::kHigh);
+  levels_.resize(n, kTopRung);
   node_vdd_.resize(n, lib_->vdd_high());
   lc_flags_.resize(n, 0);
   original_cells_.resize(n, -1);
@@ -91,6 +105,7 @@ TimingContext Design::timing_context() const {
   ctx.net = &net_;
   ctx.lib = lib_;
   ctx.node_vdd = node_vdd_;
+  ctx.node_level = levels_;
   ctx.lc_on_output = lc_flags_;
   ctx.graph = &timing_graph();
   ctx.graph_owner = graph_.graph;

@@ -1,6 +1,6 @@
-// Design: the central context object for dual-Vdd optimization.  Bundles
-// the mapped network, the library, the per-gate supply assignment, the
-// timing constraint, and the derived level-converter bookkeeping, and
+// Design: the central context object for multi-Vdd optimization.  Bundles
+// the mapped network, the library, the per-gate supply-ladder assignment,
+// the timing constraint, and the derived level-converter bookkeeping, and
 // offers timing / power / area evaluation of the *current* state.
 //
 // Level converters are kept virtual (per-node flags consumed by the STA
@@ -21,13 +21,11 @@
 
 namespace dvs {
 
-enum class VddLevel : std::uint8_t { kHigh, kLow };
-
 class Design {
  public:
-  /// Takes ownership of the mapped network.  Every gate starts at
-  /// vdd_high.  `tspec < 0` (default) freezes the constraint at the
-  /// network's own mapped delay — the paper's experimental setup.
+  /// Takes ownership of the mapped network.  Every gate starts at the
+  /// ladder's top rung.  `tspec < 0` (default) freezes the constraint at
+  /// the network's own mapped delay — the paper's experimental setup.
   Design(Network net, const Library& lib, double tspec = -1.0);
 
   const Network& network() const { return net_; }
@@ -38,11 +36,19 @@ class Design {
   void set_tspec(double tspec) { tspec_ = tspec; }
 
   // ---- voltage assignment ----------------------------------------------
-  VddLevel level(NodeId id) const;
-  /// Sets the level and refreshes boundary flags incrementally around the
+  /// Supply ladder shared with the library (rung 0 = highest voltage).
+  const SupplyLadder& supplies() const { return lib_->supplies(); }
+
+  SupplyId level(NodeId id) const;
+  /// Sets the rung and refreshes boundary flags incrementally around the
   /// node (its own LC flag and its fanins').
-  void set_level(NodeId id, VddLevel level);
+  void set_level(NodeId id, SupplyId level);
+  /// Gates below the top rung (the paper's "low" column; for a dual
+  /// ladder exactly the vdd_low gates).
   int count_low() const;
+  /// Gates at one specific rung / at every rung (index = SupplyId).
+  int count_at(SupplyId level) const;
+  std::vector<int> count_per_level() const;
 
   /// Per-node supply voltage vector consumed by STA/power (non-gates run
   /// at vdd_high by convention; their entries are never used in arcs).
@@ -104,7 +110,7 @@ class Design {
   const Library* lib_;
   double tspec_ = 0.0;
   double freq_mhz_ = 20.0;
-  std::vector<VddLevel> levels_;
+  std::vector<SupplyId> levels_;
   std::vector<double> node_vdd_;
   std::vector<char> lc_flags_;
   std::vector<int> original_cells_;

@@ -14,8 +14,9 @@ namespace dvs {
 
 namespace {
 
-/// What lowering one gate would change, evaluated against the current
-/// committed state (conservative, per the paper's check_timing).
+/// What moving one gate to a deeper rung would change, evaluated against
+/// the current committed state (conservative, per the paper's
+/// check_timing).
 struct LoweringEffect {
   bool feasible = false;      // fits the slack
   double gross_gain_uw = 0.0; // voltage-scaling gain on the gate alone
@@ -24,46 +25,66 @@ struct LoweringEffect {
 };
 
 /// `graph` is the design's compiled timing graph with a current cell
-/// snapshot; `f_high` / `f_low` are the voltage model's delay factors at
-/// the two supplies.  Both are hoisted by the caller out of the
-/// per-candidate loop.
+/// snapshot; `factor` carries the voltage model's per-rung delay factors.
+/// Both are hoisted by the caller out of the per-candidate loop.  `from`
+/// is the gate's committed rung, `to` the strictly deeper rung under
+/// evaluation.
 LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
                                  const StaResult& sta,
                                  const Activity& activity, NodeId id,
-                                 double slack_margin, double f_high,
-                                 double f_low) {
+                                 double slack_margin, SupplyId from,
+                                 SupplyId to,
+                                 const std::vector<double>& factor) {
   const Network& net = design.network();
   const Library& lib = design.library();
   const Node& gate = net.node(id);
   DVS_EXPECTS(gate.is_gate() && gate.cell >= 0);
+  DVS_EXPECTS(from < to);
   const Cell& cell = lib.cell(gate.cell);
-  const double vh = lib.vdd_high();
-  const double vl = lib.vdd_low();
+  const SupplyLadder& ladder = lib.supplies();
+  const double v_from = ladder.voltage(from);
+  const double v_to = ladder.voltage(to);
+  // Converters restore to the top rung (timing and power model them
+  // there), whatever rungs they bridge.
+  const double v_top = ladder.top();
+  const double f_from = factor[from];
+  const double f_to = factor[to];
   const VoltageModel& vm = lib.voltage_model();
   const Cell* lc = lib.level_converter() >= 0
                        ? &lib.cell(lib.level_converter())
                        : nullptr;
 
   // ---- fanout split after lowering -------------------------------------
-  // Gate fanouts still high move behind a converter; low gates and output
-  // ports stay direct.  The compiled entry list carries the matching
-  // (sink, pin, cap) triples directly — the seed code rescanned every
-  // sink's full fanin list per unique fanout, O(pins^2) on wide nets —
-  // and its entry order keeps the cap accumulation bit-identical.
+  // Gate fanouts left on strictly shallower rungs than `to` move behind a
+  // converter; same-or-deeper gates and output ports stay direct.  The
+  // compiled entry list carries the matching (sink, pin, cap) triples
+  // directly, and its entry order keeps the cap accumulation
+  // bit-identical.  The same sweep also reconstructs the converter the
+  // gate may *already* carry at `from` (possible on 3+-rung ladders; a
+  // top-rung gate never has one), so the timing/power terms below are
+  // true deltas, not full new-converter charges.
   double direct_pins = 0.0;
   double lc_pins = 0.0;
   int direct_count = 0;
   int lc_count = 0;
+  double old_lc_pins = 0.0;
+  int old_lc_count = 0;
   const auto pins = graph.fanout_pins(id);
   const auto caps = graph.fanout_pin_caps(id);
   for (std::size_t e = 0; e < pins.size(); ++e) {
     const NodeId fo = pins[e].sink;
-    if (graph.is_gate(fo) && design.level(fo) == VddLevel::kHigh) {
+    const bool sink_is_gate = graph.is_gate(fo);
+    const SupplyId sink = sink_is_gate ? design.level(fo) : kTopRung;
+    if (sink_is_gate && SupplyLadder::converter_needed(to, sink)) {
       lc_pins += caps[e];
       ++lc_count;
     } else {
       direct_pins += caps[e];
       ++direct_count;
+    }
+    if (sink_is_gate && SupplyLadder::converter_needed(from, sink)) {
+      old_lc_pins += caps[e];
+      ++old_lc_count;
     }
   }
   for (int k = 0; k < graph.port_fanout_count(id); ++k) {
@@ -71,6 +92,7 @@ LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
     ++direct_count;
   }
   const bool needs_lc = lc_count > 0;
+  const bool had_lc = old_lc_count > 0;
   if (needs_lc && lc == nullptr)
     return {};  // no converter available: infeasible
 
@@ -83,56 +105,72 @@ LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
     new_lc_load = lc_pins + lib.wire_load().wire_cap(lc_count);
   }
   new_direct += lib.wire_load().wire_cap(new_direct_count);
+  const double old_lc_load =
+      had_lc ? old_lc_pins + lib.wire_load().wire_cap(old_lc_count) : 0.0;
 
   // ---- timing -----------------------------------------------------------
   double self_increase = 0.0;
   for (const TimingArc& arc : cell.arcs) {
     const double old_rise =
-        f_high * (arc.intrinsic_rise + arc.resistance_rise * sta.load[id]);
+        f_from * (arc.intrinsic_rise + arc.resistance_rise * sta.load[id]);
     const double old_fall =
-        f_high * (arc.intrinsic_fall + arc.resistance_fall * sta.load[id]);
+        f_from * (arc.intrinsic_fall + arc.resistance_fall * sta.load[id]);
     const double new_rise =
-        f_low * (arc.intrinsic_rise + arc.resistance_rise * new_direct);
+        f_to * (arc.intrinsic_rise + arc.resistance_rise * new_direct);
     const double new_fall =
-        f_low * (arc.intrinsic_fall + arc.resistance_fall * new_direct);
+        f_to * (arc.intrinsic_fall + arc.resistance_fall * new_direct);
     self_increase = std::max(self_increase, new_rise - old_rise);
     self_increase = std::max(self_increase, new_fall - old_fall);
   }
+  // Converter delay as a delta: the committed arrival/required state
+  // (and therefore sta.slack) already absorbs the old converter, so a
+  // deepening move pays only the growth of the restored cone.
   double lc_delay = 0.0;
   if (needs_lc) {
-    const RiseFall d = arc_delay(lib, *lc, 0, vh, new_lc_load);
+    const RiseFall d = arc_delay(lib, *lc, 0, v_top, new_lc_load);
     lc_delay = d.max();
+    if (had_lc)
+      lc_delay -= arc_delay(lib, *lc, 0, v_top, old_lc_load).max();
   }
   LoweringEffect effect;
-  effect.delay_increase = std::max(0.0, self_increase) + lc_delay;
+  effect.delay_increase =
+      std::max(0.0, self_increase) + std::max(0.0, lc_delay);
   effect.feasible =
       effect.delay_increase + slack_margin <= sta.slack[id];
 
   // ---- power ------------------------------------------------------------
   const double a = activity.alpha01[id];
   const double f = design.freq_mhz();
-  const double vh2 = vh * vh;
-  const double vl2 = vl * vl;
-  const double before =
-      a * f * (sta.load[id] + cell.internal_cap) * vh2 *
+  const double vf2 = v_from * v_from;
+  const double vt2 = v_to * v_to;
+  double before =
+      a * f * (sta.load[id] + cell.internal_cap) * vf2 *
           kSwitchPowerToMicrowatt +
-      cell.leakage * vm.leakage_factor(vh);
+      cell.leakage * vm.leakage_factor(v_from);
+  if (had_lc) {
+    // The committed state already pays for a converter; count it on the
+    // before side so the move is scored on the converter *growth* only.
+    before += a * f * (old_lc_load + lc->internal_cap) *
+                  (v_top * v_top) * kSwitchPowerToMicrowatt +
+              lc->leakage;
+  }
   const double after_gate =
-      a * f * (new_direct + cell.internal_cap) * vl2 *
+      a * f * (new_direct + cell.internal_cap) * vt2 *
           kSwitchPowerToMicrowatt +
-      cell.leakage * vm.leakage_factor(vl);
+      cell.leakage * vm.leakage_factor(v_to);
   double lc_cost = 0.0;
   if (needs_lc) {
     // Everything behind the converter (the rerouted pins, its wire, its
-    // internal node) still swings at vdd_high, plus the converter leaks.
-    lc_cost = a * f * (new_lc_load + lc->internal_cap) * vh2 *
+    // internal node) still swings at the top rung, plus the converter
+    // leaks.
+    lc_cost = a * f * (new_lc_load + lc->internal_cap) * (v_top * v_top) *
                   kSwitchPowerToMicrowatt +
               lc->leakage;
   }
   // Paper-literal weight: "the power reduction when Vlow is applied" —
-  // the gate's present switched capacitance scaled by Vh^2 - Vl^2.
+  // the gate's present switched capacitance scaled by Vfrom^2 - Vto^2.
   effect.gross_gain_uw = a * f * (sta.load[id] + cell.internal_cap) *
-                         (vh2 - vl2) * kSwitchPowerToMicrowatt;
+                         (vf2 - vt2) * kSwitchPowerToMicrowatt;
   // True delta including the converter overhead and the load reshuffle.
   effect.net_gain_uw = before - after_gate - lc_cost;
   return effect;
@@ -141,24 +179,37 @@ LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
 struct Candidate {
   NodeId id;
   double gain;
+  SupplyId from;  // committed rung at selection time
+  SupplyId to;    // deepest feasible rung
 };
 
-/// Raises low->high boundary drivers back to vdd_high while doing so
-/// reduces total power.  Raising a gate speeds it up, but a converter can
-/// migrate onto a still-low fanin, so timing is re-verified per raise
-/// (incrementally: each trial touches one gate's neighborhood); the
-/// fixpoint loop then reconsiders the migrated boundary.
+/// Raises boundary drivers to the shallowest rung that clears their
+/// converter while doing so reduces total power.  Raising a gate speeds
+/// it up, but a converter can migrate onto a still-deep fanin, so timing
+/// is re-verified per raise (incrementally: each trial touches one gate's
+/// neighborhood); the fixpoint loop then reconsiders the migrated
+/// boundary.
 int trim_unprofitable_boundary(Design& design, IncrementalSta& timer) {
+  const Network& net = design.network();
   int raised_total = 0;
   double power = design.run_power().total();
   for (bool changed = true; changed;) {
     changed = false;
     std::vector<NodeId> boundary;
-    design.network().for_each_gate([&](const Node& g) {
+    net.for_each_gate([&](const Node& g) {
       if (design.needs_lc(g.id)) boundary.push_back(g.id);
     });
     for (NodeId id : boundary) {
-      design.set_level(id, VddLevel::kHigh);
+      const SupplyId previous = design.level(id);
+      // The shallowest gate fanout bounds the raise: going exactly there
+      // removes the converter with the smallest speed/energy give-back.
+      SupplyId raised = previous;
+      for (NodeId fo : net.node(id).fanouts) {
+        const Node& sink = net.node(fo);
+        if (sink.is_gate()) raised = std::min(raised, design.level(fo));
+      }
+      if (raised == previous) continue;  // boundary moved under the loop
+      design.set_level(id, raised);
       timer.on_node_changed(id);
       const double trial = design.run_power().total();
       if (trial < power - 1e-12 &&
@@ -167,7 +218,7 @@ int trim_unprofitable_boundary(Design& design, IncrementalSta& timer) {
         ++raised_total;
         changed = true;
       } else {
-        design.set_level(id, VddLevel::kLow);
+        design.set_level(id, previous);
         timer.on_node_changed(id);
       }
     }
@@ -175,16 +226,16 @@ int trim_unprofitable_boundary(Design& design, IncrementalSta& timer) {
   return raised_total;
 }
 
-/// Lowers the selected gates, then verifies the constraint and reverts the
-/// cheapest members if the conservative per-candidate model missed a
-/// second-order interaction (e.g. a fanin's converter losing load).  The
-/// incremental timer makes each commit/revert O(affected) instead of a
-/// full re-analysis.
+/// Moves the selected gates to their target rungs, then verifies the
+/// constraint and reverts the cheapest members if the conservative
+/// per-candidate model missed a second-order interaction (e.g. a fanin's
+/// converter losing load).  The incremental timer makes each
+/// commit/revert O(affected) instead of a full re-analysis.
 int commit_with_repair(Design& design, IncrementalSta& timer,
                        std::vector<Candidate> selected) {
   if (selected.empty()) return 0;
   for (const Candidate& c : selected) {
-    design.set_level(c.id, VddLevel::kLow);
+    design.set_level(c.id, c.to);
     timer.on_node_changed(c.id);
   }
   std::sort(selected.begin(), selected.end(),
@@ -194,7 +245,7 @@ int commit_with_repair(Design& design, IncrementalSta& timer,
   std::size_t reverted = 0;
   while (!timer.result().meets_constraint(1e-9) &&
          reverted < selected.size()) {
-    design.set_level(selected[reverted].id, VddLevel::kHigh);
+    design.set_level(selected[reverted].id, selected[reverted].from);
     timer.on_node_changed(selected[reverted].id);
     ++reverted;
   }
@@ -215,9 +266,11 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
 
   const Network& net = design.network();
   const Activity& activity = design.activity();
-  const VoltageModel& vm = design.library().voltage_model();
-  const double f_high = vm.delay_factor(design.library().vdd_high());
-  const double f_low = vm.delay_factor(design.library().vdd_low());
+  const Library& lib = design.library();
+  const SupplyLadder& ladder = lib.supplies();
+  const SupplyId deepest = ladder.deepest();
+  const std::vector<double> factor =
+      ladder.delay_factors(lib.voltage_model());
   // The candidate scans read pin caps off the compiled graph; Dscale
   // itself never resizes, so one sync up front keeps the snapshot
   // current for the whole run.
@@ -235,18 +288,25 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
     const StaResult& sta = timer.result();
 
     // getSlkSet + check_timing + weight_with_power_gain, fused: collect
-    // every high gate whose lowering fits its slack with positive gain.
+    // every gate whose move to a deeper rung fits its slack with positive
+    // gain, taking the deepest feasible rung per gate.
     std::vector<Candidate> candidates;
     net.for_each_gate([&](const Node& gate) {
-      if (gate.cell < 0 || design.level(gate.id) == VddLevel::kLow) return;
+      const SupplyId current = design.level(gate.id);
+      if (gate.cell < 0 || current == deepest) return;
       if (sta.slack[gate.id] <= options.slack_margin) return;
-      const LoweringEffect effect =
-          evaluate_lowering(design, graph, sta, activity, gate.id,
-                            options.slack_margin, f_high, f_low);
-      const double weight = options.lc_aware_weights ? effect.net_gain_uw
-                                                     : effect.gross_gain_uw;
-      if (effect.feasible && weight > options.min_gain_uw)
-        candidates.push_back({gate.id, weight});
+      for (SupplyId target = deepest; target > current; --target) {
+        const LoweringEffect effect =
+            evaluate_lowering(design, graph, sta, activity, gate.id,
+                              options.slack_margin, current, target, factor);
+        const double weight = options.lc_aware_weights
+                                  ? effect.net_gain_uw
+                                  : effect.gross_gain_uw;
+        if (effect.feasible && weight > options.min_gain_uw) {
+          candidates.push_back({gate.id, weight, current, target});
+          break;  // deepest feasible rung wins
+        }
+      }
     });
     if (candidates.empty()) break;
     ++result.rounds;
@@ -259,15 +319,17 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
       AntichainProblem problem;
       problem.num_nodes = net.size();
       problem.weight.assign(net.size(), 0.0);
-      for (const Candidate& c : candidates)
+      std::vector<const Candidate*> by_id(net.size(), nullptr);
+      for (const Candidate& c : candidates) {
         problem.weight[c.id] = c.gain;
+        by_id[c.id] = &c;
+      }
       net.for_each_node([&](const Node& n) {
         for (NodeId fo : n.fanouts) problem.edges.emplace_back(n.id, fo);
       });
       const AntichainResult mwis =
           max_weight_antichain(problem, options.flow_algo);
-      for (int v : mwis.selected)
-        selected.push_back({v, problem.weight[v]});
+      for (int v : mwis.selected) selected.push_back(*by_id[v]);
     } else {
       // Greedy baseline for the ablation: highest gain first, skip
       // anything comparable to an already-picked node.

@@ -40,6 +40,23 @@ std::string num(double v) {
   return buf;
 }
 
+/// Library resolution shared by the legacy and the pipeline matrix:
+/// the caller's library (or the compass default), reladdered onto
+/// `options.supplies` when set.  `fallback`/`reladdered` provide the
+/// storage; the returned pointer aliases one of them or `lib`.
+const Library* effective_library(const SuiteOptions& options,
+                                 const Library* lib,
+                                 std::optional<Library>* fallback,
+                                 std::optional<Library>* reladdered) {
+  if (lib == nullptr) lib = &fallback->emplace(build_compass_library());
+  if (!options.supplies.empty()) {
+    reladdered->emplace(*lib);
+    (*reladdered)->set_supply_ladder(SupplyLadder(options.supplies));
+    lib = &**reladdered;
+  }
+  return lib;
+}
+
 /// Circuit selection shared by the legacy and the pipeline matrix.
 std::vector<const McncDescriptor*> select_circuits(
     const SuiteOptions& options) {
@@ -72,12 +89,14 @@ FlowOptions suite_task_flow(const SuiteOptions& options,
 
 SuiteReport run_suite(const SuiteOptions& options, const Library* lib) {
   std::optional<Library> fallback;
-  if (lib == nullptr) lib = &fallback.emplace(build_compass_library());
+  std::optional<Library> reladdered;
+  lib = effective_library(options, lib, &fallback, &reladdered);
 
   const std::vector<const McncDescriptor*> selected =
       select_circuits(options);
 
   SuiteReport report;
+  report.supplies = lib->supplies().voltages();
   report.vdd_high = lib->vdd_high();
   report.vdd_low = lib->vdd_low();
   report.rows.resize(selected.size());
@@ -174,6 +193,10 @@ std::string SuiteReport::to_json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema\": \"dvs-bench-suite-v1\",\n";
+  out << "  \"supplies\": [";
+  for (std::size_t i = 0; i < supplies.size(); ++i)
+    out << (i ? ", " : "") << num(supplies[i]);
+  out << "],\n";
   out << "  \"vdd_high\": " << num(vdd_high) << ",\n";
   out << "  \"vdd_low\": " << num(vdd_low) << ",\n";
   out << "  \"num_threads\": " << num_threads << ",\n";
@@ -185,13 +208,16 @@ std::string SuiteReport::to_json() const {
         << ", \"gates\": " << r.num_gates
         << ", \"tspec_ns\": " << num(r.tspec_ns)
         << ", \"org_power_uw\": " << num(r.org_power_uw) << ",\n";
+    // kLowGatesKey is the one spelling of the below-top-rung count
+    // shared with the protocol and trajectory emitters.
+    const std::string low_key = std::string("\"") + kLowGatesKey + "\": ";
     out << "     \"cvs\": {\"improve_pct\": " << num(r.cvs_improve_pct)
-        << ", \"low\": " << r.cvs_low << "},\n";
+        << ", " << low_key << r.cvs_low << "},\n";
     out << "     \"dscale\": {\"improve_pct\": "
-        << num(r.dscale_improve_pct) << ", \"low\": " << r.dscale_low
+        << num(r.dscale_improve_pct) << ", " << low_key << r.dscale_low
         << ", \"level_converters\": " << r.dscale_lcs << "},\n";
     out << "     \"gscale\": {\"improve_pct\": "
-        << num(r.gscale_improve_pct) << ", \"low\": " << r.gscale_low
+        << num(r.gscale_improve_pct) << ", " << low_key << r.gscale_low
         << ", \"resized\": " << r.gscale_resized
         << ", \"area_increase\": " << num(r.gscale_area_increase)
         << ", \"seconds\": " << num(r.gscale_seconds) << "}}"
@@ -213,7 +239,8 @@ PipelineSuiteReport run_pipeline_suite(
     const SuiteOptions& options, const std::vector<std::string>& pipelines,
     const Library* lib) {
   std::optional<Library> fallback;
-  if (lib == nullptr) lib = &fallback.emplace(build_compass_library());
+  std::optional<Library> reladdered;
+  lib = effective_library(options, lib, &fallback, &reladdered);
   DVS_EXPECTS(!pipelines.empty());
 
   PipelineSuiteReport report;
@@ -288,10 +315,24 @@ std::string PipelineSuiteReport::table() const {
     for (const PassStats& p : cell.run.passes) {
       std::snprintf(buf, sizeof buf,
                     "  [%d] %-8s power %9.3f uW  arrival %7.4f ns  area "
-                    "%9.1f um2  low %4d  touched %4d\n",
+                    "%9.1f um2  low %4d  touched %4d",
                     p.position, p.pass.c_str(), p.power_uw, p.arrival_ns,
                     p.area_um2, p.low_gates, p.gates_touched);
       out += buf;
+      // Deeper ladders get the per-rung breakdown spelled with the
+      // shared rung names ("high v1 ... low").
+      const int depth = static_cast<int>(p.level_gates.size());
+      if (depth > 2) {
+        out += "  [";
+        for (SupplyId r = 0; r < depth; ++r) {
+          std::snprintf(buf, sizeof buf, "%s%s:%d", r ? " " : "",
+                        supply_rung_name(r, depth).c_str(),
+                        p.level_gates[r]);
+          out += buf;
+        }
+        out += ']';
+      }
+      out += '\n';
     }
   }
   return out;

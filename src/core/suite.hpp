@@ -38,11 +38,17 @@ struct SuiteOptions {
   int num_threads = 0;
   /// Root seed every per-task seed is mixed from.
   std::uint64_t seed = 0x5eed;
+  /// Supply-ladder voltages to run the matrix at (strictly descending,
+  /// validated through SupplyLadder).  Empty = the library's ladder.
+  std::vector<double> supplies;
 };
 
 struct SuiteReport {
   std::vector<CircuitRunResult> rows;  // suite order, one per circuit
   std::vector<std::optional<PaperRow>> papers;  // aligned with rows
+  /// Full ladder the matrix ran at; vdd_high/vdd_low are its top and
+  /// bottom rungs (the legacy dual-Vdd header columns).
+  std::vector<double> supplies;
   double vdd_high = 0.0;
   double vdd_low = 0.0;
   int num_threads = 0;

@@ -87,10 +87,15 @@ int Library::smallest_of(std::string_view base_name) const {
 }
 
 void Library::set_supplies(double vdd_high, double vdd_low) {
-  DVS_EXPECTS(vdd_high > vdd_low);
-  DVS_EXPECTS(vdd_low > vmodel_.vt);
-  vdd_high_ = vdd_high;
-  vdd_low_ = vdd_low;
+  set_supply_ladder(SupplyLadder({vdd_high, vdd_low}));
+}
+
+void Library::set_supply_ladder(SupplyLadder ladder) {
+  // The ladder itself validated its shape; the threshold is a property
+  // of this library's voltage model, checked here.
+  if (ladder.bottom() <= vmodel_.vt)
+    throw SupplyError("supplies out of range");
+  ladder_ = std::move(ladder);
 }
 
 void Library::set_level_converter(int cell_id) {
@@ -101,8 +106,7 @@ void Library::set_level_converter(int cell_id) {
 std::uint64_t Library::fingerprint() const {
   std::uint64_t h = 0x11b1a5f0cafe0001ULL;
   h = mix_string(h, name_);
-  h = mix_double(h, vdd_high_);
-  h = mix_double(h, vdd_low_);
+  h = mix_seed(h, ladder_.fingerprint());  // canonical supply ladder
   h = mix_double(h, vmodel_.vdd_nominal);
   h = mix_double(h, vmodel_.vt);
   h = mix_double(h, vmodel_.alpha);

@@ -1,6 +1,7 @@
 // Cell library container: cell storage, name lookup, drive-variant groups
 // (for gate sizing), function matching (for the technology mapper), the
-// voltage model, the dual-supply operating point, and a wire-load model.
+// voltage model, the supply ladder (the multi-Vdd operating point), and a
+// wire-load model.
 #pragma once
 
 #include <span>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "library/cell.hpp"
+#include "library/supply.hpp"
 #include "library/voltage_model.hpp"
 
 namespace dvs {
@@ -54,9 +56,16 @@ class Library {
   int smallest_of(std::string_view base_name) const;
 
   // ---- operating point -----------------------------------------------
+  /// Dual-supply convenience: installs the two-rung ladder {high, low}.
   void set_supplies(double vdd_high, double vdd_low);
-  double vdd_high() const { return vdd_high_; }
-  double vdd_low() const { return vdd_low_; }
+  /// Installs an arbitrary ladder.  Throws SupplyError when the deepest
+  /// rung does not clear the voltage model's threshold.
+  void set_supply_ladder(SupplyLadder ladder);
+  const SupplyLadder& supplies() const { return ladder_; }
+  /// Top / deepest rung voltages (the dual-Vdd surface most call sites
+  /// still speak; identical to supplies().top() / .bottom()).
+  double vdd_high() const { return ladder_.top(); }
+  double vdd_low() const { return ladder_.bottom(); }
 
   const VoltageModel& voltage_model() const { return vmodel_; }
   VoltageModel& voltage_model() { return vmodel_; }
@@ -82,8 +91,7 @@ class Library {
   std::unordered_map<std::string, std::vector<int>> groups_;
   VoltageModel vmodel_;
   WireLoadModel wire_;
-  double vdd_high_ = 5.0;
-  double vdd_low_ = 4.3;
+  SupplyLadder ladder_;  // defaults to the paper's {5.0, 4.3}
   int lc_cell_ = -1;
 };
 

@@ -83,6 +83,17 @@ OptionSchema& OptionSchema::boolean(const char* name, BoolRef ref) {
   return *this;
 }
 
+OptionSchema& OptionSchema::custom(
+    const char* name, std::function<void(void*, const Json&)> set,
+    std::function<Json(const void*)> get,
+    std::function<bool(const void*)> in_range) {
+  Field& field = add(name);
+  field.set = std::move(set);
+  field.get = std::move(get);
+  field.in_range = std::move(in_range);
+  return *this;
+}
+
 OptionSchema& OptionSchema::choice_impl(
     const char* name, std::vector<std::string> names,
     std::function<std::size_t(const void*)> get_index,

@@ -82,6 +82,15 @@ class OptionSchema {
     return boolean(name, member_ref<bool>(member));
   }
 
+  /// Free-form field: the callbacks own parsing (throwing their own
+  /// schema-verbatim errors), the canonical dump, and the range check.
+  /// Used for structured values (e.g. the protocol's supply ladder)
+  /// that the scalar field kinds cannot express.
+  OptionSchema& custom(const char* name,
+                       std::function<void(void*, const Json&)> set,
+                       std::function<Json(const void*)> get,
+                       std::function<bool(const void*)> in_range);
+
   /// Enumerated choice: the wire value is one of the given strings, the
   /// struct member is the paired enum value.
   template <class O, class E>

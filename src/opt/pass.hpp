@@ -11,6 +11,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "opt/option_schema.hpp"
 
@@ -30,6 +31,9 @@ struct PassStats {
   double arrival_ns = 0.0;
   double area_um2 = 0.0;
   int low_gates = 0;
+  /// Gate count per supply-ladder rung (index = SupplyId); sums to the
+  /// design's gate count, with low_gates = everything past index 0.
+  std::vector<int> level_gates;
   int level_converters = 0;
   int resized = 0;
   /// Gates whose supply or drive changed across this pass.

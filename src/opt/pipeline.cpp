@@ -32,10 +32,10 @@ bool is_word_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// One (supply level, cell) entry per node id; gates only are filled.
-std::vector<std::pair<VddLevel, int>> gate_state(const Design& design) {
-  std::vector<std::pair<VddLevel, int>> state(
-      design.network().size(), {VddLevel::kHigh, -1});
+/// One (supply rung, cell) entry per node id; gates only are filled.
+std::vector<std::pair<SupplyId, int>> gate_state(const Design& design) {
+  std::vector<std::pair<SupplyId, int>> state(
+      design.network().size(), {kTopRung, -1});
   design.network().for_each_gate([&](const Node& n) {
     state[n.id] = {design.level(n.id), n.cell};
   });
@@ -127,17 +127,11 @@ std::string value_spec(const Json& value) {
     std::string text = value.dump();
     if (text.find_first_of(".eE") == std::string::npos)
       return text;  // exact integer representation
-    // Shortest double spelling that round-trips to the same bits, so
-    // canonical specs read "1e-09" instead of 17-digit noise while
-    // parse(canonical_spec()) stays a fixpoint.  (The fingerprint hashes
-    // canonical_json().dump(), not this spelling.)
-    const double d = value.as_double();
-    char buf[40];
-    for (int precision = 1; precision <= 17; ++precision) {
-      std::snprintf(buf, sizeof buf, "%.*g", precision, d);
-      if (std::strtod(buf, nullptr) == d) break;
-    }
-    return buf;
+    // Shortest-roundtrip spelling so canonical specs read "1e-09"
+    // instead of 17-digit noise while parse(canonical_spec()) stays a
+    // fixpoint.  (The fingerprint hashes canonical_json().dump(), not
+    // this spelling.)
+    return shortest_double_spelling(value.as_double());
   }
   return value.dump();  // bools
 }
@@ -263,6 +257,7 @@ PipelineRun Pipeline::run(Design& design) {
     stats.arrival_ns = timing.worst_arrival;
     stats.area_um2 = design.total_area();
     stats.low_gates = design.count_low();
+    stats.level_gates = design.count_per_level();
     stats.level_converters = design.count_lcs();
     stats.resized = design.count_resized();
     const auto after = gate_state(design);
@@ -287,7 +282,8 @@ Json pass_stats_json(const PassStats& stats) {
   point["power_uw"] = Json(stats.power_uw);
   point["arrival_ns"] = Json(stats.arrival_ns);
   point["area_um2"] = Json(stats.area_um2);
-  point["low"] = Json(stats.low_gates);
+  point[kLowGatesKey] = Json(stats.low_gates);
+  point["levels"] = supply_counts_json(stats.level_gates);
   point["level_converters"] = Json(stats.level_converters);
   point["resized"] = Json(stats.resized);
   point["gates_touched"] = Json(stats.gates_touched);

@@ -95,8 +95,9 @@ class Pipeline {
 };
 
 /// Serializes one trajectory point for reports and the wire protocol:
-/// {"pass","cpu_ms","power_uw","arrival_ns","area_um2","low",
-///  "level_converters","resized","gates_touched","details"}.
+/// {"pass","cpu_ms","power_uw","arrival_ns","area_um2","low","levels",
+///  "level_converters","resized","gates_touched","details"} — "levels"
+/// is the per-rung gate histogram (index = SupplyId).
 Json pass_stats_json(const PassStats& stats);
 
 }  // namespace dvs

@@ -33,6 +33,32 @@ const OptionSchema& job_options_schema() {
              /*open_min=*/true);
     s.number("tspec_relax", &JobOptions::tspec_relax, 0.0, 100.0);
     s.integer("vectors", &JobOptions::vectors, 1, 1 << 22);
+    s.custom(
+        "supplies",
+        [](void* opts, const Json& value) {
+          // SupplyLadder validation is the schema for this field; its
+          // SupplyError texts are the protocol's error messages.
+          static_cast<JobOptions*>(opts)->supplies =
+              supply_ladder_from_json(value).voltages();
+        },
+        [](const void* opts) {
+          const auto& supplies =
+              static_cast<const JobOptions*>(opts)->supplies;
+          Json::Array rungs;
+          for (double v : supplies) rungs.emplace_back(v);
+          return Json(std::move(rungs));
+        },
+        [](const void* opts) {
+          const auto& supplies =
+              static_cast<const JobOptions*>(opts)->supplies;
+          if (supplies.empty()) return true;  // library default
+          try {
+            SupplyLadder ladder(supplies);
+            return true;
+          } catch (const SupplyError&) {
+            return false;
+          }
+        });
     return s;
   }();
   return kSchema;
@@ -199,7 +225,8 @@ std::vector<JobCell> build_job_cells(const OptimizeRequest& request,
 }
 
 std::string canonical_job_json(const OptimizeRequest& request,
-                               std::uint64_t circuit_seed) {
+                               std::uint64_t circuit_seed,
+                               const SupplyLadder& default_supplies) {
   std::vector<JobCell> cells = build_job_cells(request, circuit_seed);
   Json::Object object;
   Json::Array cell_array;
@@ -214,6 +241,12 @@ std::string canonical_job_json(const OptimizeRequest& request,
   object["freq_mhz"] = Json(request.options.freq_mhz);
   object["tspec_relax"] = Json(request.options.tspec_relax);
   object["vectors"] = Json(request.options.vectors);
+  // Always the *effective* ladder: an absent field, the explicit default
+  // ladder, and any spelling of the same voltages canonicalize alike.
+  const SupplyLadder effective =
+      request.options.supplies.empty() ? default_supplies
+                                       : SupplyLadder(request.options.supplies);
+  object["supplies"] = effective.to_json();
   object["return_netlist"] = Json(request.return_netlist);
   if (request.return_netlist)
     object["netlist_format"] = Json(request.format);
@@ -230,20 +263,20 @@ Json report_json(const CircuitRunResult& row, bool with_cvs,
   if (with_cvs) {
     Json::Object cvs;
     cvs["improve_pct"] = num_field(row.cvs_improve_pct);
-    cvs["low"] = Json(row.cvs_low);
+    cvs[kLowGatesKey] = Json(row.cvs_low);
     report["cvs"] = Json(std::move(cvs));
   }
   if (with_dscale) {
     Json::Object dscale;
     dscale["improve_pct"] = num_field(row.dscale_improve_pct);
-    dscale["low"] = Json(row.dscale_low);
+    dscale[kLowGatesKey] = Json(row.dscale_low);
     dscale["level_converters"] = Json(row.dscale_lcs);
     report["dscale"] = Json(std::move(dscale));
   }
   if (with_gscale) {
     Json::Object gscale;
     gscale["improve_pct"] = num_field(row.gscale_improve_pct);
-    gscale["low"] = Json(row.gscale_low);
+    gscale[kLowGatesKey] = Json(row.gscale_low);
     gscale["resized"] = Json(row.gscale_resized);
     gscale["area_increase"] = num_field(row.gscale_area_increase);
     gscale["seconds"] = num_field(row.gscale_seconds);

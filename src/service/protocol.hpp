@@ -41,6 +41,12 @@ struct JobOptions {
   double freq_mhz = 20.0;
   double tspec_relax = 0.0;
   int vectors = 4096;  // activity estimation vectors
+  /// Supply-ladder voltages the job runs at ("supplies": "5,4.3,3.6" or
+  /// [5, 4.3, 3.6]; validated through SupplyLadder with its schema
+  /// texts).  Empty = the daemon library's ladder.  The effective ladder
+  /// is part of the cache key: via the canonical job document and via
+  /// the ladder-adjusted Library::fingerprint.
+  std::vector<double> supplies;
 
   /// Base FlowOptions (seeds are derived per circuit later).
   FlowOptions to_flow_options() const;
@@ -104,8 +110,13 @@ std::vector<JobCell> build_job_cells(const OptimizeRequest& request,
 /// equivalent pipeline spellings hash identically.  The input format is
 /// deliberately excluded unless the response embeds a netlist — a
 /// circuit means the same thing as BLIF or as Verilog.
+/// `default_supplies` is the daemon library's ladder, substituted when
+/// the request does not pin one — so "no supplies", the explicit default
+/// ladder, and every spelling of the same ladder produce one canonical
+/// document (and therefore one cache entry).
 std::string canonical_job_json(const OptimizeRequest& request,
-                               std::uint64_t circuit_seed);
+                               std::uint64_t circuit_seed,
+                               const SupplyLadder& default_supplies = {});
 
 /// The per-circuit report object (same field names and layout as the
 /// BENCH_suite.json circuit rows; disabled algorithms are omitted).

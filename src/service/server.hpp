@@ -72,13 +72,22 @@ struct ServiceCore {
   /// computed once at startup instead of per request.
   std::uint64_t lib_fingerprint = 0;
 
-  /// (topology_hash, mapping_fingerprint) per MCNC circuit name: for
-  /// named circuits those are pure functions of (descriptor, library),
-  /// so the cache-hit path skips rebuilding the circuit entirely.  The
-  /// library is fixed for the life of the daemon, keeping the memo valid.
+  /// (topology_hash, mapping_fingerprint) memo keyed by
+  /// "<circuit>@<library fingerprint>": for named circuits those are
+  /// pure functions of (descriptor, effective library), so the
+  /// cache-hit path skips rebuilding the circuit entirely — including
+  /// jobs at custom supply ladders, which memoize under their
+  /// ladder-adjusted fingerprint.
   std::mutex named_hash_mutex;
   std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>>
       named_hashes;
+
+  /// Ladder-adjusted Library::fingerprint per SupplyLadder::fingerprint:
+  /// custom-supplies requests need the effective fingerprint for the
+  /// cache key before the lookup, and the memo keeps the hit path free
+  /// of per-request Library copies.
+  std::mutex ladder_fp_mutex;
+  std::unordered_map<std::uint64_t, std::uint64_t> ladder_fps;
 };
 
 class Service {

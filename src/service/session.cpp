@@ -37,24 +37,69 @@ bool fully_mapped(const Network& net) {
   return mapped;
 }
 
-/// A resolved job: the cache key plus the circuit (built lazily for
-/// named MCNC circuits — the cache-hit path never needs the network).
+/// A resolved job: the effective library (ladder-adjusted when the
+/// request pins a supply ladder), the cache key, plus the circuit (built
+/// lazily for named MCNC circuits — the cache-hit path needs neither the
+/// network nor the adjusted library copy).
 struct ResolvedJob {
   const McncDescriptor* descriptor = nullptr;  // named circuits only
   std::optional<Network> mapped;
+  /// Set for custom-supplies jobs; the adjusted copy materializes on
+  /// first library() use.  The effective library is always *derived*
+  /// (never a stored pointer into this struct), so moves/copies of the
+  /// job can never dangle.
+  std::optional<SupplyLadder> custom_ladder;
+  std::optional<Library> custom_lib;
+  const Library* core_lib = nullptr;
   CacheKey key;
   std::uint64_t circuit_seed = 0;
 
+  const Library& library() {
+    if (!custom_ladder) return *core_lib;
+    if (!custom_lib) {
+      custom_lib.emplace(*core_lib);
+      custom_lib->set_supply_ladder(*custom_ladder);
+    }
+    return *custom_lib;
+  }
+
   /// The circuit, building it on first use.
-  const Network& network(const Library& lib) {
-    if (!mapped) mapped.emplace(build_mcnc_circuit(lib, *descriptor));
+  const Network& network() {
+    if (!mapped)
+      mapped.emplace(build_mcnc_circuit(library(), *descriptor));
     return *mapped;
   }
 };
 
 ResolvedJob resolve(ServiceCore& core, const OptimizeRequest& request) {
   ResolvedJob job;
-  const Library& lib = *core.lib;
+  job.core_lib = core.lib;
+  job.key.library = core.lib_fingerprint;
+  if (!request.options.supplies.empty()) {
+    SupplyLadder ladder(request.options.supplies);
+    if (ladder != core.lib->supplies()) {
+      // The whole flow (mapping included) runs against the requested
+      // operating point; the adjusted fingerprint carries the ladder
+      // into the cache key.  It is memoized per ladder so repeat
+      // submissions (the cache-hit fast path) skip the Library copy —
+      // building the copy once also vets the ladder against the
+      // library's threshold voltage.
+      const std::uint64_t ladder_fp = ladder.fingerprint();
+      job.custom_ladder.emplace(std::move(ladder));
+      std::optional<std::uint64_t> lib_fp;
+      {
+        std::lock_guard<std::mutex> lock(core.ladder_fp_mutex);
+        auto it = core.ladder_fps.find(ladder_fp);
+        if (it != core.ladder_fps.end()) lib_fp = it->second;
+      }
+      if (!lib_fp) {
+        lib_fp = job.library().fingerprint();
+        std::lock_guard<std::mutex> lock(core.ladder_fp_mutex);
+        core.ladder_fps.emplace(ladder_fp, *lib_fp);
+      }
+      job.key.library = *lib_fp;
+    }
+  }
   if (!request.circuit.empty()) {
     const McncDescriptor* descriptor = find_mcnc(request.circuit);
     if (descriptor == nullptr)
@@ -65,26 +110,31 @@ ResolvedJob resolve(ServiceCore& core, const OptimizeRequest& request) {
     // suite_bench rows bit for bit.
     job.circuit_seed = mix_seed(request.options.seed, descriptor->seed);
     // Named circuits are pure functions of (descriptor, library): their
-    // hashes are memoized, so repeat submissions (the cache-hit fast
-    // path) skip the generator entirely.
+    // hashes are memoized per (circuit, library fingerprint) — custom
+    // ladders change the mapping's operating point, so each effective
+    // library gets its own slot — and the cache-hit fast path skips the
+    // generator entirely.
+    const std::string memo_key =
+        request.circuit + "@" + std::to_string(job.key.library);
     {
       std::lock_guard<std::mutex> lock(core.named_hash_mutex);
-      auto it = core.named_hashes.find(request.circuit);
+      auto it = core.named_hashes.find(memo_key);
       if (it != core.named_hashes.end()) {
         job.key.topology = it->second.first;
         job.key.mapping = it->second.second;
       }
     }
     if (job.key.topology == 0) {
-      const Network& net = job.network(lib);
+      const Network& net = job.network();
       job.key.topology = topology_hash(net);
       job.key.mapping = mapping_fingerprint(net);
       std::lock_guard<std::mutex> lock(core.named_hash_mutex);
       core.named_hashes.emplace(
-          request.circuit, std::make_pair(job.key.topology,
-                                          job.key.mapping));
+          memo_key,
+          std::make_pair(job.key.topology, job.key.mapping));
     }
   } else {
+    const Library& lib = job.library();
     job.circuit_seed = request.options.seed;
     Network submitted = request.format == "verilog"
                             ? read_verilog_string(request.netlist, lib)
@@ -102,9 +152,8 @@ ResolvedJob resolve(ServiceCore& core, const OptimizeRequest& request) {
     if (job.mapped->num_gates() == 0)
       throw ProtocolError("netlist has no gates to optimize");
   }
-  job.key.options =
-      fnv1a64(canonical_job_json(request, job.circuit_seed));
-  job.key.library = core.lib_fingerprint;
+  job.key.options = fnv1a64(
+      canonical_job_json(request, job.circuit_seed, core.lib->supplies()));
   return job;
 }
 
@@ -118,10 +167,9 @@ Json metrics_json(const Design& design) {
 }
 
 /// Runs the job's pipeline cells and assembles the response body object.
-std::string compute_body(ServiceCore& core, const OptimizeRequest& request,
-                         ResolvedJob& job) {
-  const Library& lib = *core.lib;
-  const Network& circuit = job.network(lib);
+std::string compute_body(const OptimizeRequest& request, ResolvedJob& job) {
+  const Library& lib = job.library();
+  const Network& circuit = job.network();
   // Shared columns (tspec, original power) run off the derived circuit
   // seed; per-cell seeds (Gscale's ablation cut selector) are resolved
   // inside build_job_cells, matching the suite engine's derivation.
@@ -191,7 +239,7 @@ OptimizeOutcome execute_optimize(ServiceCore& core,
   }
   OptimizeOutcome outcome;
   outcome.body = std::make_shared<const std::string>(
-      compute_body(core, request, job));
+      compute_body(request, job));
   outcome.cache_hit = false;
   core.cache->put(job.key, outcome.body);
   return outcome;

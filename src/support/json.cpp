@@ -462,4 +462,13 @@ std::uint64_t fnv1a64(std::string_view bytes) {
   return h;
 }
 
+std::string shortest_double_spelling(double v) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
 }  // namespace dvs

@@ -102,4 +102,10 @@ void json_append_quoted(std::string* out, std::string_view s);
 /// FNV-1a 64-bit over raw bytes — the hash behind cache-key components.
 std::uint64_t fnv1a64(std::string_view bytes);
 
+/// Shortest %g spelling that strtod's back to the same bits — the
+/// double spelling shared by every canonical spec (pipeline options,
+/// supply ladders), so "1e-09" never becomes 17-digit noise and
+/// parse(canonical) stays a fixpoint.
+std::string shortest_double_spelling(double v);
+
 }  // namespace dvs

@@ -7,38 +7,52 @@
 #include <limits>
 
 #include "library/cell.hpp"
+#include "library/supply.hpp"
 #include "library/voltage_model.hpp"
 #include "netlist/network.hpp"
 #include "timing/sta.hpp"
 
 namespace dvs::timing_detail {
 
-/// Two-slot memo for VoltageModel::delay_factor.  The model evaluates two
+/// Per-rung memo for VoltageModel::delay_factor.  The model evaluates two
 /// non-integer powers per call and the sweeps call it once per gate per
-/// direction, yet a dual-Vdd design only ever carries two distinct supply
-/// values — so nearly every call is a repeat.  Keyed on the exact double,
-/// the memo returns bit-identical results to calling the model directly.
+/// direction, yet a design only ever carries the supply ladder's handful
+/// of distinct voltages — so nearly every call is a repeat.  Constructed
+/// from a ladder, the table is pre-seeded with one slot per rung; keyed
+/// on the exact double, lookups return bit-identical results to calling
+/// the model directly.  Voltages outside the ladder (ad-hoc contexts)
+/// still memoize into the spare slots.
 class DelayFactorCache {
  public:
   explicit DelayFactorCache(const VoltageModel& vm) : vm_(&vm) {}
 
+  DelayFactorCache(const VoltageModel& vm, const SupplyLadder& ladder)
+      : vm_(&vm) {
+    for (SupplyId r = 0; r < ladder.depth(); ++r) {
+      v_[size_] = ladder.voltage(r);
+      f_[size_] = vm.delay_factor(v_[size_]);
+      ++size_;
+    }
+  }
+
   double operator()(double vdd) {
-    if (vdd == v0_) return f0_;
-    if (vdd == v1_) return f1_;
+    for (int i = 0; i < size_; ++i)
+      if (v_[i] == vdd) return f_[i];
     const double f = vm_->delay_factor(vdd);
-    v1_ = v0_;
-    f1_ = f0_;
-    v0_ = vdd;
-    f0_ = f;
+    const int slot = size_ < kSlots ? size_++ : kSlots - 1;
+    v_[slot] = vdd;
+    f_[slot] = f;
     return f;
   }
 
  private:
+  // Every ladder rung plus two spare slots for off-ladder probes.
+  static constexpr int kSlots = SupplyLadder::kMaxRungs + 2;
+
   const VoltageModel* vm_;
-  double v0_ = std::numeric_limits<double>::quiet_NaN();
-  double f0_ = 0.0;
-  double v1_ = std::numeric_limits<double>::quiet_NaN();
-  double f1_ = 0.0;
+  int size_ = 0;
+  double v_[kSlots] = {};
+  double f_[kSlots] = {};
 };
 
 inline constexpr double kVoltEps = 1e-6;

@@ -196,7 +196,7 @@ void IncrementalSta::on_node_changed(NodeId id) {
   // Absorb a possible cell change before touching arcs or caps.
   g.sync_node(id);
   const std::vector<int>& ranks = g.topo_ranks();
-  DelayFactorCache df(ctx_.lib->voltage_model());
+  DelayFactorCache df(ctx_.lib->voltage_model(), ctx_.lib->supplies());
 
   // Loads that can move: the node's own (LC split, port/pin mix) and its
   // fanins' (the node's pin caps change with its cell; its supply decides

@@ -34,7 +34,7 @@ StaResult run_sta_flat(const TimingContext& ctx, const TimingGraph& g,
   DVS_EXPECTS(ctx.lc_on_output.empty() ||
               static_cast<int>(ctx.lc_on_output.size()) >= n);
   g.sync_cells();
-  DelayFactorCache delay_factor(lib.voltage_model());
+  DelayFactorCache delay_factor(lib.voltage_model(), lib.supplies());
 
   const bool any_lc = !ctx.lc_on_output.empty();
   auto has_lc = [&](NodeId id) {

@@ -34,6 +34,10 @@ struct TimingContext {
   const Library* lib = nullptr;
   /// Supply voltage per node id (dead slots ignored).
   std::span<const double> node_vdd;
+  /// Supply-ladder rung per node id.  Optional: analyses that need rungs
+  /// (the TCB / boundary checks) fall back to matching `node_vdd` against
+  /// the library ladder when this span is empty.
+  std::span<const SupplyId> node_level;
   /// True when a level converter sits on this node's output, carrying its
   /// arcs into higher-voltage fanouts.
   std::span<const char> lc_on_output;
@@ -89,7 +93,8 @@ RiseFall arc_delay(const Library& lib, const Cell& cell, int pin,
 
 /// Worst (max over pins and edges) increase in this node's pin-to-pin
 /// delay when its supply changes from `vdd_from` to `vdd_to` at load
-/// `load_ff`.  Used by the voltage-scaling candidate checks.
+/// `load_ff`.  Used by the voltage-scaling candidate checks (any rung
+/// pair of the ladder).
 double worst_delay_increase(const Library& lib, const Cell& cell,
                             double vdd_from, double vdd_to, double load_ff);
 

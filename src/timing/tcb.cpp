@@ -1,48 +1,68 @@
 #include "timing/tcb.hpp"
 
+#include <vector>
+
 #include "support/contracts.hpp"
 #include "timing/arc_eval.hpp"
 
 namespace dvs {
 
 namespace {
-constexpr double kVoltEps = 1e-6;
 
-bool can_lower_with(timing_detail::DelayFactorCache& delay_factor,
-                    const TimingContext& ctx, const StaResult& sta,
-                    NodeId id) {
+/// Rung of `id` under `ctx`: the explicit span when the provider filled
+/// it, else the exact ladder match on the node's supply (per-node vdd
+/// vectors are assigned from ladder voltages, so the match is sound).
+SupplyId rung_at(const TimingContext& ctx, NodeId id) {
+  if (!ctx.node_level.empty()) return ctx.node_level[id];
+  const int rung = ctx.lib->supplies().rung_of(ctx.node_vdd[id]);
+  DVS_ASSERT(rung >= 0);
+  return static_cast<SupplyId>(rung);
+}
+
+/// Could `id` drop one rung within its own slack?  `factor` is the
+/// ladder's per-rung delay-factor table (hoisted by the sweep).
+bool can_deepen_one_rung(const std::vector<double>& factor,
+                         const TimingContext& ctx, const StaResult& sta,
+                         NodeId id) {
   const Node& n = ctx.net->node(id);
   if (!n.is_gate() || n.cell < 0) return false;
+  const SupplyId cur = rung_at(ctx, id);
+  const SupplyId deepest = ctx.lib->supplies().deepest();
+  const SupplyId next = cur < deepest ? static_cast<SupplyId>(cur + 1) : cur;
   const double increase = worst_delay_increase(
-      delay_factor(ctx.node_vdd[id]), delay_factor(ctx.lib->vdd_low()),
-      ctx.lib->cell(n.cell), sta.load[id]);
+      factor[cur], factor[next], ctx.lib->cell(n.cell), sta.load[id]);
   return increase <= sta.slack[id] + 1e-12;
 }
+
 }  // namespace
 
 bool can_lower_within_slack(const TimingContext& ctx, const StaResult& sta,
                             NodeId id) {
-  timing_detail::DelayFactorCache delay_factor(ctx.lib->voltage_model());
-  return can_lower_with(delay_factor, ctx, sta, id);
+  const std::vector<double> factor =
+      ctx.lib->supplies().delay_factors(ctx.lib->voltage_model());
+  return can_deepen_one_rung(factor, ctx, sta, id);
 }
 
 std::vector<NodeId> compute_tcb(const TimingContext& ctx,
                                 const StaResult& sta) {
   const Network& net = *ctx.net;
-  const double vdd_high = ctx.lib->vdd_high();
-  timing_detail::DelayFactorCache delay_factor(ctx.lib->voltage_model());
+  const SupplyLadder& ladder = ctx.lib->supplies();
+  const SupplyId deepest = ladder.deepest();
+  const std::vector<double> factor =
+      ladder.delay_factors(ctx.lib->voltage_model());
 
   std::vector<char> drives_port(net.size(), 0);
   for (const OutputPort& port : net.outputs()) drives_port[port.driver] = 1;
 
   std::vector<NodeId> tcb;
   net.for_each_gate([&](const Node& n) {
-    if (ctx.node_vdd[n.id] < vdd_high - kVoltEps) return;  // already low
+    const SupplyId cur = rung_at(ctx, n.id);
+    if (cur == deepest) return;  // already on the deepest rung
     bool adjacent_to_low = drives_port[n.id] != 0;
     for (NodeId fo : n.fanouts)
-      if (ctx.node_vdd[fo] < vdd_high - kVoltEps) adjacent_to_low = true;
+      if (rung_at(ctx, fo) > cur) adjacent_to_low = true;
     if (!adjacent_to_low) return;
-    if (can_lower_with(delay_factor, ctx, sta, n.id)) return;  // not blocked
+    if (can_deepen_one_rung(factor, ctx, sta, n.id)) return;  // not blocked
     tcb.push_back(n.id);
   });
   return tcb;

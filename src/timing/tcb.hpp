@@ -1,6 +1,6 @@
-// Timing-critical boundary (paper §2): the high-voltage nodes that sit
-// next to the low-voltage cluster and cannot themselves be lowered without
-// violating the timing constraint.
+// Timing-critical boundary (paper §2): the nodes that sit next to a
+// deeper (lower voltage) region of the supply ladder and cannot
+// themselves drop a rung without violating the timing constraint.
 //
 // One interpretation detail (documented in DESIGN.md): a high-voltage node
 // driving a primary output is treated as "adjacent to the low region"
@@ -21,8 +21,9 @@ namespace dvs {
 std::vector<NodeId> compute_tcb(const TimingContext& ctx,
                                 const StaResult& sta);
 
-/// True iff `id` could move to vdd_low within its own slack (ignoring any
-/// level-converter cost — the CVS cluster rule never needs one).
+/// True iff `id` could drop one ladder rung within its own slack
+/// (ignoring any level-converter cost — the CVS cluster rule never needs
+/// one).  Nodes already on the deepest rung trivially qualify.
 bool can_lower_within_slack(const TimingContext& ctx, const StaResult& sta,
                             NodeId id);
 

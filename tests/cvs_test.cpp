@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "dual_ladder.hpp"
+
 #include "benchgen/structured.hpp"
 
 namespace dvs {
@@ -74,10 +76,10 @@ TEST_F(CvsTest, TcbSitsNextToTheLowCluster) {
   Design design(std::move(net), lib_);
   const CvsResult r = run_cvs(design);
   for (NodeId t : r.tcb) {
-    EXPECT_EQ(design.level(t), VddLevel::kHigh);
+    EXPECT_EQ(design.level(t), kTopRung);
     bool adjacent = false;
     for (NodeId fo : design.network().node(t).fanouts)
-      if (design.level(fo) == VddLevel::kLow) adjacent = true;
+      if (design.level(fo) == kLowRung) adjacent = true;
     for (const OutputPort& port : design.network().outputs())
       if (port.driver == t) adjacent = true;
     EXPECT_TRUE(adjacent) << "TCB node " << t;

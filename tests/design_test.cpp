@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "dual_ladder.hpp"
+
 #include "core/boundary.hpp"
 
 namespace dvs {
@@ -30,7 +32,7 @@ TEST_F(DesignTest, StartsAllHigh) {
   EXPECT_EQ(design.count_low(), 0);
   EXPECT_EQ(design.count_lcs(), 0);
   design.network().for_each_gate([&](const Node& g) {
-    EXPECT_EQ(design.level(g.id), VddLevel::kHigh);
+    EXPECT_EQ(design.level(g.id), kTopRung);
     EXPECT_DOUBLE_EQ(design.node_vdd()[g.id], lib_.vdd_high());
   });
 }
@@ -46,13 +48,13 @@ TEST_F(DesignTest, LcFlagTracksBoundary) {
   Network net = make_net();
   const NodeId g1 = net.node(net.outputs()[0].driver).fanins[0];
   Design design(std::move(net), lib_);
-  design.set_level(g1, VddLevel::kLow);
+  design.set_level(g1, kLowRung);
   // g1 is low, its two fanouts are high: one converter needed.
   EXPECT_TRUE(design.needs_lc(g1));
   EXPECT_EQ(design.count_lcs(), 1);
   // Lower both fanouts: the boundary disappears.
   for (NodeId fo : design.network().node(g1).fanouts)
-    design.set_level(fo, VddLevel::kLow);
+    design.set_level(fo, kLowRung);
   EXPECT_FALSE(design.needs_lc(g1));
   EXPECT_EQ(design.count_lcs(), 0);
 }
@@ -61,7 +63,7 @@ TEST_F(DesignTest, PoDriversNeverNeedConverters) {
   Network net = make_net();
   const NodeId g2 = net.outputs()[0].driver;
   Design design(std::move(net), lib_);
-  design.set_level(g2, VddLevel::kLow);
+  design.set_level(g2, kLowRung);
   EXPECT_FALSE(design.needs_lc(g2));
 }
 
@@ -71,7 +73,7 @@ TEST_F(DesignTest, AreaIncludesConverters) {
   Design design(std::move(net), lib_);
   const double base = design.total_area();
   EXPECT_NEAR(base, design.original_area(), 1e-9);
-  design.set_level(g1, VddLevel::kLow);
+  design.set_level(g1, kLowRung);
   EXPECT_NEAR(design.total_area(),
               base + lib_.cell(lib_.level_converter()).area, 1e-9);
 }
@@ -100,7 +102,7 @@ TEST_F(DesignTest, MaterializeConvertersInsertsRealGates) {
   Network net = make_net();
   const NodeId g1 = net.node(net.outputs()[0].driver).fanins[0];
   Design design(std::move(net), lib_);
-  design.set_level(g1, VddLevel::kLow);
+  design.set_level(g1, kLowRung);
   std::vector<char> low_mask;
   Network materialized = materialize_level_converters(design, &low_mask);
   int converters = 0;
@@ -116,7 +118,7 @@ TEST_F(DesignTest, MaterializeConvertersInsertsRealGates) {
 TEST_F(DesignTest, LoweringEverythingNeedsNoConverters) {
   Design design(make_net(), lib_);
   design.network().for_each_gate(
-      [&](const Node& g) { design.set_level(g.id, VddLevel::kLow); });
+      [&](const Node& g) { design.set_level(g.id, kLowRung); });
   EXPECT_EQ(design.count_lcs(), 0);
   EXPECT_EQ(design.count_low(), 3);
 }

@@ -1,0 +1,12 @@
+// Shared test spelling for the default dual supply ladder {5.0, 4.3}:
+// rung 1 is its deepest rung (the old VddLevel::kLow).  Tests exercising
+// deeper ladders spell rungs explicitly instead.
+#pragma once
+
+#include "library/supply.hpp"
+
+namespace dvs {
+
+inline constexpr SupplyId kLowRung = 1;
+
+}  // namespace dvs

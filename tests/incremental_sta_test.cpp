@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "dual_ladder.hpp"
+
 #include "benchgen/random_dag.hpp"
 #include "benchgen/structured.hpp"
 #include "core/design.hpp"
@@ -27,7 +29,7 @@ TEST_F(IncrementalStaTest, TracksSingleLowering) {
   Design design(std::move(net), lib_);
   IncrementalSta timer(design.timing_context(), design.tspec());
   const NodeId victim = design.network().outputs()[0].driver;
-  design.set_level(victim, VddLevel::kLow);
+  design.set_level(victim, kLowRung);
   timer.on_node_changed(victim);
   EXPECT_TRUE(timer.matches_full_sta(1e-9));
 }
@@ -56,12 +58,12 @@ TEST_F(IncrementalStaTest, TracksConverterAppearance) {
   });
   ASSERT_NE(mid, kNoNode);
   IncrementalSta timer(design.timing_context(), design.tspec());
-  design.set_level(mid, VddLevel::kLow);  // fanouts high -> LC appears
+  design.set_level(mid, kLowRung);  // fanouts high -> LC appears
   ASSERT_TRUE(design.needs_lc(mid));
   timer.on_node_changed(mid);
   EXPECT_TRUE(timer.matches_full_sta(1e-9));
   // And disappears again.
-  design.set_level(mid, VddLevel::kHigh);
+  design.set_level(mid, kTopRung);
   timer.on_node_changed(mid);
   EXPECT_TRUE(timer.matches_full_sta(1e-9));
 }
@@ -89,9 +91,9 @@ TEST_P(IncrementalPropertyTest, RandomEditSequences) {
   for (int step = 0; step < 30; ++step) {
     const NodeId id = gates[rng.next_below(gates.size())];
     if (rng.next_bool(0.6)) {
-      design.set_level(id, design.level(id) == VddLevel::kHigh
-                               ? VddLevel::kLow
-                               : VddLevel::kHigh);
+      design.set_level(id, design.level(id) == kTopRung
+                               ? kLowRung
+                               : kTopRung);
       timer.on_node_changed(id);
       // A level flip can also flip the converter flags on the fanins;
       // the caller must notify for those too.

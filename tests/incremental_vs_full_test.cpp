@@ -5,10 +5,15 @@
 // Gscale hot loops (and CVS) lean on.
 #include <gtest/gtest.h>
 
+#include "dual_ladder.hpp"
+
+#include <cmath>
+
 #include "benchgen/random_dag.hpp"
 #include "core/design.hpp"
 #include "support/rng.hpp"
 #include "timing/incremental.hpp"
+#include "timing/reference.hpp"
 
 namespace dvs {
 namespace {
@@ -42,9 +47,9 @@ class IncrementalVsFullTest : public ::testing::Test {
     const NodeId id = gates[rng.next_below(gates.size())];
     switch (rng.next_below(3)) {
       case 0:  // supply flip: low <-> high, LC flags follow
-        design.set_level(id, design.level(id) == VddLevel::kHigh
-                                 ? VddLevel::kLow
-                                 : VddLevel::kHigh);
+        design.set_level(id, design.level(id) == kTopRung
+                                 ? kLowRung
+                                 : kTopRung);
         return id;
       case 1: {  // upsize one drive step
         const int up = lib_.upsize(net.node(id).cell);
@@ -101,6 +106,71 @@ TEST_F(IncrementalVsFullTest, HoldsAcrossCircuitShapes) {
   }
 }
 
+/// The compiled-graph STA and the seed reference oracle must agree to
+/// the last bit — rise/fall arrivals, requireds, loads, slacks.
+void expect_exactly_reference(const Design& design) {
+  const TimingContext ctx = design.timing_context();
+  const StaResult flat = run_sta(ctx, design.tspec());
+  const StaResult oracle = run_sta_reference(ctx, design.tspec());
+  ASSERT_EQ(flat.worst_arrival, oracle.worst_arrival);
+  design.network().for_each_node([&](const Node& n) {
+    const NodeId i = n.id;
+    ASSERT_EQ(flat.arrival[i].rise, oracle.arrival[i].rise) << i;
+    ASSERT_EQ(flat.arrival[i].fall, oracle.arrival[i].fall) << i;
+    ASSERT_EQ(flat.lc_arrival[i].rise, oracle.lc_arrival[i].rise) << i;
+    ASSERT_EQ(flat.load[i], oracle.load[i]) << i;
+    ASSERT_EQ(flat.lc_load[i], oracle.lc_load[i]) << i;
+    if (!std::isinf(oracle.required[i].rise))
+      ASSERT_EQ(flat.required[i].rise, oracle.required[i].rise) << i;
+    if (!std::isinf(oracle.slack[i]))
+      ASSERT_EQ(flat.slack[i], oracle.slack[i]) << i;
+  });
+}
+
+TEST_F(IncrementalVsFullTest, ThreeLevelRandomFlipsMatchReferenceExactly) {
+  // N-level ladders put converters on arbitrary upward rung boundaries
+  // (rung 2 -> rung 1, rung 1 -> rung 0, rung 2 -> rung 0); every one of
+  // them must time identically in the incremental engine, the flat
+  // graph STA, and the seed reference oracle.
+  Library lib3 = build_compass_library();
+  lib3.set_supply_ladder(SupplyLadder({5.0, 4.3, 3.6}));
+  HybridSpec spec;
+  spec.gates = 160;
+  spec.pis = 16;
+  spec.pos = 8;
+  spec.critical_fraction = 0.4;
+  spec.seed = 314;
+  Network net = build_hybrid_circuit(lib3, spec, "rnd3");
+  Design design(std::move(net), lib3);
+  IncrementalSta timer(design.timing_context(), design.tspec());
+  ASSERT_TRUE(timer.matches_full_sta());
+  expect_exactly_reference(design);
+
+  std::vector<NodeId> gates;
+  design.network().for_each_gate([&](const Node& g) {
+    if (g.cell >= 0) gates.push_back(g.id);
+  });
+  ASSERT_FALSE(gates.empty());
+
+  Rng rng(777);
+  const SupplyId depth = static_cast<SupplyId>(lib3.supplies().depth());
+  for (int committed = 0; committed < 120; ++committed) {
+    const NodeId id = gates[rng.next_below(gates.size())];
+    // Uniform re-draw over all three rungs, biased to actually move.
+    SupplyId target = static_cast<SupplyId>(rng.next_below(depth));
+    if (target == design.level(id))
+      target = static_cast<SupplyId>((target + 1) % depth);
+    design.set_level(id, target);
+    timer.on_node_changed(id);
+    ASSERT_TRUE(timer.matches_full_sta(1e-9))
+        << "diverged after commit " << committed << " (node " << id << ")";
+    if (committed % 10 == 0) expect_exactly_reference(design);
+  }
+  expect_exactly_reference(design);
+  // The run exercised real multi-rung boundaries.
+  EXPECT_GT(design.count_at(1) + design.count_at(2), 0);
+}
+
 TEST_F(IncrementalVsFullTest, BulkLowerThenRepairMatchesFull) {
   // The Dscale commit pattern: lower a batch, then revert members one by
   // one; the timer must track every step.
@@ -113,12 +183,12 @@ TEST_F(IncrementalVsFullTest, BulkLowerThenRepairMatchesFull) {
     if (g.cell >= 0 && lowered.size() < 25) lowered.push_back(g.id);
   });
   for (NodeId id : lowered) {
-    design.set_level(id, VddLevel::kLow);
+    design.set_level(id, kLowRung);
     timer.on_node_changed(id);
   }
   ASSERT_TRUE(timer.matches_full_sta(1e-9));
   for (NodeId id : lowered) {
-    design.set_level(id, VddLevel::kHigh);
+    design.set_level(id, kTopRung);
     timer.on_node_changed(id);
     ASSERT_TRUE(timer.matches_full_sta(1e-9));
   }

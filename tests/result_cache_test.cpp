@@ -189,6 +189,82 @@ TEST(CanonicalJobKey, PipelineSpellingsCanonicalize) {
   EXPECT_NE(canonical_job_json(a, 7), canonical_job_json(e, 7));
 }
 
+TEST(CanonicalJobKey, SupplyLadderSpellingsCanonicalize) {
+  // One ladder, four spellings: comma string, array, trailing-zero
+  // variants — all one canonical document (one cache entry).
+  const OptimizeRequest a = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":"5.0,4.3,3.6"}})");
+  const OptimizeRequest b = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":[5, 4.3, 3.6]}})");
+  const OptimizeRequest c = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":" 5 , 4.30 , 3.60 "}})");
+  EXPECT_EQ(canonical_job_json(a, 7), canonical_job_json(b, 7));
+  EXPECT_EQ(canonical_job_json(a, 7), canonical_job_json(c, 7));
+  // A genuinely different ladder is another job.
+  const OptimizeRequest d = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":"5.0,4.3,3.7"}})");
+  EXPECT_NE(canonical_job_json(a, 7), canonical_job_json(d, 7));
+  const OptimizeRequest dual = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":"5.0,4.3"}})");
+  EXPECT_NE(canonical_job_json(a, 7), canonical_job_json(dual, 7));
+}
+
+TEST(CanonicalJobKey, ExplicitDefaultLadderAliasesWithAbsent) {
+  // Spelling out the daemon's own ladder is the same job as omitting the
+  // field: the canonical document always carries the *effective* ladder.
+  const OptimizeRequest with = request_line(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":"5,4.3"}})");
+  const OptimizeRequest without =
+      request_line(R"({"type":"optimize","circuit":"x2"})");
+  const SupplyLadder deflt;  // {5.0, 4.3}
+  EXPECT_EQ(canonical_job_json(with, 42, deflt),
+            canonical_job_json(without, 42, deflt));
+  // Against a daemon running a different ladder, the same two requests
+  // no longer alias.
+  const SupplyLadder other({5.0, 4.0});
+  EXPECT_NE(canonical_job_json(with, 42, other),
+            canonical_job_json(without, 42, other));
+}
+
+TEST(CanonicalJobKey, MalformedSuppliesRejectedWithSchemaText) {
+  const auto parse_err = [](const std::string& supplies) {
+    try {
+      request_line(R"({"type":"optimize","circuit":"x2",)"
+                   R"("options":{"supplies":)" +
+                   supplies + "}}");
+      return std::string("(accepted)");
+    } catch (const SupplyError& e) {
+      return std::string(e.what());
+    }
+  };
+  EXPECT_EQ(parse_err(R"("4.3,5.0")"), "supplies must be strictly descending");
+  EXPECT_EQ(parse_err(R"([5.0, 5.0])"), "supplies must be strictly descending");
+  EXPECT_EQ(parse_err(R"("5.0")"), "supplies must list between 2 and 8 voltages");
+  EXPECT_EQ(parse_err(R"([9,8,7,6,5,4,3,2,1.5])"),
+            "supplies must list between 2 and 8 voltages");
+  EXPECT_EQ(parse_err(R"("5.0,0.5")"), "supplies out of range");
+  EXPECT_EQ(parse_err(R"("5.0,oops")"), "supplies out of range");
+  EXPECT_EQ(parse_err(R"("")"), "supplies out of range");
+}
+
+TEST(CacheKey, LadderChangesLibraryFingerprint) {
+  // The resolved job runs against a ladder-adjusted library; its
+  // fingerprint (the key's library half) must move with the ladder and
+  // return exactly when the ladder does.
+  Library three = build_compass_library();
+  three.set_supply_ladder(SupplyLadder({5.0, 4.3, 3.6}));
+  EXPECT_NE(three.fingerprint(), lib().fingerprint());
+  Library back = build_compass_library();
+  back.set_supply_ladder(SupplyLadder({5.0, 4.3}));
+  EXPECT_EQ(back.fingerprint(), lib().fingerprint());
+}
+
 // ---- LRU behavior ---------------------------------------------------------
 
 CacheKey key_n(std::uint64_t n) {

@@ -383,6 +383,76 @@ TEST_F(ServiceTest, ErrorContainment) {
   EXPECT_EQ(client.recv().find("type")->as_string(), "pong");
 }
 
+TEST_F(ServiceTest, SupplyLadderJobsRunAndKeySeparately) {
+  Client client(port());
+  // A 3-level ladder end to end: the daemon maps, optimizes, and answers
+  // against the requested operating point.
+  client.send(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":"5.0,4.3,3.6"}})");
+  Json first = client.recv();
+  ASSERT_EQ(first.find("type")->as_string(), "result") << first.dump();
+  EXPECT_EQ(first.find("cache")->as_string(), "miss");
+  EXPECT_GT(first.find("report")->find("org_power_uw")->as_double(), 0.0);
+
+  // The same ladder spelled as an array hits the same entry.
+  client.send(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":[5, 4.3, 3.6]}})");
+  Json second = client.recv();
+  EXPECT_EQ(second.find("cache")->as_string(), "hit");
+  EXPECT_EQ(comparable(*second.find("report")),
+            comparable(*first.find("report")));
+
+  // A different ladder is a different job; the default ladder spelled
+  // explicitly aliases with the ladder-free request.
+  client.send(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":"5.0,4.3,4.0"}})");
+  EXPECT_EQ(client.recv().find("cache")->as_string(), "miss");
+  client.send(R"({"type":"optimize","circuit":"x2"})");
+  EXPECT_EQ(client.recv().find("cache")->as_string(), "miss");
+  client.send(
+      R"({"type":"optimize","circuit":"x2",)"
+      R"("options":{"supplies":"5,4.3"}})");
+  EXPECT_EQ(client.recv().find("cache")->as_string(), "hit");
+
+  // Deeper rungs open strictly more saving on this circuit than the
+  // dual ladder (that is the point of the generalization).
+  client.send(
+      R"({"type":"optimize","circuit":"z4ml","algos":["dscale"],)"
+      R"("options":{"supplies":"5.0,4.3,3.6"}})");
+  Json three = client.recv();
+  client.send(R"({"type":"optimize","circuit":"z4ml","algos":["dscale"]})");
+  Json dual = client.recv();
+  EXPECT_GE(three.find("report")->find("dscale")->find("improve_pct")
+                ->as_double(),
+            dual.find("report")->find("dscale")->find("improve_pct")
+                ->as_double());
+}
+
+TEST_F(ServiceTest, MalformedSuppliesRejectedVerbatim) {
+  Client client(port());
+  const auto expect_error = [&](const std::string& supplies,
+                                const std::string& message) {
+    client.send(R"({"type":"optimize","circuit":"x2",)"
+                R"("options":{"supplies":)" +
+                supplies + "}}");
+    Json response = client.recv();
+    ASSERT_EQ(response.find("type")->as_string(), "error")
+        << response.dump();
+    EXPECT_EQ(response.find("message")->as_string(), message);
+  };
+  expect_error(R"("4.3,5.0")", "supplies must be strictly descending");
+  expect_error(R"([5.0,5.0])", "supplies must be strictly descending");
+  expect_error(R"("5.0")", "supplies must list between 2 and 8 voltages");
+  expect_error(R"("5.0,0.5")", "supplies out of range");
+  expect_error(R"("5.0,4.3V")", "supplies out of range");
+  // The connection still serves.
+  client.send(R"({"type":"ping"})");
+  EXPECT_EQ(client.recv().find("type")->as_string(), "pong");
+}
+
 TEST_F(ServiceTest, ShutdownRequestStopsTheService) {
   Client client(port());
   client.send(R"({"type":"shutdown"})");

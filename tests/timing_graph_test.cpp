@@ -6,6 +6,8 @@
 // structural edit must invalidate Design's cached graph.
 #include <gtest/gtest.h>
 
+#include "dual_ladder.hpp"
+
 #include <cmath>
 
 #include "benchgen/random_dag.hpp"
@@ -80,9 +82,9 @@ class TimingGraphTest : public ::testing::Test {
     const NodeId id = gates[rng.next_below(gates.size())];
     switch (rng.next_below(3)) {
       case 0:
-        design.set_level(id, design.level(id) == VddLevel::kHigh
-                                 ? VddLevel::kLow
-                                 : VddLevel::kHigh);
+        design.set_level(id, design.level(id) == kTopRung
+                                 ? kLowRung
+                                 : kTopRung);
         return id;
       case 1: {
         const int up = lib_.upsize(net.node(id).cell);
@@ -197,7 +199,7 @@ TEST_F(TimingGraphTest, DesignRecompilesOnStructuralEdit) {
   design.network().for_each_gate([&](const Node& g) {
     if (g.cell >= 0) gates.push_back(g.id);
   });
-  design.set_level(gates.front(), VddLevel::kLow);
+  design.set_level(gates.front(), kLowRung);
   const int up = lib_.upsize(design.network().node(gates.back()).cell);
   if (up >= 0) design.network().set_cell(gates.back(), up);
   EXPECT_EQ(&design.timing_graph(), before);

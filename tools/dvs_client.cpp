@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "library/supply.hpp"
 #include "service/protocol.hpp"
 #include "support/json.hpp"
 #include "support/socket.hpp"
@@ -39,11 +40,14 @@ void usage(std::FILE* out) {
       "                                e.g. 'cvs | gscale(area_budget=0.05)"
       " | dscale'\n"
       "      [--seed S] [--vectors N] [--freq-mhz F] [--tspec-relax R]\n"
+      "      [--supplies V1,V2,...]    supply ladder to optimize at,\n"
+      "                                strictly descending (e.g. "
+      "5.0,4.3,3.6)\n"
       "      [--return-netlist]        embed the optimized netlist\n"
       "      [--no-cache]              skip the cache lookup\n"
       "  batch --circuits a,b,c | --all [--max-gates N]\n"
       "      [--algo ... | --pipeline SPEC] [--seed S] [--vectors N] "
-      "[--no-cache]\n",
+      "[--supplies L] [--no-cache]\n",
       out);
 }
 
@@ -292,6 +296,13 @@ int main(int argc, char** argv) {
         else if (arg == "--tspec-relax")
           options["tspec_relax"] =
               dvs::Json(std::atof(value("--tspec-relax").c_str()));
+        else if (arg == "--supplies") {
+          // Validate locally with the daemon's own schema so a bad
+          // ladder fails fast with the exact protocol error text.
+          const std::string ladder = value("--supplies");
+          dvs::parse_supply_ladder(ladder);  // throws SupplyError
+          options["supplies"] = dvs::Json(ladder);
+        }
         else if (arg == "--return-netlist")
           request["return_netlist"] = dvs::Json(true);
         else if (arg == "--no-cache")
