@@ -4,8 +4,9 @@
 
 namespace dvs {
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
-  DVS_EXPECTS(capacity >= 1);
+ResultCache::ResultCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  DVS_EXPECTS(capacity_bytes >= 1);
 }
 
 ResultCache::Payload ResultCache::get(const CacheKey& key) {
@@ -20,21 +21,41 @@ ResultCache::Payload ResultCache::get(const CacheKey& key) {
   return it->second->second;
 }
 
-void ResultCache::put(const CacheKey& key, Payload payload) {
+void ResultCache::erase_locked(LruList::iterator it) {
+  bytes_ -= it->second ? it->second->size() : 0;
+  index_.erase(it->first);
+  lru_.erase(it);
+}
+
+bool ResultCache::put(const CacheKey& key, Payload payload) {
+  const std::size_t size = payload ? payload->size() : 0;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
+  if (size > capacity_bytes_) {
+    // Too big to ever be resident.  If the key held a (necessarily
+    // different, therefore stale) smaller payload, drop it rather than
+    // keep serving it against fresher data.
+    ++rejected_;
+    if (it != index_.end()) erase_locked(it->second);
+    return false;
+  }
   if (it != index_.end()) {
+    bytes_ -= it->second->second ? it->second->second->size() : 0;
+    bytes_ += size;
     it->second->second = std::move(payload);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    lru_.emplace_front(key, std::move(payload));
+    index_.emplace(key, lru_.begin());
+    bytes_ += size;
   }
-  lru_.emplace_front(key, std::move(payload));
-  index_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+  // The just-touched entry sits at the front and alone fits the budget,
+  // so eviction from the back always terminates before reaching it.
+  while (bytes_ > capacity_bytes_) {
+    erase_locked(std::prev(lru_.end()));
     ++evictions_;
   }
+  return true;
 }
 
 CacheStats ResultCache::stats() const {
@@ -43,8 +64,10 @@ CacheStats ResultCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.rejected = rejected_;
   s.entries = lru_.size();
-  s.capacity = capacity_;
+  s.bytes = bytes_;
+  s.capacity_bytes = capacity_bytes_;
   return s;
 }
 

@@ -9,9 +9,14 @@
 // text, or by MCNC name hits the same entry (serialization round trips
 // do not change the hashes).
 //
-// Eviction is LRU over a fixed entry budget; get/put are thread-safe
-// (one mutex — the guarded work is pointer swaps, never flow runs), and
-// hit/miss/eviction counters feed the protocol's `stats` request.
+// Capacity is accounted in BYTES of resident payload, not entries: one
+// batch of large netlists must not blow the daemon's memory just because
+// it fits an entry count.  Eviction is LRU by bytes, a payload larger
+// than the whole budget is rejected outright, and get/put are
+// thread-safe (one mutex — the guarded work is pointer swaps, never flow
+// runs).  Hit/miss/eviction/rejection/byte counters feed the protocol's
+// `stats` request.  This is the in-memory tier; DiskCacheEngine
+// (service/disk_cache.hpp) persists the same payloads under it.
 #pragma once
 
 #include <cstdint>
@@ -48,41 +53,53 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Payloads larger than the whole byte budget, turned away by put().
+  std::uint64_t rejected = 0;
   std::size_t entries = 0;
-  std::size_t capacity = 0;
+  std::size_t bytes = 0;  // resident payload bytes
+  std::size_t capacity_bytes = 0;
 };
 
-/// Thread-safe LRU map from CacheKey to an opaque payload (the service
-/// stores the serialized result object, replayed verbatim on a hit).
-/// Payloads are shared immutably: a hit is a refcount bump under the
-/// lock, never a multi-MB copy inside the critical section.
+/// Thread-safe byte-budgeted LRU map from CacheKey to an opaque payload
+/// (the service stores the serialized result object, replayed verbatim
+/// on a hit).  Payloads are shared immutably: a hit is a refcount bump
+/// under the lock, never a multi-MB copy inside the critical section.
 class ResultCache {
  public:
   using Payload = std::shared_ptr<const std::string>;
 
-  /// `capacity` = maximum resident entries (>= 1).
-  explicit ResultCache(std::size_t capacity);
+  /// `capacity_bytes` = maximum resident payload bytes (>= 1).
+  explicit ResultCache(std::size_t capacity_bytes);
 
   /// Shared payload on hit (bumps recency, counts a hit); nullptr on
   /// miss (counts a miss).
   Payload get(const CacheKey& key);
 
-  /// Inserts or refreshes; evicts least-recently-used entries beyond
-  /// capacity.  Replacing an existing key's payload is not an eviction.
-  void put(const CacheKey& key, Payload payload);
+  /// Inserts or refreshes; evicts least-recently-used entries until the
+  /// byte budget holds.  Replacing an existing key's payload is not an
+  /// eviction.  A payload larger than the whole budget is rejected
+  /// (returns false, counted in stats().rejected) — and if the key held
+  /// a smaller stale payload, that entry is dropped rather than served.
+  bool put(const CacheKey& key, Payload payload);
 
   CacheStats stats() const;
 
  private:
   using LruList = std::list<std::pair<CacheKey, Payload>>;
 
+  /// Drops the entry behind `it` and returns bytes to the budget.
+  /// Caller holds the lock.
+  void erase_locked(LruList::iterator it);
+
   mutable std::mutex mutex_;
-  std::size_t capacity_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
   LruList lru_;  // front = most recent
   std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace dvs

@@ -1,0 +1,149 @@
+#include "service/disk_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dvs {
+
+namespace {
+
+void append_hex16(std::string* out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out->append(buf, 16);
+}
+
+}  // namespace
+
+std::string DiskCacheEngine::file_name(const CacheKey& key) {
+  std::string name;
+  name.reserve(4 * 16 + 3 + 4);
+  append_hex16(&name, key.topology);
+  name += '-';
+  append_hex16(&name, key.mapping);
+  name += '-';
+  append_hex16(&name, key.options);
+  name += '-';
+  append_hex16(&name, key.library);
+  name += ".res";
+  return name;
+}
+
+DiskCacheEngine::DiskCacheEngine(std::string dir) : dir_(std::move(dir)) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("cache-dir: cannot create directory '" +
+                             dir_ + "'" + (ec ? ": " + ec.message() : ""));
+  // The scratch name carries the pid so two daemons pointed at one
+  // directory never interleave partial writes into the same temp file.
+  tmp_path_ = dir_ + "/.write-" + std::to_string(::getpid()) + ".tmp";
+  {
+    // Probe writability now so a read-only directory fails at startup
+    // with a clear message, not as silent write_errors under load.
+    std::ofstream probe(tmp_path_, std::ios::binary | std::ios::trunc);
+    if (!probe)
+      throw std::runtime_error("cache-dir: '" + dir_ +
+                               "' is not writable");
+  }
+  std::remove(tmp_path_.c_str());
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+DiskCacheEngine::~DiskCacheEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+DiskCacheEngine::Payload DiskCacheEngine::load(const CacheKey& key) {
+  const std::string path = dir_ + "/" + file_name(key);
+  std::ifstream in(path, std::ios::binary);
+  Payload payload;
+  if (in) {
+    auto body = std::make_shared<std::string>();
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size >= 0) {
+      body->resize(static_cast<std::size_t>(size));
+      in.seekg(0);
+      in.read(body->data(), size);
+      if (in) payload = std::move(body);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (payload)
+    ++stats_.hits;
+  else
+    ++stats_.misses;
+  return payload;
+}
+
+void DiskCacheEngine::store(const CacheKey& key, Payload payload) {
+  if (!payload) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(key, std::move(payload));
+  }
+  work_cv_.notify_one();
+}
+
+void DiskCacheEngine::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock,
+                [this] { return queue_.empty() && !write_in_progress_; });
+}
+
+DiskCacheStats DiskCacheEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DiskCacheEngine::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stopping_ and drained
+    auto [key, payload] = std::move(queue_.front());
+    queue_.pop_front();
+    write_in_progress_ = true;
+    lock.unlock();
+
+    // Temp-file + rename: the final name only ever points at a complete
+    // payload, so a concurrent load() (or a post-crash restart) never
+    // reads a torn entry.  fsync is deliberately skipped — this is a
+    // cache, and losing the newest entries on power loss is fine.
+    bool ok = false;
+    {
+      std::ofstream out(tmp_path_, std::ios::binary | std::ios::trunc);
+      out.write(payload->data(),
+                static_cast<std::streamsize>(payload->size()));
+      ok = static_cast<bool>(out);
+    }
+    const std::string path = dir_ + "/" + file_name(key);
+    if (ok) ok = std::rename(tmp_path_.c_str(), path.c_str()) == 0;
+    if (!ok) std::remove(tmp_path_.c_str());
+
+    lock.lock();
+    write_in_progress_ = false;
+    if (ok) {
+      ++stats_.writes;
+      stats_.bytes_written += payload->size();
+    } else {
+      ++stats_.write_errors;
+    }
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace dvs

@@ -1,0 +1,87 @@
+// Disk tier of the dvsd result cache (yadcc's disk_cache_engine shape,
+// scaled to one process): content-addressed files under a --cache-dir,
+// one file per CacheKey, holding the serialized result payload verbatim
+// — which is what makes a warm hit after a daemon restart bit-identical
+// to the cold answer.
+//
+// Writes are write-behind: store() enqueues and returns, a dedicated
+// writer thread persists entries as temp-file + rename.  No fsync —
+// a crash may lose recent entries (they are just cache), but the rename
+// guarantees a reader never observes a torn file.  Reads (load) happen
+// inline on the calling job thread; the caller promotes a disk hit into
+// the in-memory ResultCache.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "service/cache.hpp"
+
+namespace dvs {
+
+struct DiskCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;        // files persisted
+  std::uint64_t write_errors = 0;  // failed persists (entry dropped)
+  std::uint64_t bytes_written = 0;
+};
+
+class DiskCacheEngine {
+ public:
+  using Payload = std::shared_ptr<const std::string>;
+
+  /// Creates `dir` (and parents) if needed and starts the writer
+  /// thread.  Throws std::runtime_error when the directory cannot be
+  /// created or is not writable.
+  explicit DiskCacheEngine(std::string dir);
+
+  /// Flushes the write queue, then joins the writer.
+  ~DiskCacheEngine();
+
+  DiskCacheEngine(const DiskCacheEngine&) = delete;
+  DiskCacheEngine& operator=(const DiskCacheEngine&) = delete;
+
+  /// Reads the payload for `key` from disk; nullptr on miss (counts a
+  /// miss).  A torn or unreadable file is a miss, never an error.
+  Payload load(const CacheKey& key);
+
+  /// Enqueues the payload for write-behind persistence and returns
+  /// immediately.  Re-storing a key overwrites its file atomically.
+  void store(const CacheKey& key, Payload payload);
+
+  /// Blocks until every store() enqueued so far has hit disk (the
+  /// graceful-drain path calls this before process exit).
+  void flush();
+
+  DiskCacheStats stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Content-addressed file name for a key (stable across runs and
+  /// builds: four fixed-width hex components).
+  static std::string file_name(const CacheKey& key);
+
+ private:
+  void writer_loop();
+
+  std::string dir_;
+  std::string tmp_path_;  // per-process scratch file, renamed into place
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // writer wake-up
+  std::condition_variable idle_cv_;   // flush() wake-up
+  std::deque<std::pair<CacheKey, Payload>> queue_;
+  bool stopping_ = false;
+  bool write_in_progress_ = false;
+  DiskCacheStats stats_;
+  std::thread writer_;
+};
+
+}  // namespace dvs

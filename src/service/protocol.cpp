@@ -98,6 +98,13 @@ std::string parse_format(const Json& json) {
 
 Json num_field(double v) { return Json(v); }
 
+std::uint64_t parse_deadline_ms(const Json& json) {
+  const std::uint64_t deadline = json.as_uint();
+  if (deadline > 86'400'000ULL)  // 24h: anything longer is a typo
+    throw ProtocolError("deadline_ms out of range");
+  return deadline;
+}
+
 }  // namespace
 
 FlowOptions JobOptions::to_flow_options() const {
@@ -130,7 +137,8 @@ Request parse_request(const std::string& line) {
   if (type == "optimize") {
     check_known_keys(json.as_object(),
                      {"type", "id", "circuit", "netlist", "format", "algos",
-                      "pipeline", "options", "return_netlist", "use_cache"},
+                      "pipeline", "options", "return_netlist", "use_cache",
+                      "deadline_ms"},
                      "optimize");
     request.type = RequestType::kOptimize;
     OptimizeRequest& opt = request.optimize;
@@ -152,6 +160,8 @@ Request parse_request(const std::string& line) {
     if (const Json* v = json.find("return_netlist"))
       opt.return_netlist = v->as_bool();
     if (const Json* v = json.find("use_cache")) opt.use_cache = v->as_bool();
+    if (const Json* v = json.find("deadline_ms"))
+      opt.deadline_ms = parse_deadline_ms(*v);
     if (opt.return_netlist && opt.pipeline.is_null() &&
         (opt.run_cvs + opt.run_dscale + opt.run_gscale) != 1)
       throw ProtocolError(
@@ -162,7 +172,7 @@ Request parse_request(const std::string& line) {
   if (type == "batch") {
     check_known_keys(json.as_object(),
                      {"type", "id", "circuits", "all", "max_gates", "algos",
-                      "pipeline", "options", "use_cache"},
+                      "pipeline", "options", "use_cache", "deadline_ms"},
                      "batch");
     request.type = RequestType::kBatch;
     BatchRequest& batch = request.batch;
@@ -192,6 +202,8 @@ Request parse_request(const std::string& line) {
       batch.options = parse_options(*v);
     if (const Json* v = json.find("use_cache"))
       batch.use_cache = v->as_bool();
+    if (const Json* v = json.find("deadline_ms"))
+      batch.deadline_ms = parse_deadline_ms(*v);
     return request;
   }
 
@@ -292,9 +304,11 @@ Json::Object response_head(const std::string& type, const Json& id) {
   return fields;
 }
 
-std::string error_response(const Json& id, const std::string& message) {
+std::string error_response(const Json& id, const std::string& message,
+                           const std::string& code) {
   Json::Object fields = response_head("error", id);
   fields["message"] = Json(message);
+  if (!code.empty()) fields["code"] = Json(code);
   return finish_response(std::move(fields));
 }
 

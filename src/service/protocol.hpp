@@ -11,6 +11,11 @@
 //                                       + {"type":"batch_done", ...}
 // Anything else (malformed JSON, unknown keys, bad values) produces
 // {"type":"error","message":...} and leaves the connection usable.
+// Overload-control failures additionally carry a machine-readable
+// "code": "overloaded" (admission gate rejected the job),
+// "deadline_exceeded" (the request's deadline_ms expired while the job
+// was still queued), "line_too_long" (NDJSON frame over the line cap;
+// the connection closes after this one, resync being impossible).
 //
 // Parsing is STRICT — unknown fields are errors, defaults are filled
 // explicitly — so a request has exactly one canonical meaning, which is
@@ -29,8 +34,16 @@ namespace dvs {
 
 class ProtocolError : public std::runtime_error {
  public:
-  explicit ProtocolError(const std::string& message)
-      : std::runtime_error(message) {}
+  /// `code` is the machine-readable error class put on the wire next to
+  /// the message ("overloaded", "deadline_exceeded", ...); empty for
+  /// plain request mistakes.
+  explicit ProtocolError(const std::string& message, std::string code = {})
+      : std::runtime_error(message), code_(std::move(code)) {}
+
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
 };
 
 /// Protocol-level flow knobs (the subset of FlowOptions a client may
@@ -70,6 +83,12 @@ struct OptimizeRequest {
   JobOptions options;
   bool return_netlist = false;  // requires exactly one cell
   bool use_cache = true;
+  /// Queue budget in milliseconds (0 = none): if the job has not been
+  /// dequeued by a worker within this budget, it fails with a
+  /// structured "deadline_exceeded" error instead of running late.
+  /// Deliberately NOT part of the cache key — it changes when an answer
+  /// is worth computing, never what the answer is.
+  std::uint64_t deadline_ms = 0;
 };
 
 struct BatchRequest {
@@ -82,6 +101,7 @@ struct BatchRequest {
   Json pipeline;  // as in OptimizeRequest, applied to every item
   JobOptions options;
   bool use_cache = true;
+  std::uint64_t deadline_ms = 0;  // per-item dequeue budget, as above
 };
 
 struct Request {
@@ -128,7 +148,10 @@ Json report_json(const CircuitRunResult& row, bool with_cvs,
 /// {"type":..., "id": id} starting point.
 Json::Object response_head(const std::string& type, const Json& id);
 
-std::string error_response(const Json& id, const std::string& message);
+/// `code` (when non-empty) becomes the response's machine-readable
+/// "code" field — see the header comment for the defined codes.
+std::string error_response(const Json& id, const std::string& message,
+                           const std::string& code = {});
 
 /// Serializes with the trailing newline of the NDJSON framing.
 std::string finish_response(Json::Object fields);

@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -12,7 +13,13 @@ Service::Service(ServiceConfig config, const Library* lib) {
   if (lib == nullptr) lib = &core_.owned_lib.emplace(build_compass_library());
   core_.lib = lib;
   core_.pool.emplace(core_.config.num_threads);
-  core_.cache.emplace(core_.config.cache_entries);
+  core_.cache.emplace(core_.config.cache_bytes);
+  if (!core_.config.cache_dir.empty())
+    core_.disk.emplace(core_.config.cache_dir);
+  core_.backlog_watermark =
+      core_.config.max_backlog > 0
+          ? core_.config.max_backlog
+          : static_cast<std::size_t>(core_.pool->num_threads()) * 8;
   core_.lib_fingerprint = core_.lib->fingerprint();
   core_.started = std::chrono::steady_clock::now();
   core_.request_stop = [this] { request_stop(); };
@@ -29,7 +36,21 @@ void Service::start() {
 
 void Service::accept_loop() {
   while (!core_.stopping.load()) {
-    Socket socket = listener_.accept_connection();
+    Socket socket;
+    try {
+      socket = listener_.accept_connection();
+    } catch (const SocketError& e) {
+      // An unexpected accept() errno must not tear the daemon down: a
+      // deaf-but-logged retry loop beats a silently dead service.  The
+      // transient family (EINTR, ECONNABORTED, resource pressure, the
+      // network-error batch) is already retried inside
+      // accept_connection; this is the catch-all above it.
+      if (core_.stopping.load()) break;
+      std::fprintf(stderr, "dvsd: accept failed: %s (retrying)\n",
+                   e.what());
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
     if (!socket.valid()) break;  // listener shut down
     if (core_.stopping.load()) break;
     core_.connections.fetch_add(1);
@@ -81,16 +102,43 @@ void Service::wait() {
 void Service::stop() {
   request_stop();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Graceful drain: idle sessions are unblocked immediately, busy ones
+  // get to finish — and answer — their in-flight request (a mid-batch
+  // client receives every item and the batch_done).  Only stragglers
+  // that outlive the drain budget have their sockets forced shut.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& conn : connections_) conn.session->request_drain();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(core_.config.drain_timeout_ms);
+  for (;;) {
+    bool all_finished = true;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (Connection& conn : connections_)
+        if (!conn.session->finished()) {
+          all_finished = false;
+          break;
+        }
+    }
+    if (all_finished || std::chrono::steady_clock::now() >= deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (Connection& conn : connections_) conn.session->shutdown();
+    // Sessions wait for their in-flight pool work before exiting, so
+    // joining them also drains every job this service submitted.
+    for (Connection& conn : connections_)
+      if (conn.thread.joinable()) conn.thread.join();
+    connections_.clear();
   }
-  // Sessions wait for their in-flight pool work before exiting, so
-  // joining them also drains every job this service submitted.
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  for (Connection& conn : connections_)
-    if (conn.thread.joinable()) conn.thread.join();
-  connections_.clear();
+  // Every job has finished; persist what the write-behind queue holds
+  // so the next daemon run warm-starts from this one's work.
+  if (core_.disk) core_.disk->flush();
   {
     std::lock_guard<std::mutex> stop_lock(stop_mutex_);
     stopped_ = true;

@@ -33,6 +33,7 @@
 
 #include "library/library.hpp"
 #include "service/cache.hpp"
+#include "service/disk_cache.hpp"
 #include "support/socket.hpp"
 #include "support/thread_pool.hpp"
 
@@ -47,9 +48,25 @@ struct ServiceConfig {
   std::string unix_path;
   /// Flow workers (0 = hardware concurrency).
   int num_threads = 0;
-  std::size_t cache_entries = 1024;
-  /// NDJSON line cap — a netlist bigger than this is rejected.
-  std::size_t max_line_bytes = 32u << 20;
+  /// In-memory result-cache budget in bytes of resident payload.
+  std::size_t cache_bytes = 256u << 20;
+  /// Disk tier directory (empty = in-memory only).  Entries written
+  /// here survive daemon restarts: the same --cache-dir warm-hits.
+  std::string cache_dir;
+  /// NDJSON line cap — a frame bigger than this is rejected with a
+  /// "line too long" error and the connection closes.
+  std::size_t max_line_bytes = 64u << 20;
+  /// Admission watermark: when this many jobs are already queued or
+  /// running, new optimize/batch requests are rejected with a
+  /// structured "overloaded" error (0 = 8x worker threads).
+  std::size_t max_backlog = 0;
+  /// Per-connection cap on concurrently in-flight jobs: a batch submits
+  /// at most this many items at once and feeds the rest in as they
+  /// complete, so one client cannot monopolize the pool queue.
+  std::size_t max_inflight_per_connection = 64;
+  /// Graceful-drain budget for stop(): sessions get this long to finish
+  /// their in-flight request before their sockets are shut down.
+  int drain_timeout_ms = 30'000;
   bool verbose = false;
 };
 
@@ -60,13 +77,28 @@ struct ServiceCore {
   std::optional<Library> owned_lib;  // when no library was injected
   std::optional<ThreadPool> pool;
   std::optional<ResultCache> cache;
+  std::optional<DiskCacheEngine> disk;  // set when config.cache_dir is
   std::atomic<std::uint64_t> jobs_completed{0};
   std::atomic<std::uint64_t> jobs_failed{0};
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> sessions_active{0};
   std::atomic<bool> stopping{false};
   std::chrono::steady_clock::time_point started;
   std::function<void()> request_stop;  // set by Service
+
+  /// Jobs submitted to the pool and not yet finished (queued + running),
+  /// across every connection.  The admission gate compares this against
+  /// `backlog_watermark` (resolved from config at construction).
+  std::atomic<std::uint64_t> inflight_jobs{0};
+  std::size_t backlog_watermark = 0;
+  std::atomic<std::uint64_t> overload_rejections{0};
+  std::atomic<std::uint64_t> deadline_expired{0};
+
+  /// Admission gate for new optimize/batch requests.  A saturated pool
+  /// answers `false` immediately — callers reply with a structured
+  /// "overloaded" error instead of queuing unboundedly.
+  bool admit() const { return inflight_jobs.load() < backlog_watermark; }
 
   /// Library::fingerprint is a pure function of the (immutable) library;
   /// computed once at startup instead of per request.
@@ -113,11 +145,18 @@ class Service {
   /// Idempotent, thread- and signal-safe stop trigger.
   void request_stop();
 
-  /// Stops accepting, unblocks every session, drains the pool, joins
-  /// all threads.  Called by the destructor if needed.
+  /// Graceful drain, then teardown: stops accepting, lets every session
+  /// finish (and answer) its in-flight request within
+  /// config.drain_timeout_ms, force-closes stragglers, joins all
+  /// threads, and flushes the disk cache.  Called by the destructor if
+  /// needed.
   void stop();
 
   CacheStats cache_stats() const { return core_.cache->stats(); }
+  /// Zeroed stats when no disk tier is configured.
+  DiskCacheStats disk_stats() const {
+    return core_.disk ? core_.disk->stats() : DiskCacheStats{};
+  }
   const ServiceCore& core() const { return core_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "service/session.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <utility>
@@ -35,6 +36,19 @@ bool fully_mapped(const Network& net) {
     if (n.cell < 0) mapped = false;
   });
   return mapped;
+}
+
+std::string overloaded_message(const ServiceCore& core) {
+  return "overloaded: " +
+         std::to_string(core.inflight_jobs.load()) +
+         " jobs in flight at watermark " +
+         std::to_string(core.backlog_watermark) +
+         "; retry later or lower the request rate";
+}
+
+std::string deadline_message(std::uint64_t deadline_ms) {
+  return "deadline of " + std::to_string(deadline_ms) +
+         " ms expired before the job was dequeued";
 }
 
 /// A resolved job: the effective library (ladder-adjusted when the
@@ -227,21 +241,41 @@ std::string compute_body(const OptimizeRequest& request, ResolvedJob& job) {
 
 }  // namespace
 
+const char* cache_tier_name(OptimizeOutcome::Tier tier) {
+  switch (tier) {
+    case OptimizeOutcome::Tier::kMemory:
+      return "hit";
+    case OptimizeOutcome::Tier::kDisk:
+      return "disk";
+    case OptimizeOutcome::Tier::kMiss:
+      break;
+  }
+  return "miss";
+}
+
 OptimizeOutcome execute_optimize(ServiceCore& core,
                                  const OptimizeRequest& request) {
   ResolvedJob job = resolve(core, request);
   if (request.use_cache) {
     if (ResultCache::Payload payload = core.cache->get(job.key))
-      return {std::move(payload), true};
-  } else {
-    // An explicit cache bypass still warms the cache below; only the
-    // lookup is skipped.
+      return {std::move(payload), OptimizeOutcome::Tier::kMemory};
+    if (core.disk) {
+      if (ResultCache::Payload payload = core.disk->load(job.key)) {
+        // Promote-on-hit: the disk answer becomes resident so repeats
+        // pay memory-tier latency (no disk write — it is already there).
+        core.cache->put(job.key, payload);
+        return {std::move(payload), OptimizeOutcome::Tier::kDisk};
+      }
+    }
   }
+  // An explicit cache bypass still warms both tiers below; only the
+  // lookups are skipped.
   OptimizeOutcome outcome;
   outcome.body = std::make_shared<const std::string>(
       compute_body(request, job));
-  outcome.cache_hit = false;
+  outcome.tier = OptimizeOutcome::Tier::kMiss;
   core.cache->put(job.key, outcome.body);
+  if (core.disk) core.disk->store(job.key, outcome.body);
   return outcome;
 }
 
@@ -250,12 +284,23 @@ Session::Session(ServiceCore* core, Socket socket)
 
 void Session::shutdown() { socket_.shutdown_both(); }
 
+void Session::request_drain() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  draining_ = true;
+  // Idle sessions (blocked in recv) unblock now; a busy one finishes
+  // and answers its in-flight request first — run() checks draining_
+  // after clearing busy_ under this same mutex, so no request can slip
+  // into the gap.
+  if (!busy_) socket_.shutdown_both();
+}
+
 void Session::write_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   socket_.send_all(line);
 }
 
 void Session::run() {
+  core_->sessions_active.fetch_add(1);
   LineReader reader(&socket_, core_->config.max_line_bytes);
   std::string line;
   try {
@@ -266,30 +311,52 @@ void Session::run() {
         // Tell the client why before dropping the connection (the
         // unread remainder of the oversized line makes resync
         // impossible, so the error-containment contract ends here).
-        write_line(error_response(Json(), e.what()));
+        write_line(error_response(Json(), e.what(), "line_too_long"));
         break;
       }
       if (line.empty()) continue;
-      core_->requests.fetch_add(1);
-      Request request;
-      try {
-        request = parse_request(line);
-      } catch (const std::exception& e) {
-        write_line(error_response(Json(), e.what()));
-        continue;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (draining_) break;
+        busy_ = true;
       }
-      try {
-        handle(request);
-      } catch (const std::exception& e) {
-        core_->jobs_failed.fetch_add(1);
-        write_line(error_response(request.id, e.what()));
+      const bool is_shutdown = serve_line(line);
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        busy_ = false;
+        if (draining_) break;
       }
-      if (request.type == RequestType::kShutdown) break;
+      if (is_shutdown) break;
     }
   } catch (const SocketError&) {
     // Peer vanished or service stop shut the socket down: just leave.
   }
+  // The fd itself is reclaimed when the server reaps this session; the
+  // shutdown gives the client its EOF *now* instead of at reap time.
+  socket_.shutdown_both();
+  core_->sessions_active.fetch_sub(1);
   finished_.store(true);
+}
+
+bool Session::serve_line(const std::string& line) {
+  core_->requests.fetch_add(1);
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& e) {
+    write_line(error_response(Json(), e.what()));
+    return false;
+  }
+  try {
+    handle(request);
+  } catch (const ProtocolError& e) {
+    core_->jobs_failed.fetch_add(1);
+    write_line(error_response(request.id, e.what(), e.code()));
+  } catch (const std::exception& e) {
+    core_->jobs_failed.fetch_add(1);
+    write_line(error_response(request.id, e.what()));
+  }
+  return request.type == RequestType::kShutdown;
 }
 
 void Session::handle(const Request& request) {
@@ -320,10 +387,35 @@ void Session::handle_stats(const Request& request) {
   cache_json["hits"] = Json(cache.hits);
   cache_json["misses"] = Json(cache.misses);
   cache_json["evictions"] = Json(cache.evictions);
+  cache_json["rejected"] = Json(cache.rejected);
   cache_json["entries"] = Json(static_cast<std::uint64_t>(cache.entries));
-  cache_json["capacity"] =
-      Json(static_cast<std::uint64_t>(cache.capacity));
+  cache_json["bytes"] = Json(static_cast<std::uint64_t>(cache.bytes));
+  cache_json["capacity_bytes"] =
+      Json(static_cast<std::uint64_t>(cache.capacity_bytes));
   fields["cache"] = Json(std::move(cache_json));
+  Json::Object disk_json;
+  disk_json["enabled"] = Json(static_cast<bool>(core_->disk));
+  const DiskCacheStats disk =
+      core_->disk ? core_->disk->stats() : DiskCacheStats{};
+  disk_json["hits"] = Json(disk.hits);
+  disk_json["misses"] = Json(disk.misses);
+  disk_json["writes"] = Json(disk.writes);
+  disk_json["write_errors"] = Json(disk.write_errors);
+  disk_json["bytes_written"] = Json(disk.bytes_written);
+  fields["disk"] = Json(std::move(disk_json));
+  Json::Object pool;
+  pool["threads"] = Json(core_->pool->num_threads());
+  pool["depth"] = Json(core_->pool->pending());
+  pool["inflight"] = Json(core_->inflight_jobs.load());
+  pool["watermark"] =
+      Json(static_cast<std::uint64_t>(core_->backlog_watermark));
+  pool["overload_rejections"] = Json(core_->overload_rejections.load());
+  pool["deadline_expired"] = Json(core_->deadline_expired.load());
+  fields["pool"] = Json(std::move(pool));
+  Json::Object sessions;
+  sessions["active"] = Json(core_->sessions_active.load());
+  sessions["total"] = Json(core_->connections.load());
+  fields["sessions"] = Json(std::move(sessions));
   Json::Object jobs;
   jobs["completed"] = Json(core_->jobs_completed.load());
   jobs["failed"] = Json(core_->jobs_failed.load());
@@ -340,6 +432,12 @@ void Session::handle_stats(const Request& request) {
 
 void Session::handle_optimize(const Request& request) {
   const auto start = std::chrono::steady_clock::now();
+  if (!core_->admit()) {
+    core_->overload_rejections.fetch_add(1);
+    write_line(error_response(request.id, overloaded_message(*core_),
+                              "overloaded"));
+    return;
+  }
   // The flow runs on the shared pool so concurrent connections share
   // the worker budget; this session thread just waits for its result.
   auto promise = std::make_shared<std::promise<OptimizeOutcome>>();
@@ -348,18 +446,29 @@ void Session::handle_optimize(const Request& request) {
   // One copy of the request (it can carry a multi-MB netlist), shared
   // with the pool task instead of captured by value a second time.
   auto job = std::make_shared<const OptimizeRequest>(request.optimize);
-  core_->pool->submit([core, job, promise]() {
-    try {
-      promise->set_value(execute_optimize(*core, *job));
-    } catch (...) {
-      promise->set_exception(std::current_exception());
+  const std::uint64_t deadline_ms = request.optimize.deadline_ms;
+  core_->inflight_jobs.fetch_add(1);
+  core_->pool->submit([core, job, promise, start, deadline_ms]() {
+    // Deadline honored at dequeue: a job whose budget burned away in
+    // the queue fails fast instead of occupying a worker late.
+    if (deadline_ms > 0 && ms_since(start) > deadline_ms) {
+      core->deadline_expired.fetch_add(1);
+      promise->set_exception(std::make_exception_ptr(ProtocolError(
+          deadline_message(deadline_ms), "deadline_exceeded")));
+    } else {
+      try {
+        promise->set_value(execute_optimize(*core, *job));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
     }
+    core->inflight_jobs.fetch_sub(1);
   });
   const OptimizeOutcome outcome = future.get();  // rethrows job errors
   core_->jobs_completed.fetch_add(1);
 
   Json::Object fields = response_head("result", request.id);
-  fields["cache"] = Json(outcome.cache_hit ? "hit" : "miss");
+  fields["cache"] = Json(cache_tier_name(outcome.tier));
   fields["wall_ms"] = Json(ms_since(start));
   write_line(finish_response_with_body(std::move(fields), *outcome.body));
 }
@@ -367,6 +476,12 @@ void Session::handle_optimize(const Request& request) {
 void Session::handle_batch(const Request& request) {
   const auto start = std::chrono::steady_clock::now();
   const BatchRequest& batch = request.batch;
+  if (!core_->admit()) {
+    core_->overload_rejections.fetch_add(1);
+    write_line(error_response(request.id, overloaded_message(*core_),
+                              "overloaded"));
+    return;
+  }
 
   // Materialize the circuit list (validated up front so a typo fails the
   // whole batch immediately instead of mid-stream).
@@ -385,16 +500,19 @@ void Session::handle_batch(const Request& request) {
 
   struct BatchProgress {
     std::mutex mutex;
-    std::condition_variable done_cv;
-    std::size_t remaining;
+    std::condition_variable cv;
+    std::size_t completed = 0;   // items fully handled (answer written)
+    std::size_t in_window = 0;   // items submitted, not yet completed
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> failed{0};
   };
   auto progress = std::make_shared<BatchProgress>();
-  progress->remaining = names.size();
+  const std::size_t window =
+      std::max<std::size_t>(1, core_->config.max_inflight_per_connection);
 
   ServiceCore* core = core_;
-  for (std::size_t i = 0; i < names.size(); ++i) {
+  const std::uint64_t deadline_ms = batch.deadline_ms;
+  const auto submit_item = [&](std::size_t i) {
     OptimizeRequest item;
     item.circuit = names[i];
     item.run_cvs = batch.run_cvs;
@@ -403,44 +521,78 @@ void Session::handle_batch(const Request& request) {
     item.pipeline = batch.pipeline;
     item.options = batch.options;
     item.use_cache = batch.use_cache;
-    core_->pool->submit([this, core, progress, item, i,
-                         id = request.id]() {
+    core_->inflight_jobs.fetch_add(1);
+    core_->pool->submit([this, core, progress, item, i, start,
+                         deadline_ms, id = request.id]() {
       const auto item_start = std::chrono::steady_clock::now();
       std::string line;
-      try {
-        const OptimizeOutcome outcome = execute_optimize(*core, item);
-        core->jobs_completed.fetch_add(1);
-        if (outcome.cache_hit) progress->hits.fetch_add(1);
-        Json::Object fields = response_head("batch_item", id);
-        fields["index"] = Json(static_cast<std::uint64_t>(i));
-        fields["name"] = Json(item.circuit);
-        fields["cache"] = Json(outcome.cache_hit ? "hit" : "miss");
-        fields["wall_ms"] = Json(ms_since(item_start));
-        line = finish_response_with_body(std::move(fields), *outcome.body);
-      } catch (const std::exception& e) {
+      if (deadline_ms > 0 && ms_since(start) > deadline_ms) {
+        // The batch's per-item dequeue budget, measured from batch
+        // arrival: late items fail fast instead of running stale.
+        core->deadline_expired.fetch_add(1);
         core->jobs_failed.fetch_add(1);
         progress->failed.fetch_add(1);
         Json::Object fields = response_head("batch_item", id);
         fields["index"] = Json(static_cast<std::uint64_t>(i));
         fields["name"] = Json(item.circuit);
-        fields["error"] = Json(e.what());
+        fields["error"] = Json(deadline_message(deadline_ms));
+        fields["code"] = Json("deadline_exceeded");
         line = finish_response(std::move(fields));
+      } else {
+        try {
+          const OptimizeOutcome outcome = execute_optimize(*core, item);
+          core->jobs_completed.fetch_add(1);
+          if (outcome.cache_hit()) progress->hits.fetch_add(1);
+          Json::Object fields = response_head("batch_item", id);
+          fields["index"] = Json(static_cast<std::uint64_t>(i));
+          fields["name"] = Json(item.circuit);
+          fields["cache"] = Json(cache_tier_name(outcome.tier));
+          fields["wall_ms"] = Json(ms_since(item_start));
+          line =
+              finish_response_with_body(std::move(fields), *outcome.body);
+        } catch (const std::exception& e) {
+          core->jobs_failed.fetch_add(1);
+          progress->failed.fetch_add(1);
+          Json::Object fields = response_head("batch_item", id);
+          fields["index"] = Json(static_cast<std::uint64_t>(i));
+          fields["name"] = Json(item.circuit);
+          fields["error"] = Json(e.what());
+          line = finish_response(std::move(fields));
+        }
       }
       try {
         write_line(line);
       } catch (const SocketError&) {
         // Client went away mid-stream; keep draining the batch.
       }
+      core->inflight_jobs.fetch_sub(1);
       {
         std::lock_guard<std::mutex> lock(progress->mutex);
-        --progress->remaining;
+        ++progress->completed;
+        --progress->in_window;
       }
-      progress->done_cv.notify_one();
+      progress->cv.notify_one();
+    });
+  };
+
+  // Windowed submission: at most `window` items of this batch occupy
+  // the pool at once; the session thread feeds the next item in as one
+  // completes.  One huge batch therefore shares the queue with other
+  // connections instead of monopolizing it.
+  std::size_t next = 0;
+  std::unique_lock<std::mutex> lock(progress->mutex);
+  while (progress->completed < names.size()) {
+    while (next < names.size() && progress->in_window < window) {
+      ++progress->in_window;
+      lock.unlock();
+      submit_item(next++);
+      lock.lock();
+    }
+    progress->cv.wait(lock, [&] {
+      return progress->completed == names.size() ||
+             (next < names.size() && progress->in_window < window);
     });
   }
-
-  std::unique_lock<std::mutex> lock(progress->mutex);
-  progress->done_cv.wait(lock, [&] { return progress->remaining == 0; });
   lock.unlock();
 
   Json::Object fields = response_head("batch_done", request.id);

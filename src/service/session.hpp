@@ -8,6 +8,14 @@
 // fields, bad netlists, unknown circuits) turns into an {"type":"error"}
 // response and the connection keeps serving — a client mistake must
 // never take the daemon or even its own connection down.
+//
+// Overload control: new optimize/batch requests are refused with a
+// structured "overloaded" error while ServiceCore's admission gate is
+// shut; a batch keeps at most max_inflight_per_connection items in the
+// pool at once (the rest feed in as items finish); a request's
+// deadline_ms is checked when its job is dequeued.  On graceful drain
+// (SIGTERM) a busy session finishes and answers its in-flight request
+// before closing.
 #pragma once
 
 #include <atomic>
@@ -25,14 +33,24 @@ struct ServiceCore;
 /// Outcome of one optimization job, ready for response assembly.  The
 /// body (serialized report/metrics object) is shared with the cache.
 struct OptimizeOutcome {
+  /// Which cache tier answered: "miss" = computed fresh, "hit" = the
+  /// in-memory LRU, "disk" = the persistent tier (promoted to memory).
+  enum class Tier { kMiss, kMemory, kDisk };
+
   std::shared_ptr<const std::string> body;
-  bool cache_hit = false;
+  Tier tier = Tier::kMiss;
+
+  bool cache_hit() const { return tier != Tier::kMiss; }
 };
 
+/// The wire spelling of an outcome's tier ("miss" / "hit" / "disk").
+const char* cache_tier_name(OptimizeOutcome::Tier tier);
+
 /// Runs one optimize job on the calling thread: resolve the circuit,
-/// hash it, consult the cache, run the flow on a miss, store the body.
-/// Throws on invalid requests; never mutates connection state (shared by
-/// the optimize path, batch items, the in-process bench, and tests).
+/// hash it, consult both cache tiers, run the flow on a miss, store the
+/// body (memory + write-behind disk).  Throws on invalid requests;
+/// never mutates connection state (shared by the optimize path, batch
+/// items, the in-process bench, and tests).
 OptimizeOutcome execute_optimize(ServiceCore& core,
                                  const OptimizeRequest& request);
 
@@ -43,12 +61,21 @@ class Session {
   /// Serves the connection until EOF, error, or service stop.
   void run();
 
-  /// Unblocks a blocked recv/send from another thread (service stop).
+  /// Unblocks a blocked recv/send from another thread (forced stop).
   void shutdown();
+
+  /// Graceful-drain request: an idle session is unblocked (and closes)
+  /// immediately; a busy one finishes and answers its in-flight
+  /// request, then closes instead of reading the next one.
+  void request_drain();
 
   bool finished() const { return finished_.load(); }
 
  private:
+  /// Parses and dispatches one request line; returns true when the
+  /// request asked for daemon shutdown.
+  bool serve_line(const std::string& line);
+
   void write_line(const std::string& line);
   void handle(const Request& request);
   void handle_optimize(const Request& request);
@@ -59,6 +86,13 @@ class Session {
   Socket socket_;
   std::mutex write_mutex_;
   std::atomic<bool> finished_{false};
+
+  /// Guards the busy/draining handshake between run() and
+  /// request_drain(): shutdown() is only safe to fire while the session
+  /// is not mid-request, or its response would be cut off.
+  std::mutex state_mutex_;
+  bool busy_ = false;
+  bool draining_ = false;
 };
 
 }  // namespace dvs

@@ -118,10 +118,19 @@ Socket Socket::connect_unix(const std::string& path) {
 }
 
 bool LineReader::read_line(std::string* line) {
+  const auto too_long = [this]() -> LineTooLongError {
+    return LineTooLongError("line too long: exceeds the " +
+                            std::to_string(max_line_bytes_) +
+                            "-byte limit");
+  };
   while (true) {
     // A complete line already buffered?
     const std::size_t nl = buffer_.find('\n', scanned_);
     if (nl != std::string::npos) {
+      // The cap applies to complete lines too — a line that fits in one
+      // recv() chunk must not slip past it just because its newline
+      // already arrived.
+      if (nl > max_line_bytes_) throw too_long();
       line->assign(buffer_, 0, nl);
       buffer_.erase(0, nl + 1);
       scanned_ = 0;
@@ -130,14 +139,13 @@ bool LineReader::read_line(std::string* line) {
     scanned_ = buffer_.size();
     if (eof_) {
       if (buffer_.empty()) return false;
+      if (buffer_.size() > max_line_bytes_) throw too_long();
       line->assign(std::move(buffer_));
       buffer_.clear();
       scanned_ = 0;
       return true;
     }
-    if (buffer_.size() > max_line_bytes_)
-      throw LineTooLongError("line exceeds " +
-                             std::to_string(max_line_bytes_) + " bytes");
+    if (buffer_.size() > max_line_bytes_) throw too_long();
     char chunk[16384];
     const std::size_t n = socket_->recv_some(chunk, sizeof chunk);
     if (n == 0)
@@ -222,9 +230,22 @@ Socket ListenSocket::accept_connection() {
         ::nanosleep(&delay, nullptr);
         continue;
       }
-      default:
-        // EBADF / EINVAL after shutdown_listener(): orderly exit.
+      // Linux surfaces pending per-connection network errors through
+      // accept(); they condemn that one connection, never the listener.
+      case ENETDOWN:
+      case EPROTO:
+      case ENOPROTOOPT:
+      case EHOSTDOWN:
+      case EHOSTUNREACH:
+      case ENETUNREACH:
+      case EOPNOTSUPP:
+        continue;
+      case EBADF:
+      case EINVAL:
+        // After shutdown_listener()/close(): orderly exit.
         return Socket();
+      default:
+        fail_errno("accept()");
     }
   }
 }

@@ -20,15 +20,23 @@ class SocketError : public std::runtime_error {
  public:
   explicit SocketError(const std::string& message)
       : std::runtime_error("socket: " + message) {}
+
+ protected:
+  /// Tag for subclasses whose what() goes on the wire verbatim and must
+  /// not carry the "socket: " transport prefix.
+  struct Verbatim {};
+  SocketError(Verbatim, const std::string& message)
+      : std::runtime_error(message) {}
 };
 
 /// A line exceeded LineReader's cap.  Distinct from I/O failures so a
 /// server can still send a rejection message before dropping the
 /// connection (the unread remainder of the line makes resync impossible).
+/// what() is the protocol-verbatim "line too long ..." error text.
 class LineTooLongError : public SocketError {
  public:
   explicit LineTooLongError(const std::string& message)
-      : SocketError(message) {}
+      : SocketError(Verbatim{}, message) {}
 };
 
 /// Owning wrapper around a connected stream socket.
@@ -106,6 +114,11 @@ class ListenSocket {
 
   /// Blocks for one connection.  Returns an invalid Socket when the
   /// listener has been shut down (the accept loop's exit signal).
+  /// Transient failures — EINTR from a stray signal, ECONNABORTED,
+  /// fd/memory pressure, the async-network-error family — are retried
+  /// here and never surface; a genuinely unexpected errno throws
+  /// SocketError so the caller can log and decide, instead of the
+  /// daemon silently going deaf.
   Socket accept_connection();
 
   /// Unblocks accept_connection() from any thread.

@@ -92,6 +92,11 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return pending_ == 0; });
 }
 
+int ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   // One claimed index per grab keeps load balanced under wildly uneven

@@ -33,6 +33,10 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks submitted but not yet finished (queued + running) — the
+  /// pool-depth signal behind the service's `stats` report.
+  int pending() const;
+
   /// Enqueues a task.  Safe to call from any thread, including from inside
   /// a running task (the task lands on the calling worker's own deque).
   void submit(std::function<void()> task);
@@ -57,7 +61,7 @@ class ThreadPool {
   void worker_loop(int self);
 
   std::vector<Worker> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   int pending_ = 0;       // submitted but not yet finished

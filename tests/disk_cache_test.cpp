@@ -1,0 +1,216 @@
+// The disk tier of the dvsd result cache: content-addressed file
+// round trips, write-behind flushing, miss semantics, and the headline
+// guarantee — a daemon restarted against the same --cache-dir answers
+// the same request from disk, bit-identical, without recomputing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "service/disk_cache.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+
+namespace dvs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh directory under TMPDIR, removed on scope exit.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "dvs-disk-XXXXXX");
+    path_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CacheKey key_n(std::uint64_t n) {
+  CacheKey key;
+  key.topology = n;
+  key.mapping = 0xfeedfacecafef00dULL;
+  key.options = 2;
+  key.library = 3;
+  return key;
+}
+
+DiskCacheEngine::Payload payload(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(DiskCacheEngine, StoreFlushLoadRoundTrip) {
+  TempDir dir;
+  DiskCacheEngine engine(dir.path());
+  engine.store(key_n(1), payload("the serialized result body"));
+  engine.flush();
+
+  // The content-addressed file exists under its stable name...
+  EXPECT_TRUE(
+      fs::exists(fs::path(dir.path()) / DiskCacheEngine::file_name(key_n(1))));
+  // ...and reads back byte-for-byte.
+  DiskCacheEngine::Payload back = engine.load(key_n(1));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(*back, "the serialized result body");
+
+  const DiskCacheStats stats = engine.stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.write_errors, 0u);
+  EXPECT_EQ(stats.bytes_written, 26u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(DiskCacheEngine, AbsentKeyIsAMiss) {
+  TempDir dir;
+  DiskCacheEngine engine(dir.path());
+  EXPECT_EQ(engine.load(key_n(404)), nullptr);
+  EXPECT_EQ(engine.stats().misses, 1u);
+}
+
+TEST(DiskCacheEngine, EntriesSurviveEngineRestart) {
+  TempDir dir;
+  {
+    DiskCacheEngine first(dir.path());
+    first.store(key_n(7), payload("persisted"));
+    // No explicit flush: the destructor drains the write-behind queue.
+  }
+  DiskCacheEngine second(dir.path());
+  DiskCacheEngine::Payload back = second.load(key_n(7));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(*back, "persisted");
+}
+
+TEST(DiskCacheEngine, RestoreOverwritesAtomically) {
+  TempDir dir;
+  DiskCacheEngine engine(dir.path());
+  engine.store(key_n(1), payload("old answer"));
+  engine.store(key_n(1), payload("new answer"));
+  engine.flush();
+  DiskCacheEngine::Payload back = engine.load(key_n(1));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(*back, "new answer");
+  EXPECT_EQ(engine.stats().writes, 2u);
+}
+
+TEST(DiskCacheEngine, FileNamesAreStableAndDistinct) {
+  // 4 fixed-width hex components + separators + extension: the name is
+  // a pure function of the key, never of the process or the clock.
+  const std::string name = DiskCacheEngine::file_name(key_n(0xabc));
+  EXPECT_EQ(name.size(), 4 * 16 + 3 + 4u);
+  EXPECT_EQ(name, DiskCacheEngine::file_name(key_n(0xabc)));
+  EXPECT_EQ(name.substr(0, 16), "0000000000000abc");
+  EXPECT_EQ(name.substr(name.size() - 4), ".res");
+  EXPECT_NE(name, DiskCacheEngine::file_name(key_n(0xabd)));
+}
+
+TEST(DiskCacheEngine, UncreatableDirectoryFailsLoudly) {
+  EXPECT_THROW(DiskCacheEngine("/proc/definitely/not/writable"),
+               std::runtime_error);
+}
+
+// ---- the restart guarantee, end to end ------------------------------------
+
+class RestartClient {
+ public:
+  explicit RestartClient(int port)
+      : socket_(Socket::connect_tcp("127.0.0.1", port)),
+        reader_(&socket_, 64u << 20) {}
+
+  Json round_trip(const std::string& request) {
+    socket_.send_all(request + "\n");
+    std::string line;
+    EXPECT_TRUE(reader_.read_line(&line)) << "connection closed early";
+    return Json::parse(line);
+  }
+
+ private:
+  Socket socket_;
+  LineReader reader_;
+};
+
+/// The response body fields that must replay bit-identically from disk.
+std::string body_fields(const Json& response) {
+  return response.find("report")->dump() + "|" +
+         response.find("metrics")->dump() + "|" +
+         response.find("trajectory")->dump();
+}
+
+TEST(DiskCacheService, RestartAnswersFromDiskBitIdentically) {
+  TempDir dir;
+  ServiceConfig config;
+  config.tcp_port = 0;
+  config.num_threads = 2;
+  config.cache_dir = dir.path();
+  const std::string request = R"({"type":"optimize","circuit":"x2"})";
+
+  // Cold daemon: compute, answer "miss", persist write-behind.
+  std::string cold_body;
+  {
+    Service service(config);
+    service.start();
+    RestartClient client(service.port());
+    Json cold = client.round_trip(request);
+    ASSERT_EQ(cold.find("type")->as_string(), "result") << cold.dump();
+    EXPECT_EQ(cold.find("cache")->as_string(), "miss");
+    cold_body = body_fields(cold);
+    service.request_stop();
+    service.stop();  // drains sessions AND flushes the disk tier
+  }
+
+  // Restarted daemon, same --cache-dir: the answer comes from the disk
+  // tier (the in-memory cache is empty), byte-identical to the cold run.
+  Service service(config);
+  service.start();
+  RestartClient client(service.port());
+  Json warm = client.round_trip(request);
+  ASSERT_EQ(warm.find("type")->as_string(), "result") << warm.dump();
+  EXPECT_EQ(warm.find("cache")->as_string(), "disk");
+  EXPECT_EQ(body_fields(warm), cold_body);
+
+  // Exactly one disk hit, and the promote means the next repeat is a
+  // memory-tier hit.
+  Json stats = client.round_trip(R"({"type":"stats"})");
+  EXPECT_TRUE(stats.find("disk")->find("enabled")->as_bool());
+  EXPECT_EQ(stats.find("disk")->find("hits")->as_uint(), 1u);
+  EXPECT_EQ(stats.find("disk")->find("misses")->as_uint(), 0u);
+  Json repeat = client.round_trip(request);
+  EXPECT_EQ(repeat.find("cache")->as_string(), "hit");
+  EXPECT_EQ(body_fields(repeat), cold_body);
+
+  service.request_stop();
+  service.stop();
+}
+
+TEST(DiskCacheService, CacheBypassStillWarmsTheDiskTier) {
+  TempDir dir;
+  ServiceConfig config;
+  config.tcp_port = 0;
+  config.num_threads = 2;
+  config.cache_dir = dir.path();
+  Service service(config);
+  service.start();
+  RestartClient client(service.port());
+  Json response = client.round_trip(
+      R"({"type":"optimize","circuit":"x2","use_cache":false})");
+  ASSERT_EQ(response.find("type")->as_string(), "result")
+      << response.dump();
+  service.request_stop();
+  service.stop();  // flush
+  EXPECT_GE(service.disk_stats().writes, 1u);
+  EXPECT_FALSE(fs::is_empty(dir.path()));
+}
+
+}  // namespace
+}  // namespace dvs

@@ -281,47 +281,94 @@ ResultCache::Payload payload(const std::string& s) {
 }
 
 TEST(ResultCache, HitMissCounters) {
-  ResultCache cache(4);
+  ResultCache cache(4096);
   EXPECT_EQ(cache.get(key_n(1)), nullptr);
-  cache.put(key_n(1), payload("one"));
+  EXPECT_TRUE(cache.put(key_n(1), payload("one")));
   EXPECT_EQ(*cache.get(key_n(1)), "one");
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.entries, 1u);
-  EXPECT_EQ(stats.capacity, 4u);
+  EXPECT_EQ(stats.bytes, 3u);  // strlen("one"), exactly
+  EXPECT_EQ(stats.capacity_bytes, 4096u);
+  EXPECT_EQ(stats.rejected, 0u);
 }
 
 TEST(ResultCache, EvictsLeastRecentlyUsedInOrder) {
-  ResultCache cache(3);
-  cache.put(key_n(1), payload("1"));
-  cache.put(key_n(2), payload("2"));
-  cache.put(key_n(3), payload("3"));
+  // Equal-size payloads make the byte budget behave like a 3-entry one.
+  ResultCache cache(30);
+  const std::string ten(10, 'x');
+  cache.put(key_n(1), payload(ten));
+  cache.put(key_n(2), payload(ten));
+  cache.put(key_n(3), payload(ten));
   // Touch 1 so 2 becomes the LRU victim.
   EXPECT_NE(cache.get(key_n(1)), nullptr);
-  cache.put(key_n(4), payload("4"));  // evicts 2
+  cache.put(key_n(4), payload(ten));  // evicts 2
   EXPECT_EQ(cache.get(key_n(2)), nullptr);
   EXPECT_NE(cache.get(key_n(1)), nullptr);
   EXPECT_NE(cache.get(key_n(3)), nullptr);
   EXPECT_NE(cache.get(key_n(4)), nullptr);
-  cache.put(key_n(5), payload("5"));  // 1-3-4 re-touched; victim is 1
+  cache.put(key_n(5), payload(ten));  // 1-3-4 re-touched; victim is 1
   EXPECT_EQ(cache.get(key_n(1)), nullptr);
   EXPECT_EQ(cache.stats().evictions, 2u);
   EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().bytes, 30u);
+}
+
+TEST(ResultCache, EvictsExactlyEnoughBytes) {
+  // Regression for the byte accounting: a big insert evicts entries in
+  // LRU order until it fits — no more, no fewer — and `bytes` tracks
+  // the resident payload exactly at every step.
+  ResultCache cache(10);
+  cache.put(key_n(1), payload("aaaa"));  // 4 bytes
+  cache.put(key_n(2), payload("bbbb"));  // 8 bytes resident
+  EXPECT_EQ(cache.stats().bytes, 8u);
+  cache.put(key_n(3), payload("cccc"));  // 12 > 10: evict only key 1
+  EXPECT_EQ(cache.get(key_n(1)), nullptr);
+  EXPECT_NE(cache.get(key_n(2)), nullptr);
+  EXPECT_NE(cache.get(key_n(3)), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 8u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.put(key_n(4), payload("dddddddddd"));  // 10 bytes: evict 2 and 3
+  EXPECT_EQ(cache.stats().bytes, 10u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(ResultCache, OversizedPayloadRejectedNotEvictingEverything) {
+  // An entry bigger than the whole budget must be refused outright —
+  // the buggy alternative evicts the entire cache and then caches (or
+  // under-accounts) the monster anyway.
+  ResultCache cache(8);
+  EXPECT_TRUE(cache.put(key_n(1), payload("abcd")));
+  EXPECT_FALSE(cache.put(key_n(2), payload("way too big: 9")));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_NE(cache.get(key_n(1)), nullptr);  // survivors keep serving
+  EXPECT_EQ(cache.get(key_n(2)), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 4u);
+  // Replacing a resident key with an oversized value must also drop the
+  // stale resident copy: serving the old bytes as if they were the new
+  // answer would be a correctness bug, not a capacity decision.
+  EXPECT_FALSE(cache.put(key_n(1), payload("also far too big")));
+  EXPECT_EQ(cache.get(key_n(1)), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 TEST(ResultCache, ReplacingAKeyIsNotAnEviction) {
-  ResultCache cache(2);
+  ResultCache cache(64);
   cache.put(key_n(1), payload("a"));
-  cache.put(key_n(1), payload("b"));
-  EXPECT_EQ(*cache.get(key_n(1)), "b");
+  cache.put(key_n(1), payload("bbb"));
+  EXPECT_EQ(*cache.get(key_n(1)), "bbb");
   EXPECT_EQ(cache.stats().evictions, 0u);
   EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, 3u);  // old size gone, new size in
 }
 
 TEST(ResultCache, ConcurrentGetPutHammering) {
-  ResultCache cache(16);  // far smaller than the key space: constant
-                          // eviction churn while threads race
+  ResultCache cache(160);  // ~16 ten-byte slots over 64 keys: constant
+                           // eviction churn while threads race
   ThreadPool pool(4);
   std::atomic<int> payload_mismatches{0};
   pool.parallel_for(2000, [&](int i) {
@@ -335,9 +382,9 @@ TEST(ResultCache, ConcurrentGetPutHammering) {
   });
   EXPECT_EQ(payload_mismatches.load(), 0);
   const CacheStats stats = cache.stats();
-  EXPECT_LE(stats.entries, 16u);
+  EXPECT_LE(stats.bytes, 160u);
   EXPECT_EQ(stats.hits + stats.misses, 2000u);
-  // With 64 keys over 16 slots there must have been evictions.
+  // With 64 keys over a ~16-entry budget there must have been evictions.
   EXPECT_GT(stats.evictions, 0u);
 }
 

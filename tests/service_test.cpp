@@ -5,8 +5,11 @@
 // and shutdown.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "core/suite.hpp"
 #include "library/library.hpp"
@@ -58,6 +61,9 @@ class Client {
     return Json::parse(line);
   }
 
+  /// Raw read for tests that expect the daemon to close the connection.
+  bool recv_line(std::string* line) { return reader_.read_line(line); }
+
  private:
   Socket socket_;
   LineReader reader_;
@@ -69,7 +75,17 @@ class ServiceTest : public ::testing::Test {
     ServiceConfig config;
     config.tcp_port = 0;
     config.num_threads = 2;
-    config.cache_entries = 64;
+    config.cache_bytes = 8u << 20;
+    start_service(config);
+  }
+
+  /// Boots (or reboots) the service under a test-specific config.
+  void start_service(ServiceConfig config) {
+    if (service_) {
+      service_->request_stop();
+      service_->stop();
+    }
+    config.tcp_port = 0;
     service_.emplace(config);
     service_->start();
   }
@@ -82,6 +98,23 @@ class ServiceTest : public ::testing::Test {
   }
 
   int port() const { return service_->port(); }
+
+  /// Polls `stats` over a fresh connection until `ready(stats)` holds
+  /// (the deterministic way to wait for another connection's jobs to
+  /// reach the pool).  Fails the test after ~5 s.
+  Json await_stats(const std::function<bool(const Json&)>& ready) {
+    Client observer(port());
+    Json stats;
+    for (int spins = 0; spins < 5000; ++spins) {
+      observer.send(R"({"type":"stats"})");
+      stats = observer.recv();
+      if (ready(stats)) return stats;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ADD_FAILURE() << "stats condition never became true: "
+                  << stats.dump();
+    return stats;
+  }
 
   std::optional<Service> service_;
 };
@@ -105,7 +138,16 @@ TEST_F(ServiceTest, PingStatsAndUnknownType) {
   Json stats = client.recv();
   EXPECT_EQ(stats.find("type")->as_string(), "stats");
   EXPECT_EQ(stats.find("cache")->find("hits")->as_uint(), 0u);
-  EXPECT_EQ(stats.find("cache")->find("capacity")->as_uint(), 64u);
+  EXPECT_EQ(stats.find("cache")->find("bytes")->as_uint(), 0u);
+  EXPECT_EQ(stats.find("cache")->find("rejected")->as_uint(), 0u);
+  EXPECT_EQ(stats.find("cache")->find("capacity_bytes")->as_uint(),
+            8u << 20);
+  EXPECT_FALSE(stats.find("disk")->find("enabled")->as_bool());
+  EXPECT_EQ(stats.find("pool")->find("threads")->as_int(), 2);
+  EXPECT_EQ(stats.find("pool")->find("watermark")->as_uint(), 16u);
+  EXPECT_EQ(stats.find("pool")->find("overload_rejections")->as_uint(),
+            0u);
+  EXPECT_GE(stats.find("sessions")->find("active")->as_uint(), 1u);
 
   client.send(R"({"type":"frobnicate"})");
   EXPECT_EQ(client.recv().find("type")->as_string(), "error");
@@ -451,6 +493,144 @@ TEST_F(ServiceTest, MalformedSuppliesRejectedVerbatim) {
   // The connection still serves.
   client.send(R"({"type":"ping"})");
   EXPECT_EQ(client.recv().find("type")->as_string(), "pong");
+}
+
+TEST_F(ServiceTest, OversizedLineRejectedVerbatim) {
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.max_line_bytes = 1024;
+  start_service(config);
+
+  Client client(port());
+  client.send(std::string(4096, 'x'));  // one 4 KiB line, no JSON at all
+  Json error = client.recv();
+  ASSERT_EQ(error.find("type")->as_string(), "error") << error.dump();
+  // The message is the protocol-verbatim LineTooLongError text.
+  EXPECT_EQ(error.find("message")->as_string(),
+            "line too long: exceeds the 1024-byte limit");
+  EXPECT_EQ(error.find("code")->as_string(), "line_too_long");
+  // The unread remainder makes resync impossible: connection closes.
+  std::string line;
+  EXPECT_FALSE(client.recv_line(&line));
+
+  // A maximal-but-legal line still round-trips on a fresh connection.
+  Client ok(port());
+  ok.send(R"({"type":"ping"})");
+  EXPECT_EQ(ok.recv().find("type")->as_string(), "pong");
+}
+
+TEST_F(ServiceTest, OverloadedRejectionAtWatermark) {
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.max_backlog = 2;
+  start_service(config);
+
+  // Saturate the single worker well past the watermark: six uncached
+  // jobs, each several times the default simulation cost.
+  Client busy(port());
+  busy.send(
+      R"({"type":"batch","circuits":["x2","x2","x2","x2","x2","x2"],)"
+      R"("use_cache":false,"options":{"vectors":262144},"id":"slow"})");
+  await_stats([](const Json& stats) {
+    return stats.find("pool")->find("inflight")->as_uint() >= 2;
+  });
+
+  // The gate answers immediately — no queue wait, no computation.
+  Client rejected(port());
+  const auto sent = std::chrono::steady_clock::now();
+  rejected.send(R"({"type":"optimize","circuit":"z4ml","id":"late"})");
+  Json error = rejected.recv();
+  const double wait_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - sent)
+          .count();
+  ASSERT_EQ(error.find("type")->as_string(), "error") << error.dump();
+  EXPECT_EQ(error.find("code")->as_string(), "overloaded");
+  EXPECT_EQ(error.find("id")->as_string(), "late");
+  EXPECT_NE(error.find("message")->as_string().find("overloaded"),
+            std::string::npos);
+  EXPECT_LT(wait_ms, 100.0);
+
+  // The saturating batch itself still completes in full.
+  int items = 0;
+  while (true) {
+    Json line = busy.recv();
+    if (line.find("type")->as_string() == "batch_done") {
+      EXPECT_EQ(line.find("count")->as_uint(), 6u);
+      break;
+    }
+    ++items;
+  }
+  EXPECT_EQ(items, 6);
+  const Json stats = await_stats([](const Json&) { return true; });
+  EXPECT_GE(stats.find("pool")->find("overload_rejections")->as_uint(),
+            1u);
+}
+
+TEST_F(ServiceTest, DeadlineExpiresInQueue) {
+  ServiceConfig config;
+  config.num_threads = 1;  // default watermark = 8: admission passes
+  start_service(config);
+
+  // One long uncached job owns the only worker for hundreds of ms.
+  Client busy(port());
+  busy.send(R"({"type":"optimize","circuit":"x2","use_cache":false,)"
+            R"("options":{"vectors":1048576},"id":"long"})");
+  await_stats([](const Json& stats) {
+    return stats.find("pool")->find("inflight")->as_uint() >= 1;
+  });
+
+  // A 1 ms deadline cannot survive that queue wait: the job is admitted,
+  // then fails with the structured timeout when the worker dequeues it.
+  Client impatient(port());
+  impatient.send(
+      R"({"type":"optimize","circuit":"z4ml","deadline_ms":1,"id":"dl"})");
+  Json error = impatient.recv();
+  ASSERT_EQ(error.find("type")->as_string(), "error") << error.dump();
+  EXPECT_EQ(error.find("code")->as_string(), "deadline_exceeded");
+  EXPECT_EQ(error.find("id")->as_string(), "dl");
+
+  Json done = busy.recv();  // the long job itself is unaffected
+  EXPECT_EQ(done.find("type")->as_string(), "result") << done.dump();
+  const Json stats = await_stats([](const Json&) { return true; });
+  EXPECT_GE(stats.find("pool")->find("deadline_expired")->as_uint(), 1u);
+}
+
+TEST_F(ServiceTest, GracefulStopDrainsInFlightBatch) {
+  // SIGTERM-shaped stop: request_stop() + stop() while a batch is mid
+  // flight.  The drain must let the session finish and answer every item
+  // (plus batch_done) before the socket closes.
+  Client client(port());
+  client.send(
+      R"({"type":"batch","circuits":["x2","z4ml","pm1"],"id":"drain"})");
+  await_stats([](const Json& stats) {
+    return stats.find("pool")->find("inflight")->as_uint() >= 1;
+  });
+
+  service_->request_stop();
+  service_->stop();  // blocks until drained
+
+  std::set<std::uint64_t> seen;
+  bool done = false;
+  std::string line;
+  while (client.recv_line(&line)) {
+    if (line.empty()) continue;
+    const Json response = Json::parse(line);
+    const std::string type = response.find("type")->as_string();
+    ASSERT_TRUE(type == "batch_item" || type == "batch_done")
+        << response.dump();
+    if (type == "batch_done") {
+      EXPECT_EQ(response.find("count")->as_uint(), 3u);
+      EXPECT_EQ(response.find("failed")->as_uint(), 0u);
+      done = true;
+    } else {
+      ASSERT_EQ(response.find("error"), nullptr) << response.dump();
+      seen.insert(response.find("index")->as_uint());
+    }
+  }
+  EXPECT_TRUE(done) << "batch_done never arrived before EOF";
+  EXPECT_EQ(seen.size(), 3u);
+  service_.reset();
 }
 
 TEST_F(ServiceTest, ShutdownRequestStopsTheService) {

@@ -31,7 +31,7 @@ void usage(std::FILE* out) {
       "\n"
       "commands:\n"
       "  ping                       round-trip check\n"
-      "  stats                      cache/job counters\n"
+      "  stats  (or --stats)        cache/pool/session counters\n"
       "  shutdown                   stop the daemon\n"
       "  optimize FILE | --circuit NAME\n"
       "      [--format blif|verilog]   input format of FILE (default blif)\n"
@@ -45,9 +45,10 @@ void usage(std::FILE* out) {
       "5.0,4.3,3.6)\n"
       "      [--return-netlist]        embed the optimized netlist\n"
       "      [--no-cache]              skip the cache lookup\n"
+      "      [--deadline-ms N]         fail fast if still queued after N ms\n"
       "  batch --circuits a,b,c | --all [--max-gates N]\n"
       "      [--algo ... | --pipeline SPEC] [--seed S] [--vectors N] "
-      "[--supplies L] [--no-cache]\n",
+      "[--supplies L] [--no-cache] [--deadline-ms N]\n",
       out);
 }
 
@@ -105,7 +106,9 @@ bool print_response(const std::string& line) {
       get(json, "type") ? get(json, "type")->as_string() : "?";
   if (type == "error") {
     const dvs::Json* message = get(json, "message");
-    std::fprintf(stderr, "error: %s\n",
+    const dvs::Json* code = get(json, "code");
+    std::fprintf(stderr, "error%s%s%s: %s\n", code ? " [" : "",
+                 code ? code->as_string().c_str() : "", code ? "]" : "",
                  message ? message->as_string().c_str() : line.c_str());
     return false;
   }
@@ -115,8 +118,8 @@ bool print_response(const std::string& line) {
     std::printf("daemon stopping\n");
   } else if (type == "stats") {
     const dvs::Json& cache = *get(json, "cache");
-    std::printf("cache: %llu hits / %llu misses / %llu evictions "
-                "(%llu/%llu entries)\n",
+    std::printf("cache: %llu hits / %llu misses / %llu evictions / "
+                "%llu rejected | %llu entries, %.1f/%.1f MiB\n",
                 static_cast<unsigned long long>(
                     cache.find("hits")->as_uint()),
                 static_cast<unsigned long long>(
@@ -124,9 +127,51 @@ bool print_response(const std::string& line) {
                 static_cast<unsigned long long>(
                     cache.find("evictions")->as_uint()),
                 static_cast<unsigned long long>(
-                    cache.find("entries")->as_uint()),
+                    cache.find("rejected")->as_uint()),
                 static_cast<unsigned long long>(
-                    cache.find("capacity")->as_uint()));
+                    cache.find("entries")->as_uint()),
+                static_cast<double>(cache.find("bytes")->as_uint()) /
+                    (1 << 20),
+                static_cast<double>(
+                    cache.find("capacity_bytes")->as_uint()) /
+                    (1 << 20));
+    if (const dvs::Json* disk = get(json, "disk")) {
+      if (disk->find("enabled")->as_bool())
+        std::printf("disk:  %llu hits / %llu misses | %llu writes "
+                    "(%llu errors), %.1f MiB written\n",
+                    static_cast<unsigned long long>(
+                        disk->find("hits")->as_uint()),
+                    static_cast<unsigned long long>(
+                        disk->find("misses")->as_uint()),
+                    static_cast<unsigned long long>(
+                        disk->find("writes")->as_uint()),
+                    static_cast<unsigned long long>(
+                        disk->find("write_errors")->as_uint()),
+                    static_cast<double>(
+                        disk->find("bytes_written")->as_uint()) /
+                        (1 << 20));
+      else
+        std::printf("disk:  (no cache dir)\n");
+    }
+    if (const dvs::Json* pool = get(json, "pool")) {
+      std::printf("pool:  %lld threads, %lld queued+running "
+                  "(watermark %llu) | %llu overloaded, "
+                  "%llu deadline-expired\n",
+                  static_cast<long long>(pool->find("threads")->as_int()),
+                  static_cast<long long>(pool->find("depth")->as_int()),
+                  static_cast<unsigned long long>(
+                      pool->find("watermark")->as_uint()),
+                  static_cast<unsigned long long>(
+                      pool->find("overload_rejections")->as_uint()),
+                  static_cast<unsigned long long>(
+                      pool->find("deadline_expired")->as_uint()));
+    }
+    if (const dvs::Json* sessions = get(json, "sessions"))
+      std::printf("sessions: %llu active / %llu total\n",
+                  static_cast<unsigned long long>(
+                      sessions->find("active")->as_uint()),
+                  static_cast<unsigned long long>(
+                      sessions->find("total")->as_uint()));
     const dvs::Json& jobs = *get(json, "jobs");
     std::printf("jobs: %llu completed, %llu failed | requests %llu | "
                 "connections %llu | threads %lld | up %.1fs\n",
@@ -227,7 +272,13 @@ int main(int argc, char** argv) {
       cli.unix_path = value("--unix");
     else if (arg == "--json")
       cli.raw_json = true;
-    else if (arg == "--help" || arg == "-h") {
+    else if (arg == "--stats") {
+      // Flag spelling of the stats command, for script ergonomics:
+      //   dvs-client --port N --stats
+      command = "stats";
+      ++at;
+      break;
+    } else if (arg == "--help" || arg == "-h") {
       usage(stdout);
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
@@ -307,6 +358,9 @@ int main(int argc, char** argv) {
           request["return_netlist"] = dvs::Json(true);
         else if (arg == "--no-cache")
           request["use_cache"] = dvs::Json(false);
+        else if (arg == "--deadline-ms")
+          request["deadline_ms"] = dvs::Json(static_cast<std::uint64_t>(
+              std::strtoull(value("--deadline-ms").c_str(), nullptr, 0)));
         else if (!arg.empty() && arg[0] != '-' && file.empty())
           file = arg;
         else {

@@ -6,6 +6,7 @@
 //   $ dvsd --port 7117                 # TCP on 127.0.0.1:7117
 //   $ dvsd --unix /tmp/dvsd.sock      # Unix-domain socket
 //   $ dvsd --port 0                    # kernel-assigned port (printed)
+//   $ dvsd --cache-dir /var/dvsd      # persistent disk cache tier
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,18 +26,51 @@ void on_signal(int) {
 void usage(std::FILE* out) {
   std::fputs(
       "usage: dvsd [--port N | --unix PATH] [--threads N]\n"
-      "            [--cache-entries N] [--verbose]\n"
+      "            [--cache-bytes N[K|M|G]] [--cache-dir PATH]\n"
+      "            [--max-line-bytes N[K|M|G]] [--max-backlog N]\n"
+      "            [--max-inflight N] [--drain-timeout-ms N] [--verbose]\n"
       "\n"
       "Serves dual-Vdd optimization jobs over newline-delimited JSON\n"
       "(protocol: see README.md).  Options:\n"
-      "  --port N           listen on 127.0.0.1:N (0 = kernel-assigned;\n"
-      "                     the bound port is printed on stdout)\n"
-      "  --unix PATH        listen on a Unix-domain socket instead\n"
-      "  --threads N        flow worker threads (default: all cores)\n"
-      "  --cache-entries N  result-cache capacity (default 1024)\n"
-      "  --verbose          log connections to stderr\n"
-      "  --help             this text\n",
+      "  --port N             listen on 127.0.0.1:N (0 = kernel-assigned;\n"
+      "                       the bound port is printed on stdout)\n"
+      "  --unix PATH          listen on a Unix-domain socket instead\n"
+      "  --threads N          flow worker threads (default: all cores)\n"
+      "  --cache-bytes N      in-memory result-cache budget, bytes of\n"
+      "                       payload; K/M/G suffixes ok (default 256M)\n"
+      "  --cache-dir PATH     disk cache tier: results persist here and\n"
+      "                       warm-hit across daemon restarts\n"
+      "  --max-line-bytes N   NDJSON request-line cap (default 64M)\n"
+      "  --max-backlog N      reject optimize/batch with an 'overloaded'\n"
+      "                       error once N jobs are queued or running\n"
+      "                       (default: 8x worker threads)\n"
+      "  --max-inflight N     per-connection in-flight job window\n"
+      "                       (default 64)\n"
+      "  --drain-timeout-ms N graceful-drain budget on SIGTERM/stop\n"
+      "                       (default 30000)\n"
+      "  --verbose            log connections to stderr\n"
+      "  --help               this text\n",
       out);
+}
+
+/// Parses "N", "NK", "NM", or "NG" (case-insensitive) into bytes.
+/// Returns false on trailing garbage or a missing number.
+bool parse_bytes(const char* text, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 0);
+  if (end == text) return false;
+  std::size_t scale = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = 1ull << 10; break;
+      case 'm': case 'M': scale = 1ull << 20; break;
+      case 'g': case 'G': scale = 1ull << 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  *out = static_cast<std::size_t>(value * scale);
+  return true;
 }
 
 }  // namespace
@@ -48,15 +82,34 @@ int main(int argc, char** argv) {
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : "";
     };
+    auto bytes_value = [&](std::size_t* out) {
+      const char* text = value();
+      if (!parse_bytes(text, out)) {
+        std::fprintf(stderr, "dvsd: %s wants a byte count, got '%s'\n",
+                     flag.c_str(), text);
+        std::exit(1);
+      }
+    };
     if (flag == "--port")
       config.tcp_port = std::atoi(value());
     else if (flag == "--unix")
       config.unix_path = value();
     else if (flag == "--threads")
       config.num_threads = std::atoi(value());
-    else if (flag == "--cache-entries")
-      config.cache_entries =
+    else if (flag == "--cache-bytes")
+      bytes_value(&config.cache_bytes);
+    else if (flag == "--cache-dir")
+      config.cache_dir = value();
+    else if (flag == "--max-line-bytes")
+      bytes_value(&config.max_line_bytes);
+    else if (flag == "--max-backlog")
+      config.max_backlog =
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
+    else if (flag == "--max-inflight")
+      config.max_inflight_per_connection =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
+    else if (flag == "--drain-timeout-ms")
+      config.drain_timeout_ms = std::atoi(value());
     else if (flag == "--verbose")
       config.verbose = true;
     else if (flag == "--help" || flag == "-h") {
@@ -68,8 +121,12 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (config.cache_entries == 0) {
-    std::fprintf(stderr, "dvsd: --cache-entries must be >= 1\n");
+  if (config.cache_bytes == 0) {
+    std::fprintf(stderr, "dvsd: --cache-bytes must be >= 1\n");
+    return 1;
+  }
+  if (config.max_line_bytes < 1024) {
+    std::fprintf(stderr, "dvsd: --max-line-bytes must be >= 1024\n");
     return 1;
   }
 
@@ -93,6 +150,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses),
                 static_cast<unsigned long long>(cache.evictions));
+    if (!config.cache_dir.empty()) {
+      const dvs::DiskCacheStats disk = service.disk_stats();
+      std::printf(
+          "dvsd: disk tier (%llu hits, %llu misses, %llu writes, "
+          "%llu write errors)\n",
+          static_cast<unsigned long long>(disk.hits),
+          static_cast<unsigned long long>(disk.misses),
+          static_cast<unsigned long long>(disk.writes),
+          static_cast<unsigned long long>(disk.write_errors));
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dvsd: %s\n", e.what());
