@@ -18,6 +18,7 @@
 #include "graph/antichain.hpp"
 #include "graph/separator.hpp"
 #include "power/activity.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "timing/graph.hpp"
 #include "timing/incremental.hpp"
@@ -192,6 +193,36 @@ void BM_PipelineParse(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineParse);
 
+/// One registry counter increment: the per-request fixed cost of the
+/// observability layer's native instruments (dvsd bumps a handful of
+/// these per request — they must stay in the nanoseconds).
+void BM_MetricsCounter(benchmark::State& state) {
+  dvs::MetricsRegistry registry;
+  dvs::Counter& counter = registry.counter(
+      "bench_requests_total", "benchmark counter");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter.value());
+  }
+}
+BENCHMARK(BM_MetricsCounter);
+
+/// One histogram observation into the default 27-bucket latency ladder:
+/// the queue-wait / service-time recording path.
+void BM_HistogramObserve(benchmark::State& state) {
+  dvs::MetricsRegistry registry;
+  dvs::Histogram& histogram = registry.histogram(
+      "bench_latency_ms", "benchmark histogram", {},
+      dvs::MetricsRegistry::default_latency_bounds_ms());
+  double v = 0.0;
+  for (auto _ : state) {
+    v = v < 1000.0 ? v + 0.37 : 0.0;
+    histogram.observe(v);
+  }
+  benchmark::DoNotOptimize(histogram.snapshot().count);
+}
+BENCHMARK(BM_HistogramObserve);
+
 /// The Dscale/Gscale hot-loop primitive: one voltage flip + incremental
 /// re-time, versus the full re-analysis it replaced (BM_Sta).
 void BM_IncrementalFlip(benchmark::State& state) {
@@ -226,8 +257,8 @@ int main(int argc, char** argv) {
           "\n"
           "Engine microbenchmarks (cold/steady-state full STA, timing-\n"
           "graph compilation, activity estimation, antichain max-flow,\n"
-          "CVS/Dscale/Gscale, pipeline-dispatch overhead, per-flip\n"
-          "incremental STA) over MCNC\n"
+          "CVS/Dscale/Gscale, pipeline-dispatch overhead, metrics\n"
+          "counter/histogram cost, per-flip incremental STA) over MCNC\n"
           "stand-ins.  --json = --benchmark_format=json (CI stores it as\n"
           "BENCH_engines.json); everything else is passed to\n"
           "google-benchmark (--benchmark_filter=REGEX,\n"

@@ -99,6 +99,21 @@ struct Tally {
   }
 };
 
+/// Nearest-rank percentile (p in [0,100]) of a latency sample.
+double percentile_ms(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] + (sample[hi] - sample[lo]) * frac;
+}
+
+/// The three JSON percentile fields for one phase's latency sample.
+std::string percentile_fields(const char* phase,
+                              const std::vector<double>& sample);
+
 /// One client connection submitting `circuits` one at a time.
 Tally run_client(int port, const BenchOptions& options,
                  const std::vector<std::string>& circuits,
@@ -165,6 +180,22 @@ std::string num(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.10g", v);
   return buf;
+}
+
+std::string percentile_fields(const char* phase,
+                              const std::vector<double>& sample) {
+  std::string out;
+  for (const auto& [tag, p] :
+       {std::pair<const char*, double>{"p50", 50.0},
+        {"p95", 95.0},
+        {"p99", 99.0}}) {
+    out += "  \"";
+    out += phase;
+    out += "_";
+    out += tag;
+    out += "_ms\": " + num(percentile_ms(sample, p)) + ",\n";
+  }
+  return out;
 }
 
 }  // namespace
@@ -323,14 +354,25 @@ int main(int argc, char** argv) {
       cold.cache_hits + concurrent.cache_misses + hits.cache_misses;
 
   std::printf(
-      "cold:      %3d requests, mean %8.2f ms  (1 client)\n"
-      "hits:      %3d requests, mean %8.2f ms  (1 client)\n"
+      "cold:      %3d requests, mean %8.2f ms  p50 %.2f  p95 %.2f  "
+      "p99 %.2f  (1 client)\n"
+      "hits:      %3d requests, mean %8.2f ms  p50 %.2f  p95 %.2f  "
+      "p99 %.2f  (1 client)\n"
+      "concurrent: p50 %.2f  p95 %.2f  p99 %.2f ms\n"
       "concurrent:%3d requests in %.0f ms -> %.0f req/s  (%d clients)\n"
       "batch:     %zu circuits in %.0f ms\n"
       "cache:     %llu hits / %llu misses / %llu evictions\n"
       "speedup:   %.1fx (cache hit vs cold)\n"
       "failures:  %d, report mismatches: %d, cache anomalies: %d\n",
-      cold.requests, cold_ms, hits.requests, hit_ms, concurrent.requests,
+      cold.requests, cold_ms, percentile_ms(cold.latencies_ms, 50),
+      percentile_ms(cold.latencies_ms, 95),
+      percentile_ms(cold.latencies_ms, 99), hits.requests, hit_ms,
+      percentile_ms(hits.latencies_ms, 50),
+      percentile_ms(hits.latencies_ms, 95),
+      percentile_ms(hits.latencies_ms, 99),
+      percentile_ms(concurrent.latencies_ms, 50),
+      percentile_ms(concurrent.latencies_ms, 95),
+      percentile_ms(concurrent.latencies_ms, 99), concurrent.requests,
       concurrent_ms, requests_per_sec, options.clients, circuits.size(),
       batch_ms, static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
@@ -351,7 +393,10 @@ int main(int argc, char** argv) {
       << "  \"seed\": " << options.seed << ",\n"
       << "  \"serial_reference_ms\": " << num(serial_ms) << ",\n"
       << "  \"cold_mean_ms\": " << num(cold_ms) << ",\n"
+      << percentile_fields("cold", cold.latencies_ms)
       << "  \"hit_mean_ms\": " << num(hit_ms) << ",\n"
+      << percentile_fields("hit", hits.latencies_ms)
+      << percentile_fields("concurrent", concurrent.latencies_ms)
       << "  \"cache_hit_speedup\": " << num(speedup) << ",\n"
       << "  \"concurrent_requests\": " << concurrent.requests << ",\n"
       << "  \"concurrent_wall_ms\": " << num(concurrent_ms) << ",\n"

@@ -7,6 +7,7 @@
 // driver, the suite engine, or the service.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -26,6 +27,13 @@ struct PassStats {
   std::string pass;          // registered name
   int position = -1;         // index in the pipeline
   double cpu_seconds = 0.0;  // thread CPU time inside run()
+
+  /// Wall-clock window of run(), for request tracing only — the wire
+  /// trajectory (pass_stats_json) deliberately reports cpu_seconds, so
+  /// cached bodies and suite rows stay byte-identical whether or not a
+  /// trace was requested.
+  std::chrono::steady_clock::time_point wall_start{};
+  std::chrono::steady_clock::time_point wall_end{};
 
   double power_uw = 0.0;
   double arrival_ns = 0.0;

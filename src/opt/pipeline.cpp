@@ -249,7 +249,9 @@ PipelineRun Pipeline::run(Design& design) {
     const auto before = gate_state(design);
 
     const double start = thread_cpu_seconds();
+    stats.wall_start = std::chrono::steady_clock::now();
     pass.run(design, &stats);
+    stats.wall_end = std::chrono::steady_clock::now();
     stats.cpu_seconds = thread_cpu_seconds() - start;
 
     stats.power_uw = design.run_power().total();

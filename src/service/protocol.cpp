@@ -126,11 +126,13 @@ Request parse_request(const std::string& line) {
   Request request;
   if (const Json* id = json.find("id")) request.id = *id;
 
-  if (type == "ping" || type == "stats" || type == "shutdown") {
+  if (type == "ping" || type == "stats" || type == "metrics" ||
+      type == "shutdown") {
     check_known_keys(json.as_object(), {"type", "id"}, type);
-    request.type = type == "ping"     ? RequestType::kPing
-                   : type == "stats" ? RequestType::kStats
-                                     : RequestType::kShutdown;
+    request.type = type == "ping"      ? RequestType::kPing
+                   : type == "stats"   ? RequestType::kStats
+                   : type == "metrics" ? RequestType::kMetrics
+                                       : RequestType::kShutdown;
     return request;
   }
 
@@ -138,7 +140,7 @@ Request parse_request(const std::string& line) {
     check_known_keys(json.as_object(),
                      {"type", "id", "circuit", "netlist", "format", "algos",
                       "pipeline", "options", "return_netlist", "use_cache",
-                      "deadline_ms"},
+                      "deadline_ms", "trace"},
                      "optimize");
     request.type = RequestType::kOptimize;
     OptimizeRequest& opt = request.optimize;
@@ -162,6 +164,7 @@ Request parse_request(const std::string& line) {
     if (const Json* v = json.find("use_cache")) opt.use_cache = v->as_bool();
     if (const Json* v = json.find("deadline_ms"))
       opt.deadline_ms = parse_deadline_ms(*v);
+    if (const Json* v = json.find("trace")) opt.trace = v->as_bool();
     if (opt.return_netlist && opt.pipeline.is_null() &&
         (opt.run_cvs + opt.run_dscale + opt.run_gscale) != 1)
       throw ProtocolError(
@@ -172,7 +175,8 @@ Request parse_request(const std::string& line) {
   if (type == "batch") {
     check_known_keys(json.as_object(),
                      {"type", "id", "circuits", "all", "max_gates", "algos",
-                      "pipeline", "options", "use_cache", "deadline_ms"},
+                      "pipeline", "options", "use_cache", "deadline_ms",
+                      "trace"},
                      "batch");
     request.type = RequestType::kBatch;
     BatchRequest& batch = request.batch;
@@ -204,6 +208,7 @@ Request parse_request(const std::string& line) {
       batch.use_cache = v->as_bool();
     if (const Json* v = json.find("deadline_ms"))
       batch.deadline_ms = parse_deadline_ms(*v);
+    if (const Json* v = json.find("trace")) batch.trace = v->as_bool();
     return request;
   }
 

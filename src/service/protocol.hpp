@@ -5,6 +5,8 @@
 // Request types:
 //   {"type":"ping"}                  -> {"type":"pong"}
 //   {"type":"stats"}                 -> {"type":"stats", ...}
+//   {"type":"metrics"}               -> {"type":"metrics","text":...}
+//                                       (Prometheus exposition dump)
 //   {"type":"shutdown"}              -> {"type":"bye"} and daemon stop
 //   {"type":"optimize", ...}         -> {"type":"result", ...}
 //   {"type":"batch", ...}            -> N x {"type":"batch_item", ...}
@@ -65,7 +67,14 @@ struct JobOptions {
   FlowOptions to_flow_options() const;
 };
 
-enum class RequestType { kPing, kStats, kShutdown, kOptimize, kBatch };
+enum class RequestType {
+  kPing,
+  kStats,
+  kMetrics,
+  kShutdown,
+  kOptimize,
+  kBatch
+};
 
 struct OptimizeRequest {
   /// Exactly one of `circuit` (MCNC name) / `netlist` (text) is set.
@@ -89,6 +98,10 @@ struct OptimizeRequest {
   /// Deliberately NOT part of the cache key — it changes when an answer
   /// is worth computing, never what the answer is.
   std::uint64_t deadline_ms = 0;
+  /// Attach a "trace" span array to the result.  Like deadline_ms, NOT
+  /// part of the cache key: tracing observes a request, it never changes
+  /// the answer (cache hits carry traces without an execute span).
+  bool trace = false;
 };
 
 struct BatchRequest {
@@ -102,6 +115,7 @@ struct BatchRequest {
   JobOptions options;
   bool use_cache = true;
   std::uint64_t deadline_ms = 0;  // per-item dequeue budget, as above
+  bool trace = false;             // per-item trace arrays, as above
 };
 
 struct Request {

@@ -5,8 +5,120 @@
 #include <utility>
 
 #include "service/session.hpp"
+#include "support/version.hpp"
 
 namespace dvs {
+
+void ServiceCore::init_metrics() {
+  ServiceMetrics& m = metrics;
+  m.requests_total = &registry.counter(
+      "dvsd_requests_total", "Protocol requests parsed (any type).");
+  m.connections_total = &registry.counter(
+      "dvsd_connections_total", "Client connections accepted.");
+  m.jobs_completed = &registry.counter(
+      "dvsd_jobs_completed_total", "Optimize jobs answered successfully.");
+  m.jobs_failed = &registry.counter(
+      "dvsd_jobs_failed_total", "Optimize jobs that raised an error.");
+  m.overload_rejections = &registry.counter(
+      "dvsd_overload_rejections_total",
+      "Requests rejected by the admission gate.");
+  m.deadline_expired = &registry.counter(
+      "dvsd_deadline_expired_total",
+      "Jobs whose deadline_ms expired while queued.");
+  m.line_too_long = &registry.counter(
+      "dvsd_line_too_long_total",
+      "Connections dropped for exceeding the NDJSON line cap.");
+  m.sessions_active =
+      &registry.gauge("dvsd_sessions_active", "Live client sessions.");
+  m.inflight_jobs = &registry.gauge(
+      "dvsd_inflight_jobs", "Jobs submitted to the pool, not yet finished.");
+  m.backlog_watermark = &registry.gauge(
+      "dvsd_backlog_watermark", "Admission gate threshold on inflight jobs.");
+  m.backlog_watermark->set(static_cast<double>(backlog_watermark));
+  m.queue_wait_ms = &registry.histogram(
+      "dvsd_queue_wait_ms", "Submission-to-dequeue wait per job (ms).");
+  m.service_ms_optimize = &registry.histogram(
+      "dvsd_service_ms", "Request wall time (ms).", {{"type", "optimize"}});
+  m.service_ms_batch_item = &registry.histogram(
+      "dvsd_service_ms", "Request wall time (ms).", {{"type", "batch_item"}});
+  m.cache_lookup_memory_ms = &registry.histogram(
+      "dvsd_cache_lookup_ms", "Result-cache probe time (ms).",
+      {{"tier", "memory"}});
+  m.cache_lookup_disk_ms = &registry.histogram(
+      "dvsd_cache_lookup_ms", "Result-cache probe time (ms).",
+      {{"tier", "disk"}});
+  registry.gauge("dvsd_build_info", "Constant 1; the version label is the payload.",
+                 {{"version", kDvsVersion}})
+      .set(1.0);
+
+  // Mirrored instruments: the caches and the pool keep their own
+  // authoritative counters; this collector copies them into the registry
+  // at the top of every exposition()/stats read.
+  Counter& mem_hits = registry.counter(
+      "dvsd_cache_hits_total", "Result-cache hits.", {{"tier", "memory"}});
+  Counter& mem_misses = registry.counter(
+      "dvsd_cache_misses_total", "Result-cache misses.", {{"tier", "memory"}});
+  Counter& disk_hits = registry.counter(
+      "dvsd_cache_hits_total", "Result-cache hits.", {{"tier", "disk"}});
+  Counter& disk_misses = registry.counter(
+      "dvsd_cache_misses_total", "Result-cache misses.", {{"tier", "disk"}});
+  Counter& evictions = registry.counter(
+      "dvsd_cache_evictions_total", "Memory-tier LRU evictions.");
+  Counter& rejected = registry.counter(
+      "dvsd_cache_rejected_total",
+      "Payloads too large for the memory budget.");
+  Gauge& entries = registry.gauge(
+      "dvsd_cache_entries", "Memory-tier resident entries.");
+  Gauge& bytes = registry.gauge(
+      "dvsd_cache_bytes", "Memory-tier resident payload bytes.");
+  Gauge& capacity = registry.gauge(
+      "dvsd_cache_capacity_bytes", "Memory-tier byte budget.");
+  Counter& disk_writes = registry.counter(
+      "dvsd_disk_writes_total", "Disk-tier entries persisted.");
+  Counter& disk_write_errors = registry.counter(
+      "dvsd_disk_write_errors_total", "Disk-tier failed writes.");
+  Counter& disk_bytes_written = registry.counter(
+      "dvsd_disk_bytes_written_total", "Disk-tier payload bytes persisted.");
+  Gauge& pool_threads =
+      registry.gauge("dvsd_pool_threads", "Flow worker threads.");
+  Gauge& pool_depth = registry.gauge(
+      "dvsd_pool_depth", "Pool tasks queued or running right now.");
+  Gauge& pool_peak = registry.gauge(
+      "dvsd_pool_depth_peak", "High-water mark of dvsd_pool_depth.");
+  Counter& pool_tasks = registry.counter(
+      "dvsd_pool_tasks_total", "Pool tasks retired since startup.");
+  Gauge& uptime =
+      registry.gauge("dvsd_uptime_seconds", "Seconds since service start.");
+  registry.register_collector([this, &mem_hits, &mem_misses, &disk_hits,
+                               &disk_misses, &evictions, &rejected, &entries,
+                               &bytes, &capacity, &disk_writes,
+                               &disk_write_errors, &disk_bytes_written,
+                               &pool_threads, &pool_depth, &pool_peak,
+                               &pool_tasks, &uptime] {
+    const CacheStats cs = cache->stats();
+    mem_hits.set(cs.hits);
+    mem_misses.set(cs.misses);
+    evictions.set(cs.evictions);
+    rejected.set(cs.rejected);
+    entries.set(static_cast<double>(cs.entries));
+    bytes.set(static_cast<double>(cs.bytes));
+    capacity.set(static_cast<double>(cs.capacity_bytes));
+    const DiskCacheStats ds = disk ? disk->stats() : DiskCacheStats{};
+    disk_hits.set(ds.hits);
+    disk_misses.set(ds.misses);
+    disk_writes.set(ds.writes);
+    disk_write_errors.set(ds.write_errors);
+    disk_bytes_written.set(ds.bytes_written);
+    const ThreadPoolStats ps = pool->stats();
+    pool_threads.set(ps.threads);
+    pool_depth.set(ps.pending);
+    pool_peak.set(ps.peak_pending);
+    pool_tasks.set(ps.tasks_executed);
+    uptime.set(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started)
+                   .count());
+  });
+}
 
 Service::Service(ServiceConfig config, const Library* lib) {
   core_.config = std::move(config);
@@ -22,6 +134,9 @@ Service::Service(ServiceConfig config, const Library* lib) {
           : static_cast<std::size_t>(core_.pool->num_threads()) * 8;
   core_.lib_fingerprint = core_.lib->fingerprint();
   core_.started = std::chrono::steady_clock::now();
+  core_.init_metrics();
+  if (!core_.config.trace_log_path.empty())
+    core_.trace_log.emplace(core_.config.trace_log_path);
   core_.request_stop = [this] { request_stop(); };
 }
 
@@ -32,6 +147,49 @@ void Service::start() {
                   ? ListenSocket::listen_tcp(core_.config.tcp_port)
                   : ListenSocket::listen_unix(core_.config.unix_path);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (core_.config.metrics_port >= 0) {
+    metrics_listener_ = ListenSocket::listen_tcp(core_.config.metrics_port);
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+}
+
+void Service::metrics_loop() {
+  // Scrapes are rare and the payload is small, so one connection at a
+  // time, answered inline, is plenty — and keeps the endpoint from ever
+  // competing with job traffic for threads.
+  while (!core_.stopping.load()) {
+    Socket socket;
+    try {
+      socket = metrics_listener_.accept_connection();
+    } catch (const SocketError&) {
+      if (core_.stopping.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    if (!socket.valid()) break;  // listener shut down
+    if (core_.stopping.load()) break;
+    try {
+      // Drain the request head; the path is irrelevant — every GET gets
+      // the exposition.
+      LineReader reader(&socket, 64 * 1024);
+      std::string line;
+      while (reader.read_line(&line)) {
+        if (line.empty() || line == "\r") break;
+      }
+      const std::string body = core_.registry.exposition();
+      std::string response =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          body;
+      socket.send_all(response);
+    } catch (const SocketError&) {
+      // A half-closed scraper is its problem, not the daemon's.
+    }
+  }
 }
 
 void Service::accept_loop() {
@@ -53,11 +211,11 @@ void Service::accept_loop() {
     }
     if (!socket.valid()) break;  // listener shut down
     if (core_.stopping.load()) break;
-    core_.connections.fetch_add(1);
+    core_.metrics.connections_total->inc();
     if (core_.config.verbose)
       std::fprintf(stderr, "dvsd: connection #%llu\n",
                    static_cast<unsigned long long>(
-                       core_.connections.load()));
+                       core_.metrics.connections_total->value()));
     std::lock_guard<std::mutex> lock(connections_mutex_);
     reap_finished_locked();
     Connection conn;
@@ -81,6 +239,7 @@ void Service::request_stop() {
   // only async-signal-safe work here (atomics and shutdown()).
   if (core_.stopping.exchange(true)) return;
   listener_.shutdown_listener();
+  metrics_listener_.shutdown_listener();
 }
 
 void Service::wait() {
@@ -102,6 +261,7 @@ void Service::wait() {
 void Service::stop() {
   request_stop();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   // Graceful drain: idle sessions are unblocked immediately, busy ones
   // get to finish — and answer — their in-flight request (a mid-batch
   // client receives every item and the batch_done).  Only stragglers

@@ -34,8 +34,10 @@
 #include "library/library.hpp"
 #include "service/cache.hpp"
 #include "service/disk_cache.hpp"
+#include "support/metrics.hpp"
 #include "support/socket.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dvs {
 
@@ -67,7 +69,40 @@ struct ServiceConfig {
   /// Graceful-drain budget for stop(): sessions get this long to finish
   /// their in-flight request before their sockets are shut down.
   int drain_timeout_ms = 30'000;
+  /// Prometheus scrape endpoint: binds 127.0.0.1:metrics_port and serves
+  /// the registry's text exposition over HTTP (-1 = disabled, 0 =
+  /// kernel-assigned; see Service::metrics_port()).
+  int metrics_port = -1;
+  /// NDJSON trace sink: every optimize/batch_item appends one record
+  /// (id, circuit, cache tier, wall_ms, spans).  Empty = disabled.
+  std::string trace_log_path;
+  /// Log requests slower than this to stderr (0 = disabled).  Implies
+  /// span collection, so the log line can say *where* the time went.
+  double slow_ms = 0.0;
   bool verbose = false;
+};
+
+/// Handles into the registry for the service's registry-native
+/// instruments — the hot-path counters whose only authority IS the
+/// registry (the migrated ServiceCore atomics).  Subsystems with their
+/// own counters (ResultCache, DiskCacheEngine, ThreadPool) are instead
+/// mirrored in by a collector; see ServiceCore::init_metrics.
+struct ServiceMetrics {
+  Counter* requests_total = nullptr;
+  Counter* connections_total = nullptr;
+  Counter* jobs_completed = nullptr;
+  Counter* jobs_failed = nullptr;
+  Counter* overload_rejections = nullptr;
+  Counter* deadline_expired = nullptr;
+  Counter* line_too_long = nullptr;
+  Gauge* sessions_active = nullptr;
+  Gauge* inflight_jobs = nullptr;
+  Gauge* backlog_watermark = nullptr;
+  Histogram* queue_wait_ms = nullptr;
+  Histogram* service_ms_optimize = nullptr;
+  Histogram* service_ms_batch_item = nullptr;
+  Histogram* cache_lookup_memory_ms = nullptr;
+  Histogram* cache_lookup_disk_ms = nullptr;
 };
 
 /// State shared between the server and its sessions.
@@ -75,30 +110,47 @@ struct ServiceCore {
   ServiceConfig config;
   const Library* lib = nullptr;
   std::optional<Library> owned_lib;  // when no library was injected
+
+  /// The observability substrate.  `metrics` holds the registry-native
+  /// handles (request/job/session counters the service increments
+  /// directly); everything with an external authority is mirrored into
+  /// `registry` by the collector that init_metrics registers.  The
+  /// `stats` reply, the `metrics` reply, and the scrape endpoint all
+  /// read through the same registry, so they can never disagree.
+  /// Declared BEFORE the pool: members destroy in reverse order, and
+  /// pool tasks touch these instruments until the pool's destructor has
+  /// joined its workers.
+  MetricsRegistry registry;
+  ServiceMetrics metrics;
+  std::optional<TraceLog> trace_log;  // set when config.trace_log_path
+
   std::optional<ThreadPool> pool;
   std::optional<ResultCache> cache;
   std::optional<DiskCacheEngine> disk;  // set when config.cache_dir is
-  std::atomic<std::uint64_t> jobs_completed{0};
-  std::atomic<std::uint64_t> jobs_failed{0};
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> connections{0};
-  std::atomic<std::uint64_t> sessions_active{0};
   std::atomic<bool> stopping{false};
   std::chrono::steady_clock::time_point started;
   std::function<void()> request_stop;  // set by Service
 
-  /// Jobs submitted to the pool and not yet finished (queued + running),
-  /// across every connection.  The admission gate compares this against
-  /// `backlog_watermark` (resolved from config at construction).
-  std::atomic<std::uint64_t> inflight_jobs{0};
   std::size_t backlog_watermark = 0;
-  std::atomic<std::uint64_t> overload_rejections{0};
-  std::atomic<std::uint64_t> deadline_expired{0};
+
+  /// Creates the native instruments and registers the mirror collector.
+  /// Must run after pool/cache/disk exist and the watermark is resolved.
+  void init_metrics();
+
+  /// True when the request wants spans collected: explicitly via the
+  /// request's "trace" flag, or implicitly because every request feeds
+  /// the trace log / slow-request log.
+  bool want_trace(bool requested) const {
+    return requested || trace_log.has_value() || config.slow_ms > 0;
+  }
 
   /// Admission gate for new optimize/batch requests.  A saturated pool
   /// answers `false` immediately — callers reply with a structured
   /// "overloaded" error instead of queuing unboundedly.
-  bool admit() const { return inflight_jobs.load() < backlog_watermark; }
+  bool admit() const {
+    return metrics.inflight_jobs->value() <
+           static_cast<double>(backlog_watermark);
+  }
 
   /// Library::fingerprint is a pure function of the (immutable) library;
   /// computed once at startup instead of per request.
@@ -138,6 +190,9 @@ class Service {
   /// Bound TCP port (after start(); 0 for Unix-domain sockets).
   int port() const { return listener_.port(); }
 
+  /// Bound metrics-endpoint port (after start(); 0 when disabled).
+  int metrics_port() const { return metrics_listener_.port(); }
+
   /// Blocks until request_stop() (from a signal handler, a `shutdown`
   /// request, or another thread).
   void wait();
@@ -158,14 +213,18 @@ class Service {
     return core_.disk ? core_.disk->stats() : DiskCacheStats{};
   }
   const ServiceCore& core() const { return core_; }
+  ServiceCore& core() { return core_; }
 
  private:
   void accept_loop();
+  void metrics_loop();
   void reap_finished_locked();
 
   ServiceCore core_;
   ListenSocket listener_;
   std::thread accept_thread_;
+  ListenSocket metrics_listener_;
+  std::thread metrics_thread_;
 
   struct Connection {
     std::unique_ptr<Session> session;

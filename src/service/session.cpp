@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <future>
 #include <memory>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "opt/pipeline.hpp"
 #include "service/server.hpp"
 #include "support/rng.hpp"
+#include "support/version.hpp"
 #include "synth/mapper.hpp"
 #include "synth/sweep.hpp"
 
@@ -30,6 +32,31 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Slow-request stderr line and NDJSON trace-log record for one finished
+/// request (optimize or batch item).
+void emit_trace_record(ServiceCore& core, const char* type, const Json& id,
+                       const std::string& name, const char* cache,
+                       double wall_ms, const RequestTrace& trace) {
+  if (core.config.slow_ms > 0 && wall_ms >= core.config.slow_ms)
+    std::fprintf(stderr, "dvsd: slow %s '%s': %.1f ms (cache=%s)\n", type,
+                 name.c_str(), wall_ms, cache);
+  if (core.trace_log) {
+    Json::Object record;
+    record["type"] = Json(type);
+    record["id"] = id;
+    record["name"] = Json(name);
+    record["cache"] = Json(cache);
+    record["wall_ms"] = Json(wall_ms);
+    record["spans"] = trace.json();
+    core.trace_log->write(Json(std::move(record)));
+  }
+}
+
 bool fully_mapped(const Network& net) {
   bool mapped = true;
   net.for_each_gate([&](const Node& n) {
@@ -40,7 +67,8 @@ bool fully_mapped(const Network& net) {
 
 std::string overloaded_message(const ServiceCore& core) {
   return "overloaded: " +
-         std::to_string(core.inflight_jobs.load()) +
+         std::to_string(static_cast<std::uint64_t>(
+             core.metrics.inflight_jobs->value())) +
          " jobs in flight at watermark " +
          std::to_string(core.backlog_watermark) +
          "; retry later or lower the request rate";
@@ -181,7 +209,8 @@ Json metrics_json(const Design& design) {
 }
 
 /// Runs the job's pipeline cells and assembles the response body object.
-std::string compute_body(const OptimizeRequest& request, ResolvedJob& job) {
+std::string compute_body(const OptimizeRequest& request, ResolvedJob& job,
+                         RequestTrace* trace) {
   const Library& lib = job.library();
   const Network& circuit = job.network();
   // Shared columns (tspec, original power) run off the derived circuit
@@ -193,6 +222,15 @@ std::string compute_body(const OptimizeRequest& request, ResolvedJob& job) {
       run_pipeline_job(circuit, lib, base,
                        build_job_cells(request, job.circuit_seed),
                        /*capture_designs=*/true);
+
+  if (trace) {
+    // Depth-1 detail spans inside the execute phase: one per executed
+    // pass, named after its cell so hybrid pipelines stay readable.
+    for (const JobCellResult& cell : result.cells)
+      for (const PassStats& stats : cell.run.passes)
+        trace->add("pass:" + cell.label + "/" + stats.pass, stats.wall_start,
+                   stats.wall_end, /*depth=*/1);
+  }
 
   bool with_cvs = false, with_dscale = false, with_gscale = false;
   for (const JobCellResult& cell : result.cells) {
@@ -254,29 +292,57 @@ const char* cache_tier_name(OptimizeOutcome::Tier tier) {
 }
 
 OptimizeOutcome execute_optimize(ServiceCore& core,
-                                 const OptimizeRequest& request) {
+                                 const OptimizeRequest& request,
+                                 RequestTrace* trace) {
+  // Phase timestamps: each phase starts where the previous one ended, so
+  // the spans tile the execution window and their sum tracks wall time.
+  using Clock = std::chrono::steady_clock;
+  const auto finish = [](OptimizeOutcome out) {
+    out.finished = Clock::now();
+    return out;
+  };
+  Clock::time_point mark = Clock::now();
   ResolvedJob job = resolve(core, request);
+  Clock::time_point t = Clock::now();
+  if (trace) trace->add("resolve", mark, t);
+  mark = t;
   if (request.use_cache) {
-    if (ResultCache::Payload payload = core.cache->get(job.key))
-      return {std::move(payload), OptimizeOutcome::Tier::kMemory};
+    ResultCache::Payload payload = core.cache->get(job.key);
+    t = Clock::now();
+    core.metrics.cache_lookup_memory_ms->observe(ms_between(mark, t));
+    if (payload) {
+      if (trace) trace->add("cache_lookup", mark, t);
+      return finish({std::move(payload), OptimizeOutcome::Tier::kMemory});
+    }
     if (core.disk) {
-      if (ResultCache::Payload payload = core.disk->load(job.key)) {
+      const Clock::time_point disk_start = t;
+      payload = core.disk->load(job.key);
+      t = Clock::now();
+      core.metrics.cache_lookup_disk_ms->observe(ms_between(disk_start, t));
+      if (payload) {
         // Promote-on-hit: the disk answer becomes resident so repeats
         // pay memory-tier latency (no disk write — it is already there).
         core.cache->put(job.key, payload);
-        return {std::move(payload), OptimizeOutcome::Tier::kDisk};
+        if (trace) trace->add("cache_lookup", mark, Clock::now());
+        return finish({std::move(payload), OptimizeOutcome::Tier::kDisk});
       }
     }
+    if (trace) trace->add("cache_lookup", mark, t);
+    mark = t;
   }
   // An explicit cache bypass still warms both tiers below; only the
   // lookups are skipped.
   OptimizeOutcome outcome;
   outcome.body = std::make_shared<const std::string>(
-      compute_body(request, job));
+      compute_body(request, job, trace));
   outcome.tier = OptimizeOutcome::Tier::kMiss;
+  t = Clock::now();
+  if (trace) trace->add("execute", mark, t);
+  mark = t;
   core.cache->put(job.key, outcome.body);
   if (core.disk) core.disk->store(job.key, outcome.body);
-  return outcome;
+  if (trace) trace->add("store", mark, Clock::now());
+  return finish(std::move(outcome));
 }
 
 Session::Session(ServiceCore* core, Socket socket)
@@ -300,7 +366,7 @@ void Session::write_line(const std::string& line) {
 }
 
 void Session::run() {
-  core_->sessions_active.fetch_add(1);
+  core_->metrics.sessions_active->add(1);
   LineReader reader(&socket_, core_->config.max_line_bytes);
   std::string line;
   try {
@@ -311,6 +377,7 @@ void Session::run() {
         // Tell the client why before dropping the connection (the
         // unread remainder of the oversized line makes resync
         // impossible, so the error-containment contract ends here).
+        core_->metrics.line_too_long->inc();
         write_line(error_response(Json(), e.what(), "line_too_long"));
         break;
       }
@@ -334,12 +401,13 @@ void Session::run() {
   // The fd itself is reclaimed when the server reaps this session; the
   // shutdown gives the client its EOF *now* instead of at reap time.
   socket_.shutdown_both();
-  core_->sessions_active.fetch_sub(1);
+  core_->metrics.sessions_active->add(-1);
   finished_.store(true);
 }
 
 bool Session::serve_line(const std::string& line) {
-  core_->requests.fetch_add(1);
+  const auto received = std::chrono::steady_clock::now();
+  core_->metrics.requests_total->inc();
   Request request;
   try {
     request = parse_request(line);
@@ -347,19 +415,22 @@ bool Session::serve_line(const std::string& line) {
     write_line(error_response(Json(), e.what()));
     return false;
   }
+  const auto parsed = std::chrono::steady_clock::now();
   try {
-    handle(request);
+    handle(request, received, parsed);
   } catch (const ProtocolError& e) {
-    core_->jobs_failed.fetch_add(1);
+    core_->metrics.jobs_failed->inc();
     write_line(error_response(request.id, e.what(), e.code()));
   } catch (const std::exception& e) {
-    core_->jobs_failed.fetch_add(1);
+    core_->metrics.jobs_failed->inc();
     write_line(error_response(request.id, e.what()));
   }
   return request.type == RequestType::kShutdown;
 }
 
-void Session::handle(const Request& request) {
+void Session::handle(const Request& request,
+                     std::chrono::steady_clock::time_point received,
+                     std::chrono::steady_clock::time_point parsed) {
   switch (request.type) {
     case RequestType::kPing:
       write_line(finish_response(response_head("pong", request.id)));
@@ -367,17 +438,26 @@ void Session::handle(const Request& request) {
     case RequestType::kStats:
       handle_stats(request);
       break;
+    case RequestType::kMetrics:
+      handle_metrics(request);
+      break;
     case RequestType::kShutdown:
       write_line(finish_response(response_head("bye", request.id)));
       core_->request_stop();
       break;
     case RequestType::kOptimize:
-      handle_optimize(request);
+      handle_optimize(request, received, parsed);
       break;
     case RequestType::kBatch:
       handle_batch(request);
       break;
   }
+}
+
+void Session::handle_metrics(const Request& request) {
+  Json::Object fields = response_head("metrics", request.id);
+  fields["text"] = Json(core_->registry.exposition());
+  write_line(finish_response(std::move(fields)));
 }
 
 void Session::handle_stats(const Request& request) {
@@ -403,41 +483,67 @@ void Session::handle_stats(const Request& request) {
   disk_json["write_errors"] = Json(disk.write_errors);
   disk_json["bytes_written"] = Json(disk.bytes_written);
   fields["disk"] = Json(std::move(disk_json));
+  const ServiceMetrics& m = core_->metrics;
+  const ThreadPoolStats pool_stats = core_->pool->stats();
   Json::Object pool;
-  pool["threads"] = Json(core_->pool->num_threads());
-  pool["depth"] = Json(core_->pool->pending());
-  pool["inflight"] = Json(core_->inflight_jobs.load());
+  pool["threads"] = Json(pool_stats.threads);
+  pool["depth"] = Json(pool_stats.pending);
+  pool["peak_depth"] = Json(pool_stats.peak_pending);
+  pool["tasks_executed"] = Json(pool_stats.tasks_executed);
+  pool["inflight"] =
+      Json(static_cast<std::uint64_t>(m.inflight_jobs->value()));
   pool["watermark"] =
       Json(static_cast<std::uint64_t>(core_->backlog_watermark));
-  pool["overload_rejections"] = Json(core_->overload_rejections.load());
-  pool["deadline_expired"] = Json(core_->deadline_expired.load());
+  pool["overload_rejections"] = Json(m.overload_rejections->value());
+  pool["deadline_expired"] = Json(m.deadline_expired->value());
   fields["pool"] = Json(std::move(pool));
   Json::Object sessions;
-  sessions["active"] = Json(core_->sessions_active.load());
-  sessions["total"] = Json(core_->connections.load());
+  sessions["active"] =
+      Json(static_cast<std::uint64_t>(m.sessions_active->value()));
+  sessions["total"] = Json(m.connections_total->value());
+  sessions["line_too_long"] = Json(m.line_too_long->value());
   fields["sessions"] = Json(std::move(sessions));
   Json::Object jobs;
-  jobs["completed"] = Json(core_->jobs_completed.load());
-  jobs["failed"] = Json(core_->jobs_failed.load());
+  jobs["completed"] = Json(m.jobs_completed->value());
+  jobs["failed"] = Json(m.jobs_failed->value());
   fields["jobs"] = Json(std::move(jobs));
-  fields["requests"] = Json(core_->requests.load());
-  fields["connections"] = Json(core_->connections.load());
-  fields["threads"] = Json(core_->pool->num_threads());
-  fields["uptime_seconds"] =
-      Json(std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - core_->started)
-               .count());
+  // `requests` predates `requests_total`; both stay so old tooling keeps
+  // working, and `requests_total` is the documented monotonic spelling
+  // (a restart is visible as the counter falling together with uptime).
+  fields["requests"] = Json(m.requests_total->value());
+  fields["requests_total"] = Json(m.requests_total->value());
+  fields["connections"] = Json(m.connections_total->value());
+  fields["threads"] = Json(pool_stats.threads);
+  fields["version"] = Json(kDvsVersion);
+  const double uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    core_->started)
+          .count();
+  fields["uptime_seconds"] = Json(uptime_seconds);
+  fields["uptime_ms"] = Json(uptime_seconds * 1e3);
   write_line(finish_response(std::move(fields)));
 }
 
-void Session::handle_optimize(const Request& request) {
-  const auto start = std::chrono::steady_clock::now();
+void Session::handle_optimize(const Request& request,
+                              std::chrono::steady_clock::time_point received,
+                              std::chrono::steady_clock::time_point parsed) {
+  using Clock = std::chrono::steady_clock;
+  // The trace epoch is the moment the request line arrived; wall_ms is
+  // measured from the same instant, so the depth-0 phase spans tile the
+  // reported wall time by construction.
+  std::shared_ptr<RequestTrace> trace;
+  if (core_->want_trace(request.optimize.trace)) {
+    trace = std::make_shared<RequestTrace>(received);
+    trace->add("parse", received, parsed);
+  }
   if (!core_->admit()) {
-    core_->overload_rejections.fetch_add(1);
+    core_->metrics.overload_rejections->inc();
     write_line(error_response(request.id, overloaded_message(*core_),
                               "overloaded"));
     return;
   }
+  const Clock::time_point admitted = Clock::now();
+  if (trace) trace->add("admission", parsed, admitted);
   // The flow runs on the shared pool so concurrent connections share
   // the worker budget; this session thread just waits for its result.
   auto promise = std::make_shared<std::promise<OptimizeOutcome>>();
@@ -447,37 +553,51 @@ void Session::handle_optimize(const Request& request) {
   // with the pool task instead of captured by value a second time.
   auto job = std::make_shared<const OptimizeRequest>(request.optimize);
   const std::uint64_t deadline_ms = request.optimize.deadline_ms;
-  core_->inflight_jobs.fetch_add(1);
-  core_->pool->submit([core, job, promise, start, deadline_ms]() {
+  core_->metrics.inflight_jobs->add(1);
+  core_->pool->submit([core, job, promise, received, admitted, deadline_ms,
+                       trace]() {
+    const Clock::time_point dequeued = Clock::now();
+    core->metrics.queue_wait_ms->observe(ms_between(admitted, dequeued));
+    if (trace) trace->add("queue_wait", admitted, dequeued);
     // Deadline honored at dequeue: a job whose budget burned away in
     // the queue fails fast instead of occupying a worker late.
-    if (deadline_ms > 0 && ms_since(start) > deadline_ms) {
-      core->deadline_expired.fetch_add(1);
+    if (deadline_ms > 0 && ms_since(received) > deadline_ms) {
+      core->metrics.deadline_expired->inc();
       promise->set_exception(std::make_exception_ptr(ProtocolError(
           deadline_message(deadline_ms), "deadline_exceeded")));
     } else {
       try {
-        promise->set_value(execute_optimize(*core, *job));
+        promise->set_value(execute_optimize(*core, *job, trace.get()));
       } catch (...) {
         promise->set_exception(std::current_exception());
       }
     }
-    core->inflight_jobs.fetch_sub(1);
+    core->metrics.inflight_jobs->add(-1);
   });
   const OptimizeOutcome outcome = future.get();  // rethrows job errors
-  core_->jobs_completed.fetch_add(1);
+  core_->metrics.jobs_completed->inc();
 
+  const Clock::time_point done = Clock::now();
+  if (trace) trace->add("respond", outcome.finished, done);
+  const double wall_ms = ms_between(received, done);
+  core_->metrics.service_ms_optimize->observe(wall_ms);
   Json::Object fields = response_head("result", request.id);
   fields["cache"] = Json(cache_tier_name(outcome.tier));
-  fields["wall_ms"] = Json(ms_since(start));
+  fields["wall_ms"] = Json(wall_ms);
+  if (trace && request.optimize.trace) fields["trace"] = trace->json();
   write_line(finish_response_with_body(std::move(fields), *outcome.body));
+  if (trace)
+    emit_trace_record(*core_, "optimize", request.id,
+                      job->circuit.empty() ? "<inline>" : job->circuit,
+                      cache_tier_name(outcome.tier), wall_ms, *trace);
 }
 
 void Session::handle_batch(const Request& request) {
   const auto start = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
   const BatchRequest& batch = request.batch;
   if (!core_->admit()) {
-    core_->overload_rejections.fetch_add(1);
+    core_->metrics.overload_rejections->inc();
     write_line(error_response(request.id, overloaded_message(*core_),
                               "overloaded"));
     return;
@@ -512,6 +632,8 @@ void Session::handle_batch(const Request& request) {
 
   ServiceCore* core = core_;
   const std::uint64_t deadline_ms = batch.deadline_ms;
+  const bool tracing = core_->want_trace(batch.trace);
+  const bool wire_trace = batch.trace;
   const auto submit_item = [&](std::size_t i) {
     OptimizeRequest item;
     item.circuit = names[i];
@@ -521,16 +643,27 @@ void Session::handle_batch(const Request& request) {
     item.pipeline = batch.pipeline;
     item.options = batch.options;
     item.use_cache = batch.use_cache;
-    core_->inflight_jobs.fetch_add(1);
-    core_->pool->submit([this, core, progress, item, i, start,
-                         deadline_ms, id = request.id]() {
-      const auto item_start = std::chrono::steady_clock::now();
+    core_->metrics.inflight_jobs->add(1);
+    // Each item's trace epoch — and its wall_ms — is its submission
+    // time, so the item's queue_wait/execute spans tile its wall time
+    // even though items stream back out of order.
+    const Clock::time_point submitted = Clock::now();
+    core_->pool->submit([this, core, progress, item, i, start, submitted,
+                         deadline_ms, tracing, wire_trace,
+                         id = request.id]() {
+      const Clock::time_point dequeued = Clock::now();
+      core->metrics.queue_wait_ms->observe(ms_between(submitted, dequeued));
+      std::optional<RequestTrace> trace;
+      if (tracing) {
+        trace.emplace(submitted);
+        trace->add("queue_wait", submitted, dequeued);
+      }
       std::string line;
       if (deadline_ms > 0 && ms_since(start) > deadline_ms) {
         // The batch's per-item dequeue budget, measured from batch
         // arrival: late items fail fast instead of running stale.
-        core->deadline_expired.fetch_add(1);
-        core->jobs_failed.fetch_add(1);
+        core->metrics.deadline_expired->inc();
+        core->metrics.jobs_failed->inc();
         progress->failed.fetch_add(1);
         Json::Object fields = response_head("batch_item", id);
         fields["index"] = Json(static_cast<std::uint64_t>(i));
@@ -540,18 +673,28 @@ void Session::handle_batch(const Request& request) {
         line = finish_response(std::move(fields));
       } else {
         try {
-          const OptimizeOutcome outcome = execute_optimize(*core, item);
-          core->jobs_completed.fetch_add(1);
+          const OptimizeOutcome outcome =
+              execute_optimize(*core, item, trace ? &*trace : nullptr);
+          core->metrics.jobs_completed->inc();
           if (outcome.cache_hit()) progress->hits.fetch_add(1);
+          const Clock::time_point done = Clock::now();
+          if (trace) trace->add("respond", outcome.finished, done);
+          const double wall_ms = ms_between(submitted, done);
+          core->metrics.service_ms_batch_item->observe(wall_ms);
           Json::Object fields = response_head("batch_item", id);
           fields["index"] = Json(static_cast<std::uint64_t>(i));
           fields["name"] = Json(item.circuit);
           fields["cache"] = Json(cache_tier_name(outcome.tier));
-          fields["wall_ms"] = Json(ms_since(item_start));
+          fields["wall_ms"] = Json(wall_ms);
+          if (trace && wire_trace) fields["trace"] = trace->json();
           line =
               finish_response_with_body(std::move(fields), *outcome.body);
+          if (trace)
+            emit_trace_record(*core, "batch_item", id, item.circuit,
+                              cache_tier_name(outcome.tier), wall_ms,
+                              *trace);
         } catch (const std::exception& e) {
-          core->jobs_failed.fetch_add(1);
+          core->metrics.jobs_failed->inc();
           progress->failed.fetch_add(1);
           Json::Object fields = response_head("batch_item", id);
           fields["index"] = Json(static_cast<std::uint64_t>(i));
@@ -565,7 +708,7 @@ void Session::handle_batch(const Request& request) {
       } catch (const SocketError&) {
         // Client went away mid-stream; keep draining the batch.
       }
-      core->inflight_jobs.fetch_sub(1);
+      core->metrics.inflight_jobs->add(-1);
       {
         std::lock_guard<std::mutex> lock(progress->mutex);
         ++progress->completed;

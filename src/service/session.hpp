@@ -19,12 +19,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "service/protocol.hpp"
 #include "support/socket.hpp"
+#include "support/trace.hpp"
 
 namespace dvs {
 
@@ -39,6 +41,9 @@ struct OptimizeOutcome {
 
   std::shared_ptr<const std::string> body;
   Tier tier = Tier::kMiss;
+  /// When execute_optimize returned — the start of the caller's
+  /// "respond" trace span (future wake-up + serialization + send).
+  std::chrono::steady_clock::time_point finished{};
 
   bool cache_hit() const { return tier != Tier::kMiss; }
 };
@@ -50,9 +55,12 @@ const char* cache_tier_name(OptimizeOutcome::Tier tier);
 /// hash it, consult both cache tiers, run the flow on a miss, store the
 /// body (memory + write-behind disk).  Throws on invalid requests;
 /// never mutates connection state (shared by the optimize path, batch
-/// items, the in-process bench, and tests).
+/// items, the in-process bench, and tests).  With a non-null `trace`,
+/// appends the resolve / cache_lookup / execute / store phase spans plus
+/// depth-1 per-pass spans; always records the cache-lookup histograms.
 OptimizeOutcome execute_optimize(ServiceCore& core,
-                                 const OptimizeRequest& request);
+                                 const OptimizeRequest& request,
+                                 RequestTrace* trace = nullptr);
 
 class Session {
  public:
@@ -77,10 +85,16 @@ class Session {
   bool serve_line(const std::string& line);
 
   void write_line(const std::string& line);
-  void handle(const Request& request);
-  void handle_optimize(const Request& request);
+  /// `received`/`parsed` bracket parse_request — the first trace phase.
+  void handle(const Request& request,
+              std::chrono::steady_clock::time_point received,
+              std::chrono::steady_clock::time_point parsed);
+  void handle_optimize(const Request& request,
+                       std::chrono::steady_clock::time_point received,
+                       std::chrono::steady_clock::time_point parsed);
   void handle_batch(const Request& request);
   void handle_stats(const Request& request);
+  void handle_metrics(const Request& request);
 
   ServiceCore* core_;
   Socket socket_;

@@ -1,0 +1,257 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+#include "support/json.hpp"
+
+namespace dvs {
+
+void Gauge::add(double d) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  DVS_EXPECTS(bounds == other.bounds);
+  DVS_ASSERT(counts.size() == other.counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= rank) {
+      if (i >= bounds.size()) {
+        // Overflow bucket has no finite upper edge; clamp to the last bound.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = (i == 0) ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (rank - cum) / in_bucket;
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DVS_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double growth,
+                                                  int count) {
+  DVS_EXPECTS(start > 0 && growth > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= growth;
+  }
+  return bounds;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_label_set(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out += ",";
+    out += sorted[i].first;
+    out += "=\"";
+    out += escape_label_value(sorted[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<double> MetricsRegistry::default_latency_bounds_ms() {
+  // 0.001 ms … ~67 s in powers of two: fine enough near typical cache-hit
+  // latencies, wide enough for multi-second cold batches.
+  return Histogram::exponential_bounds(0.001, 2.0, 27);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(const std::string& name) {
+  return shards_[fnv1a64(name) % kShards];
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::instrument(
+    const std::string& name, const std::string& help, Kind kind,
+    const MetricLabels& labels) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [fit, inserted] = shard.families.try_emplace(name);
+  Family& family = fit->second;
+  if (inserted) {
+    family.help = help;
+    family.kind = kind;
+  } else if (family.kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' re-registered as a different instrument kind");
+  }
+  auto [iit, _] = family.instruments.try_emplace(render_label_set(labels));
+  return iit->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const MetricLabels& labels) {
+  Shard& shard = shard_for(name);
+  Instrument& inst = instrument(name, help, Kind::kCounter, labels);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const MetricLabels& labels) {
+  Shard& shard = shard_for(name);
+  Instrument& inst = instrument(name, help, Kind::kGauge, labels);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const MetricLabels& labels,
+                                      std::vector<double> bounds) {
+  Shard& shard = shard_for(name);
+  Instrument& inst = instrument(name, help, Kind::kHistogram, labels);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (!inst.histogram) inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *inst.histogram;
+}
+
+void MetricsRegistry::register_collector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  collectors_.push_back(std::move(fn));
+}
+
+void MetricsRegistry::collect() {
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard<std::mutex> lock(collectors_mutex_);
+    fns = collectors_;
+  }
+  for (const auto& fn : fns) fn();
+}
+
+namespace {
+
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return shortest_double_spelling(v);
+}
+
+std::string splice_label(const std::string& rendered, const std::string& extra) {
+  // Inserts an extra `k="v"` pair into an already-rendered label set.
+  if (rendered.empty()) return "{" + extra + "}";
+  std::string out = rendered;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::exposition() {
+  collect();
+  // Families are gathered shard by shard into a name-sorted map so the
+  // output order is independent of the shard hash.
+  std::map<std::string, std::string> chunks;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, family] : shard.families) {
+      std::string& out = chunks[name];
+      out += "# HELP " + name + " " + family.help + "\n";
+      const char* type = family.kind == Kind::kCounter   ? "counter"
+                         : family.kind == Kind::kGauge   ? "gauge"
+                                                         : "histogram";
+      out += "# TYPE " + name + " " + std::string(type) + "\n";
+      for (const auto& [label_set, inst] : family.instruments) {
+        switch (family.kind) {
+          case Kind::kCounter:
+            if (!inst.counter) continue;
+            out += name + label_set + " " + std::to_string(inst.counter->value()) + "\n";
+            break;
+          case Kind::kGauge:
+            if (!inst.gauge) continue;
+            out += name + label_set + " " + format_value(inst.gauge->value()) + "\n";
+            break;
+          case Kind::kHistogram: {
+            if (!inst.histogram) continue;
+            const HistogramSnapshot snap = inst.histogram->snapshot();
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+              cum += snap.counts[i];
+              const std::string le =
+                  i < snap.bounds.size() ? format_value(snap.bounds[i]) : "+Inf";
+              out += name + "_bucket" +
+                     splice_label(label_set, "le=\"" + le + "\"") + " " +
+                     std::to_string(cum) + "\n";
+            }
+            out += name + "_sum" + label_set + " " + format_value(snap.sum) + "\n";
+            out += name + "_count" + label_set + " " + std::to_string(snap.count) + "\n";
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::string text;
+  for (const auto& [name, chunk] : chunks) text += chunk;
+  return text;
+}
+
+}  // namespace dvs

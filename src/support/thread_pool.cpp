@@ -43,6 +43,7 @@ void ThreadPool::submit(std::function<void()> task) {
                            : (next_victim_++ % num_threads());
     workers_[target].deque.push_back(std::move(task));
     ++pending_;
+    if (pending_ > peak_pending_) peak_pending_ = pending_;
   }
   work_available_.notify_one();
 }
@@ -77,6 +78,7 @@ void ThreadPool::worker_loop(int self) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --pending_;
+      ++tasks_executed_;
       DVS_ASSERT(pending_ >= 0);
       if (pending_ == 0) idle_.notify_all();
     }
@@ -95,6 +97,16 @@ void ThreadPool::wait_idle() {
 int ThreadPool::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_;
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadPoolStats out;
+  out.threads = num_threads();
+  out.pending = pending_;
+  out.peak_pending = peak_pending_;
+  out.tasks_executed = tasks_executed_;
+  return out;
 }
 
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {

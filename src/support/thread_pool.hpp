@@ -12,6 +12,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -19,6 +20,15 @@
 #include <vector>
 
 namespace dvs {
+
+/// A consistent snapshot of the pool's load counters, taken under the pool
+/// mutex so `pending <= peak_pending` always holds.
+struct ThreadPoolStats {
+  int threads = 0;
+  int pending = 0;                  // queued + running right now
+  int peak_pending = 0;             // high-water mark of `pending`
+  std::uint64_t tasks_executed = 0; // tasks finished since construction
+};
 
 class ThreadPool {
  public:
@@ -36,6 +46,9 @@ class ThreadPool {
   /// Tasks submitted but not yet finished (queued + running) — the
   /// pool-depth signal behind the service's `stats` report.
   int pending() const;
+
+  /// Load counters (current depth, peak depth, total tasks retired).
+  ThreadPoolStats stats() const;
 
   /// Enqueues a task.  Safe to call from any thread, including from inside
   /// a running task (the task lands on the calling worker's own deque).
@@ -65,6 +78,8 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable idle_;
   int pending_ = 0;       // submitted but not yet finished
+  int peak_pending_ = 0;  // high-water mark of pending_
+  std::uint64_t tasks_executed_ = 0;  // tasks retired by worker_loop
   int next_victim_ = 0;   // round-robin submission cursor
   bool stopping_ = false;
 };

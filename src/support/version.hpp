@@ -1,0 +1,12 @@
+#pragma once
+
+// Single source of truth for the build version reported by `stats`,
+// `dvsd_build_info`, and client banners. Bump when the wire protocol or
+// report schema changes in a way operators should be able to see from a
+// scrape.
+
+namespace dvs {
+
+inline constexpr const char kDvsVersion[] = "0.7.0";
+
+}  // namespace dvs

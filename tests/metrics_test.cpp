@@ -1,0 +1,245 @@
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/trace.hpp"
+
+namespace dvs {
+namespace {
+
+// ---- histogram bucket math ----------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1.0
+  h.observe(1.0);  // le semantics: lands in the 1.0 bucket, not 2.0
+  h.observe(1.5);  // <= 2.0
+  h.observe(4.0);  // <= 4.0
+  h.observe(9.0);  // +Inf overflow
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);  // + overflow slot
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(HistogramTest, MergeAddsBucketsCountsAndSums) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  a.observe(0.5);
+  a.observe(5.0);
+  b.observe(5.0);
+  b.observe(50.0);
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 2u);
+  EXPECT_EQ(merged.counts[2], 1u);
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_DOUBLE_EQ(merged.sum, 60.5);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideTheBucket) {
+  // 4 observations spread one per bucket of {1,2,3,4}: the empirical
+  // distribution is uniform over the buckets, so the median rank (2 of 4)
+  // is reached exactly at the end of the second bucket.
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(2.5);
+  h.observe(3.5);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 2.0);
+  // q=0.25 needs rank 1, reached at the end of bucket [0,1].
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 1.0);
+  // q=0.375 is halfway into the second bucket (rank 1.5 of the 1
+  // observation living in (1,2]): linear interpolation gives 1.5.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.375), 1.5);
+  // Everything past the last finite bound clamps to it.
+  Histogram overflow({1.0});
+  overflow.observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.snapshot().quantile(0.99), 1.0);
+  // Empty histogram reports 0.
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).snapshot().quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExponentialBoundsGrowGeometrically) {
+  const std::vector<double> bounds =
+      Histogram::exponential_bounds(0.5, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.5);
+  EXPECT_DOUBLE_EQ(bounds[1], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 4.0);
+  const std::vector<double> defaults =
+      MetricsRegistry::default_latency_bounds_ms();
+  ASSERT_FALSE(defaults.empty());
+  for (std::size_t i = 1; i < defaults.size(); ++i)
+    EXPECT_GT(defaults[i], defaults[i - 1]);
+}
+
+// ---- exposition format ---------------------------------------------------
+
+TEST(MetricsTest, EscapesLabelValues) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("line\nbreak"), "line\\nbreak");
+}
+
+TEST(MetricsTest, RendersLabelSetsSorted) {
+  EXPECT_EQ(render_label_set({}), "");
+  EXPECT_EQ(render_label_set({{"zeta", "1"}, {"alpha", "2"}}),
+            "{alpha=\"2\",zeta=\"1\"}");
+}
+
+TEST(MetricsTest, CounterAndGaugeExposition) {
+  MetricsRegistry registry;
+  registry.counter("test_requests_total", "requests served").inc(3);
+  registry.gauge("test_depth", "queue depth").set(2.5);
+  registry
+      .counter("test_requests_total", "requests served",
+               {{"tier", "disk"}})
+      .inc();
+  const std::string text = registry.exposition();
+  EXPECT_NE(text.find("# HELP test_requests_total requests served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_requests_total{tier=\"disk\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("test_depth 2.5\n"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramExpositionIsCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("test_lat_ms", "latency", {}, {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+  const std::string text = registry.exposition();
+  EXPECT_NE(text.find("# TYPE test_lat_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_ms_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_ms_sum 12\n"), std::string::npos);
+  EXPECT_NE(text.find("test_lat_ms_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsTest, SameNameAndLabelsReturnTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test_total", "help");
+  Counter& b = registry.counter("test_total", "help");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled =
+      registry.counter("test_total", "help", {{"k", "v"}});
+  EXPECT_NE(&a, &labeled);
+  EXPECT_THROW(registry.gauge("test_total", "help"), std::logic_error);
+}
+
+TEST(MetricsTest, CollectorsRunBeforeExposition) {
+  MetricsRegistry registry;
+  Gauge& mirrored = registry.gauge("test_mirror", "mirrored value");
+  int source = 0;
+  registry.register_collector([&] {
+    mirrored.set(static_cast<double>(source));
+  });
+  source = 41;
+  EXPECT_NE(registry.exposition().find("test_mirror 41\n"),
+            std::string::npos);
+  source = 42;
+  EXPECT_NE(registry.exposition().find("test_mirror 42\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test_conc_total", "x");
+  Histogram& hist =
+      registry.histogram("test_conc_ms", "x", {}, {1.0, 2.0, 4.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        counter.inc();
+        hist.observe(static_cast<double>(i % 5));
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), 40000u);
+  EXPECT_EQ(hist.snapshot().count, 40000u);
+}
+
+// ---- request traces ------------------------------------------------------
+
+TEST(TraceTest, SpansSortByStartEvenWhenAddedOutOfOrder) {
+  const auto epoch = RequestTrace::Clock::now();
+  RequestTrace trace(epoch);
+  using std::chrono::milliseconds;
+  // Appended in completion order (out of order), as batch workers do.
+  trace.add("execute", epoch + milliseconds(10), epoch + milliseconds(30));
+  trace.add("queue_wait", epoch, epoch + milliseconds(10));
+  trace.add("pass:cvs", epoch + milliseconds(12), epoch + milliseconds(20),
+            1);
+  trace.add("respond", epoch + milliseconds(30), epoch + milliseconds(31));
+  const std::vector<TraceSpan> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "queue_wait");
+  EXPECT_EQ(spans[1].name, "execute");
+  EXPECT_EQ(spans[2].name, "pass:cvs");
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_EQ(spans[3].name, "respond");
+  // Depth-0 phases tile the request: their durations sum to the wall.
+  EXPECT_NEAR(trace.phase_total_ms(), 31.0, 1e-6);
+  const Json json = trace.json();
+  ASSERT_EQ(json.as_array().size(), 4u);
+  EXPECT_EQ(json.as_array()[0].find("name")->as_string(), "queue_wait");
+  EXPECT_NEAR(json.as_array()[1].find("dur_ms")->as_double(), 20.0, 1e-6);
+}
+
+TEST(TraceTest, TraceLogWritesOneJsonRecordPerLine) {
+  const std::string path = ::testing::TempDir() + "trace_log_test.ndjson";
+  std::remove(path.c_str());
+  {
+    TraceLog log(path);
+    Json::Object record;
+    record["type"] = Json("optimize");
+    record["wall_ms"] = Json(1.5);
+    log.write(Json(std::move(record)));
+    Json::Object second;
+    second["type"] = Json("batch_item");
+    log.write(Json(std::move(second)));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> types;
+  while (std::getline(in, line))
+    types.push_back(Json::parse(line).find("type")->as_string());
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], "optimize");
+  EXPECT_EQ(types[1], "batch_item");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dvs

@@ -5,7 +5,9 @@
 // and shutdown.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <set>
 #include <string>
@@ -19,6 +21,7 @@
 #include "service/server.hpp"
 #include "support/json.hpp"
 #include "support/socket.hpp"
+#include "support/version.hpp"
 
 namespace dvs {
 namespace {
@@ -43,6 +46,23 @@ const char* kDemoBlif = R"(.model demo
 11 1
 .end
 )";
+
+/// Value of one exposition series in a metrics dump. `series` must be
+/// the exact line prefix, labels included (e.g. "dvsd_requests_total" or
+/// "dvsd_cache_hits_total{tier=\"memory\"}"). Returns -1 when absent.
+double metric_value(const std::string& text, const std::string& series) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol - pos > series.size() &&
+        text.compare(pos, series.size(), series) == 0 &&
+        text[pos + series.size()] == ' ')
+      return std::atof(text.c_str() + pos + series.size() + 1);
+    pos = eol + 1;
+  }
+  return -1.0;
+}
 
 /// A connected test client speaking NDJSON.
 class Client {
@@ -116,6 +136,13 @@ class ServiceTest : public ::testing::Test {
     return stats;
   }
 
+  /// One `metrics` round trip: the Prometheus exposition text.
+  std::string fetch_metrics() {
+    Client observer(port());
+    observer.send(R"({"type":"metrics"})");
+    return observer.recv().find("text")->as_string();
+  }
+
   std::optional<Service> service_;
 };
 
@@ -148,6 +175,13 @@ TEST_F(ServiceTest, PingStatsAndUnknownType) {
   EXPECT_EQ(stats.find("pool")->find("overload_rejections")->as_uint(),
             0u);
   EXPECT_GE(stats.find("sessions")->find("active")->as_uint(), 1u);
+  EXPECT_EQ(stats.find("pool")->find("tasks_executed")->as_uint(), 0u);
+  EXPECT_GE(stats.find("pool")->find("peak_depth")->as_int(), 0);
+  EXPECT_EQ(stats.find("version")->as_string(), kDvsVersion);
+  EXPECT_GE(stats.find("uptime_ms")->as_double(), 0.0);
+  // The monotonic spelling counts every parsed request on this daemon:
+  // the ping above plus this stats call.
+  EXPECT_EQ(stats.find("requests_total")->as_uint(), 2u);
 
   client.send(R"({"type":"frobnicate"})");
   EXPECT_EQ(client.recv().find("type")->as_string(), "error");
@@ -576,9 +610,17 @@ TEST_F(ServiceTest, DeadlineExpiresInQueue) {
   Client busy(port());
   busy.send(R"({"type":"optimize","circuit":"x2","use_cache":false,)"
             R"("options":{"vectors":1048576},"id":"long"})");
-  await_stats([](const Json& stats) {
-    return stats.find("pool")->find("inflight")->as_uint() >= 1;
-  });
+  // Wait until the worker has actually *dequeued* the long job —
+  // dvsd_queue_wait_ms ticks exactly once per dequeue, so count >= 1
+  // proves the only worker is busy executing. (`inflight >= 1` is not
+  // enough: with the pool's LIFO own-deque pop, a still-queued long job
+  // would let the later 1 ms z4ml run first, within its deadline.)
+  for (int spins = 0;; ++spins) {
+    ASSERT_LT(spins, 5000) << "long job never dequeued";
+    if (metric_value(fetch_metrics(), "dvsd_queue_wait_ms_count") >= 1.0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 
   // A 1 ms deadline cannot survive that queue wait: the job is admitted,
   // then fails with the structured timeout when the worker dequeues it.
@@ -631,6 +673,147 @@ TEST_F(ServiceTest, GracefulStopDrainsInFlightBatch) {
   EXPECT_TRUE(done) << "batch_done never arrived before EOF";
   EXPECT_EQ(seen.size(), 3u);
   service_.reset();
+}
+
+TEST_F(ServiceTest, StatsAndMetricsAgree) {
+  Client client(port());
+  client.send(R"({"type":"optimize","circuit":"x2","id":1})");
+  ASSERT_EQ(client.recv().find("cache")->as_string(), "miss");
+  client.send(R"({"type":"optimize","circuit":"x2","id":2})");
+  ASSERT_EQ(client.recv().find("cache")->as_string(), "hit");
+
+  // Same connection, back to back on a quiescent daemon: the exposition
+  // and the stats object are views over the same registry, so every
+  // shared counter must agree exactly.
+  client.send(R"({"type":"metrics"})");
+  const std::string text = client.recv().find("text")->as_string();
+  client.send(R"({"type":"stats"})");
+  const Json stats = client.recv();
+
+  EXPECT_EQ(metric_value(text, "dvsd_jobs_completed_total"),
+            static_cast<double>(
+                stats.find("jobs")->find("completed")->as_uint()));
+  EXPECT_EQ(metric_value(text, "dvsd_jobs_failed_total"),
+            static_cast<double>(
+                stats.find("jobs")->find("failed")->as_uint()));
+  EXPECT_EQ(
+      metric_value(text, "dvsd_cache_hits_total{tier=\"memory\"}"),
+      static_cast<double>(stats.find("cache")->find("hits")->as_uint()));
+  EXPECT_EQ(
+      metric_value(text, "dvsd_cache_misses_total{tier=\"memory\"}"),
+      static_cast<double>(
+          stats.find("cache")->find("misses")->as_uint()));
+  EXPECT_EQ(metric_value(text, "dvsd_connections_total"),
+            static_cast<double>(stats.find("connections")->as_uint()));
+  // The stats request itself is the only request between the two reads.
+  EXPECT_EQ(metric_value(text, "dvsd_requests_total") + 1.0,
+            static_cast<double>(stats.find("requests_total")->as_uint()));
+  EXPECT_EQ(metric_value(text, "dvsd_build_info{version=\"" +
+                                   std::string(kDvsVersion) + "\"}"),
+            1.0);
+  // One queue wait and one optimize service time per optimize request.
+  EXPECT_EQ(metric_value(text, "dvsd_queue_wait_ms_count"), 2.0);
+  EXPECT_EQ(
+      metric_value(text, "dvsd_service_ms_count{type=\"optimize\"}"),
+      2.0);
+}
+
+TEST_F(ServiceTest, MetricsEndpointServesExposition) {
+  ServiceConfig config;
+  config.metrics_port = 0;  // kernel-assigned
+  start_service(config);
+  const int http_port = service_->metrics_port();
+  ASSERT_GT(http_port, 0);
+
+  Socket http = Socket::connect_tcp("127.0.0.1", http_port);
+  http.send_all("GET /metrics HTTP/1.0\r\n\r\n");
+  LineReader reader(&http, 1u << 20);
+  std::string line;
+  std::string reply;
+  while (reader.read_line(&line)) reply += line + "\n";
+  EXPECT_NE(reply.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(reply.find("# TYPE dvsd_queue_wait_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(reply.find("# TYPE dvsd_service_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(reply.find("dvsd_pool_threads"), std::string::npos);
+  EXPECT_NE(reply.find("dvsd_requests_total"), std::string::npos);
+}
+
+TEST_F(ServiceTest, TraceSpansTileTheRequest) {
+  Client client(port());
+  client.send(R"({"type":"optimize","circuit":"x2","trace":true,"id":1})");
+  Json miss = client.recv();
+  ASSERT_EQ(miss.find("type")->as_string(), "result") << miss.dump();
+  EXPECT_EQ(miss.find("cache")->as_string(), "miss");
+  const Json* trace = miss.find("trace");
+  ASSERT_NE(trace, nullptr);
+  double depth0 = 0.0;
+  double prev_start = -1.0;
+  std::set<std::string> phases;
+  for (const Json& span : trace->as_array()) {
+    const double start = span.find("start_ms")->as_double();
+    EXPECT_GE(start, prev_start);  // spans arrive sorted by start
+    prev_start = start;
+    if (span.find("depth")->as_int() == 0) {
+      depth0 += span.find("dur_ms")->as_double();
+      phases.insert(span.find("name")->as_string());
+    }
+  }
+  for (const char* phase : {"parse", "admission", "queue_wait",
+                            "resolve", "cache_lookup", "execute",
+                            "store", "respond"})
+    EXPECT_TRUE(phases.count(phase)) << phase;
+  // The tiling contract: depth-0 phases partition the request, so their
+  // durations sum to the reported wall time (5% / 1 ms slack for the
+  // instructions between clock reads).
+  const double wall = miss.find("wall_ms")->as_double();
+  EXPECT_NEAR(depth0, wall, std::max(0.05 * wall, 1.0));
+
+  // A hit never executes the flow; and without trace:true the response
+  // carries no trace at all.
+  client.send(R"({"type":"optimize","circuit":"x2","trace":true,"id":2})");
+  Json hit = client.recv();
+  EXPECT_EQ(hit.find("cache")->as_string(), "hit");
+  ASSERT_NE(hit.find("trace"), nullptr);
+  for (const Json& span : hit.find("trace")->as_array())
+    EXPECT_NE(span.find("name")->as_string(), "execute");
+  client.send(R"({"type":"optimize","circuit":"x2","id":3})");
+  EXPECT_EQ(client.recv().find("trace"), nullptr);
+}
+
+TEST_F(ServiceTest, BatchTraceStreamsPerItemSpans) {
+  Client client(port());
+  client.send(
+      R"({"type":"batch","circuits":["x2","z4ml","pm1"],"trace":true})");
+  int items = 0;
+  while (true) {
+    Json line = client.recv();
+    const std::string type = line.find("type")->as_string();
+    if (type == "batch_done") break;
+    ASSERT_EQ(type, "batch_item") << line.dump();
+    ASSERT_EQ(line.find("error"), nullptr) << line.dump();
+    ++items;
+    // Items complete out of order across workers, and workers append
+    // spans concurrently — each item's trace must still come out sorted
+    // and tiling its own wall time.
+    const Json* trace = line.find("trace");
+    ASSERT_NE(trace, nullptr) << line.dump();
+    double depth0 = 0.0;
+    double prev_start = -1.0;
+    for (const Json& span : trace->as_array()) {
+      const double start = span.find("start_ms")->as_double();
+      EXPECT_GE(start, prev_start);
+      prev_start = start;
+      if (span.find("depth")->as_int() == 0)
+        depth0 += span.find("dur_ms")->as_double();
+    }
+    const double wall = line.find("wall_ms")->as_double();
+    EXPECT_NEAR(depth0, wall, std::max(0.05 * wall, 1.0));
+  }
+  EXPECT_EQ(items, 3);
 }
 
 TEST_F(ServiceTest, ShutdownRequestStopsTheService) {

@@ -65,6 +65,28 @@ TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
   EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ThreadPoolTest, StatsTrackPeakDepthAndTotalTasks) {
+  ThreadPool pool(2);
+  // Hold both workers hostage so further submissions stack up and the
+  // peak is deterministic.
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i)
+    pool.submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    });
+  for (int i = 0; i < 6; ++i) pool.submit([] {});
+  const ThreadPoolStats loaded = pool.stats();
+  EXPECT_EQ(loaded.threads, 2);
+  EXPECT_EQ(loaded.pending, 8);
+  EXPECT_GE(loaded.peak_pending, 8);
+  release.store(true);
+  pool.wait_idle();
+  const ThreadPoolStats drained = pool.stats();
+  EXPECT_EQ(drained.pending, 0);
+  EXPECT_GE(drained.peak_pending, 8);  // high-water mark survives drain
+  EXPECT_EQ(drained.tasks_executed, 8u);
+}
+
 TEST(ThreadPoolTest, MixSeedSeparatesStreams) {
   // Distinct streams from one seed, stable across calls.
   EXPECT_EQ(mix_seed(42, 0), mix_seed(42, 0));

@@ -32,6 +32,7 @@ void usage(std::FILE* out) {
       "commands:\n"
       "  ping                       round-trip check\n"
       "  stats  (or --stats)        cache/pool/session counters\n"
+      "  metrics (or --metrics)     Prometheus text exposition, verbatim\n"
       "  shutdown                   stop the daemon\n"
       "  optimize FILE | --circuit NAME\n"
       "      [--format blif|verilog]   input format of FILE (default blif)\n"
@@ -46,9 +47,10 @@ void usage(std::FILE* out) {
       "      [--return-netlist]        embed the optimized netlist\n"
       "      [--no-cache]              skip the cache lookup\n"
       "      [--deadline-ms N]         fail fast if still queued after N ms\n"
+      "      [--trace]                 request per-phase spans in the reply\n"
       "  batch --circuits a,b,c | --all [--max-gates N]\n"
       "      [--algo ... | --pipeline SPEC] [--seed S] [--vectors N] "
-      "[--supplies L] [--no-cache] [--deadline-ms N]\n",
+      "[--supplies L] [--no-cache] [--deadline-ms N] [--trace]\n",
       out);
 }
 
@@ -99,6 +101,19 @@ void print_algo(const dvs::Json& report, const char* name) {
   std::printf("\n");
 }
 
+/// Per-phase spans of a traced response, indented under the result line.
+void print_trace(const dvs::Json& response) {
+  const dvs::Json* trace = get(response, "trace");
+  if (!trace) return;
+  for (const dvs::Json& span : trace->as_array()) {
+    const long long depth = span.find("depth")->as_int();
+    std::printf("  %*s%-28s %9.3f ms  @ %.3f\n",
+                static_cast<int>(2 * depth), "",
+                span.find("name")->as_string().c_str(),
+                dbl(span, "dur_ms"), dbl(span, "start_ms"));
+  }
+}
+
 /// Pretty-prints one response line.  Returns false on {"type":"error"}.
 bool print_response(const std::string& line) {
   const dvs::Json json = dvs::Json::parse(line);
@@ -114,6 +129,10 @@ bool print_response(const std::string& line) {
   }
   if (type == "pong") {
     std::printf("pong\n");
+  } else if (type == "metrics") {
+    // The exposition text is the payload; print it verbatim so the
+    // output pipes straight into promtool / grep.
+    std::fputs(get(json, "text")->as_string().c_str(), stdout);
   } else if (type == "bye") {
     std::printf("daemon stopping\n");
   } else if (type == "stats") {
@@ -155,12 +174,16 @@ bool print_response(const std::string& line) {
     }
     if (const dvs::Json* pool = get(json, "pool")) {
       std::printf("pool:  %lld threads, %lld queued+running "
-                  "(watermark %llu) | %llu overloaded, "
-                  "%llu deadline-expired\n",
+                  "(peak %lld, watermark %llu) | %llu tasks | "
+                  "%llu overloaded, %llu deadline-expired\n",
                   static_cast<long long>(pool->find("threads")->as_int()),
                   static_cast<long long>(pool->find("depth")->as_int()),
+                  static_cast<long long>(
+                      pool->find("peak_depth")->as_int()),
                   static_cast<unsigned long long>(
                       pool->find("watermark")->as_uint()),
+                  static_cast<unsigned long long>(
+                      pool->find("tasks_executed")->as_uint()),
                   static_cast<unsigned long long>(
                       pool->find("overload_rejections")->as_uint()),
                   static_cast<unsigned long long>(
@@ -185,6 +208,8 @@ bool print_response(const std::string& line) {
                     get(json, "connections")->as_uint()),
                 static_cast<long long>(get(json, "threads")->as_int()),
                 dbl(json, "uptime_seconds"));
+    if (const dvs::Json* version = get(json, "version"))
+      std::printf("dvsd %s\n", version->as_string().c_str());
   } else if (type == "result" || type == "batch_item") {
     if (const dvs::Json* error = get(json, "error")) {
       std::fprintf(stderr, "error (%s): %s\n",
@@ -226,6 +251,7 @@ bool print_response(const std::string& line) {
                           pass.find("gates_touched")->as_int()));
       }
     }
+    print_trace(json);
     if (const dvs::Json* netlist = get(json, "netlist"))
       std::printf("--- optimized netlist ---\n%s",
                   netlist->as_string().c_str());
@@ -278,6 +304,10 @@ int main(int argc, char** argv) {
       command = "stats";
       ++at;
       break;
+    } else if (arg == "--metrics") {
+      command = "metrics";
+      ++at;
+      break;
     } else if (arg == "--help" || arg == "-h") {
       usage(stdout);
       return 0;
@@ -300,7 +330,8 @@ int main(int argc, char** argv) {
     dvs::Json::Object request;
     int expected_responses = 1;  // batch reads until batch_done instead
 
-    if (command == "ping" || command == "stats" || command == "shutdown") {
+    if (command == "ping" || command == "stats" || command == "metrics" ||
+        command == "shutdown") {
       if (at != args.size()) {
         std::fprintf(stderr, "dvs-client: %s takes no arguments\n",
                      command.c_str());
@@ -361,6 +392,8 @@ int main(int argc, char** argv) {
         else if (arg == "--deadline-ms")
           request["deadline_ms"] = dvs::Json(static_cast<std::uint64_t>(
               std::strtoull(value("--deadline-ms").c_str(), nullptr, 0)));
+        else if (arg == "--trace")
+          request["trace"] = dvs::Json(true);
         else if (!arg.empty() && arg[0] != '-' && file.empty())
           file = arg;
         else {

@@ -28,7 +28,9 @@ void usage(std::FILE* out) {
       "usage: dvsd [--port N | --unix PATH] [--threads N]\n"
       "            [--cache-bytes N[K|M|G]] [--cache-dir PATH]\n"
       "            [--max-line-bytes N[K|M|G]] [--max-backlog N]\n"
-      "            [--max-inflight N] [--drain-timeout-ms N] [--verbose]\n"
+      "            [--max-inflight N] [--drain-timeout-ms N]\n"
+      "            [--metrics-port N] [--trace-log PATH] [--slow-ms X]\n"
+      "            [--verbose]\n"
       "\n"
       "Serves dual-Vdd optimization jobs over newline-delimited JSON\n"
       "(protocol: see README.md).  Options:\n"
@@ -48,6 +50,12 @@ void usage(std::FILE* out) {
       "                       (default 64)\n"
       "  --drain-timeout-ms N graceful-drain budget on SIGTERM/stop\n"
       "                       (default 30000)\n"
+      "  --metrics-port N     serve the Prometheus text exposition on\n"
+      "                       127.0.0.1:N (0 = kernel-assigned, printed;\n"
+      "                       default: disabled)\n"
+      "  --trace-log PATH     append one NDJSON trace record (spans,\n"
+      "                       wall_ms, cache tier) per request to PATH\n"
+      "  --slow-ms X          log requests slower than X ms to stderr\n"
       "  --verbose            log connections to stderr\n"
       "  --help               this text\n",
       out);
@@ -110,6 +118,12 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
     else if (flag == "--drain-timeout-ms")
       config.drain_timeout_ms = std::atoi(value());
+    else if (flag == "--metrics-port")
+      config.metrics_port = std::atoi(value());
+    else if (flag == "--trace-log")
+      config.trace_log_path = value();
+    else if (flag == "--slow-ms")
+      config.slow_ms = std::atof(value());
     else if (flag == "--verbose")
       config.verbose = true;
     else if (flag == "--help" || flag == "-h") {
@@ -141,6 +155,9 @@ int main(int argc, char** argv) {
       std::printf("dvsd: listening on 127.0.0.1:%d\n", service.port());
     else
       std::printf("dvsd: listening on %s\n", config.unix_path.c_str());
+    if (config.metrics_port >= 0)
+      std::printf("dvsd: metrics on http://127.0.0.1:%d/metrics\n",
+                  service.metrics_port());
     std::fflush(stdout);
     service.wait();
     service.stop();
