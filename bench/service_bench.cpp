@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "core/suite.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/worker.hpp"
 #include "support/json.hpp"
 #include "support/socket.hpp"
 
@@ -39,6 +41,7 @@ struct BenchOptions {
   int clients = 8;
   int max_gates = 300;
   int server_threads = 0;
+  int workers = 0;
   std::uint64_t seed = 0x5eed;
   int vectors = 4096;
   std::string json_path = "BENCH_service.json";
@@ -48,12 +51,15 @@ struct BenchOptions {
 void usage(std::FILE* out) {
   std::fputs(
       "usage: service_bench [--clients N] [--max-gates N] [--threads N]\n"
-      "                     [--seed S] [--vectors N] [--json FILE]\n"
-      "                     [--no-check]\n"
+      "                     [--workers N] [--seed S] [--vectors N]\n"
+      "                     [--json FILE] [--no-check]\n"
       "\n"
       "Boots an in-process dvsd, fans N concurrent clients over the MCNC\n"
       "circuits with <= max-gates gates, verifies every report against\n"
       "the serial suite engine, and writes BENCH_service.json.\n"
+      "--workers N boots the daemon in scheduler mode with N in-process\n"
+      "fleet workers, so the cold phase measures distributed dispatch;\n"
+      "the bit-identity checks apply unchanged.\n"
       "--no-check reports instead of failing on mismatch/speedup.\n",
       out);
 }
@@ -142,6 +148,7 @@ Tally run_client(int port, const BenchOptions& options,
       const dvs::Json response = dvs::Json::parse(line);
       const dvs::Json* type = response.find("type");
       if (!type || type->as_string() != "result") {
+        std::fprintf(stderr, "non-result response: %s\n", line.c_str());
         ++tally.failures;
         continue;
       }
@@ -213,6 +220,8 @@ int main(int argc, char** argv) {
       options.max_gates = std::atoi(value());
     else if (flag == "--threads")
       options.server_threads = std::atoi(value());
+    else if (flag == "--workers")
+      options.workers = std::atoi(value());
     else if (flag == "--seed")
       options.seed = std::strtoull(value(), nullptr, 0);
     else if (flag == "--vectors")
@@ -260,13 +269,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // ---- boot the daemon --------------------------------------------------
+  // ---- boot the daemon (and, with --workers, a fleet) -------------------
   dvs::ServiceConfig config;
   config.tcp_port = 0;
   config.num_threads = options.server_threads;
+  config.scheduler = options.workers > 0;
+  // The bench measures latency and fidelity, not admission control: on a
+  // small machine the default watermark (8x pool threads) can sit at or
+  // below --clients and reject the concurrent phase, so provision it to
+  // always admit the fan-out.
+  config.max_backlog = static_cast<std::size_t>(options.clients) * 2 + 16;
   dvs::Service service(config);
   service.start();
   const int port = service.port();
+
+  std::vector<std::unique_ptr<dvs::ServiceCore>> worker_cores;
+  std::vector<std::unique_ptr<dvs::WorkerAgent>> worker_agents;
+  for (int w = 0; w < options.workers; ++w) {
+    auto core = std::make_unique<dvs::ServiceCore>();
+    core->config.num_threads = 2;  // light workers: this is one machine
+    core->init(nullptr);
+    dvs::WorkerAgentConfig agent_config;
+    agent_config.connect = "127.0.0.1:" + std::to_string(port);
+    agent_config.name = "bench-w" + std::to_string(w);
+    agent_config.heartbeat_ms = 200;
+    auto agent =
+        std::make_unique<dvs::WorkerAgent>(core.get(), agent_config);
+    agent->start();
+    worker_agents.push_back(std::move(agent));
+    worker_cores.push_back(std::move(core));
+  }
+  for (int tries = 0; tries < 200; ++tries) {
+    bool all = true;
+    for (const auto& agent : worker_agents)
+      if (!agent->connected()) all = false;
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  if (options.workers > 0)
+    std::printf("service_bench: fleet of %d in-process workers joined\n",
+                options.workers);
 
   // ---- phase 2: cold, one client (every request a miss) ----------------
   const Tally cold =
@@ -333,7 +375,34 @@ int main(int argc, char** argv) {
     ++batch_failures;
   }
 
+  // Fleet counters (scheduler mode only), read over the protocol while
+  // the daemon is still serving.
+  std::uint64_t fleet_dispatches = 0, fleet_remote_ok = 0;
+  std::uint64_t fleet_retries = 0, fleet_fallback = 0;
+  if (options.workers > 0) {
+    try {
+      dvs::Socket socket = dvs::Socket::connect_tcp("127.0.0.1", port);
+      socket.send_all("{\"type\":\"stats\"}\n");
+      dvs::LineReader reader(&socket, 1u << 20);
+      std::string line;
+      if (reader.read_line(&line)) {
+        const dvs::Json stats = dvs::Json::parse(line);
+        if (const dvs::Json* fleet = stats.find("fleet")) {
+          fleet_dispatches = fleet->find("dispatches")->as_uint();
+          fleet_remote_ok = fleet->find("remote_ok")->as_uint();
+          fleet_retries = fleet->find("dispatch_retries")->as_uint();
+          fleet_fallback = fleet->find("fallback_local")->as_uint();
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fleet stats error: %s\n", e.what());
+    }
+  }
+
   const dvs::CacheStats cache = service.cache_stats();
+  for (auto& agent : worker_agents) agent->stop();
+  worker_agents.clear();
+  for (auto& core : worker_cores) core->pool->wait_idle();
   service.request_stop();
   service.stop();
 
@@ -378,6 +447,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.evictions), speedup,
       failures, mismatches, unexpected_cache);
+  if (options.workers > 0)
+    std::printf(
+        "fleet:     %d workers, %llu dispatches, %llu remote ok, "
+        "%llu retries, %llu local fallbacks\n",
+        options.workers, static_cast<unsigned long long>(fleet_dispatches),
+        static_cast<unsigned long long>(fleet_remote_ok),
+        static_cast<unsigned long long>(fleet_retries),
+        static_cast<unsigned long long>(fleet_fallback));
 
   // ---- BENCH_service.json ----------------------------------------------
   std::ofstream out(options.json_path);
@@ -404,6 +481,11 @@ int main(int argc, char** argv) {
       << "  \"batch_wall_ms\": " << num(batch_ms) << ",\n"
       << "  \"failed_requests\": " << failures << ",\n"
       << "  \"report_mismatches\": " << mismatches << ",\n"
+      << "  \"workers\": " << options.workers << ",\n"
+      << "  \"fleet\": {\"dispatches\": " << fleet_dispatches
+      << ", \"remote_ok\": " << fleet_remote_ok
+      << ", \"dispatch_retries\": " << fleet_retries
+      << ", \"fallback_local\": " << fleet_fallback << "},\n"
       << "  \"cache\": {\"hits\": " << cache.hits
       << ", \"misses\": " << cache.misses
       << ", \"evictions\": " << cache.evictions << "}\n"

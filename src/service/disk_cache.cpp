@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/json.hpp"
+
 namespace dvs {
 
 namespace {
@@ -17,6 +19,47 @@ void append_hex16(std::string* out, std::uint64_t v) {
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(v));
   out->append(buf, 16);
+}
+
+constexpr char kHeaderMagic[] = "dvsr1 ";
+
+std::string entry_header(const std::string& payload) {
+  std::string header(kHeaderMagic);
+  append_hex16(&header, fnv1a64(payload));
+  header += ' ';
+  header += std::to_string(payload.size());
+  header += '\n';
+  return header;
+}
+
+/// Validates `file` (header + payload) in place: on success erases the
+/// header, leaving `file` holding exactly the payload.
+bool check_and_strip_header(std::string* file) {
+  const std::size_t magic_len = sizeof kHeaderMagic - 1;
+  if (file->compare(0, magic_len, kHeaderMagic) != 0) return false;
+  const std::size_t newline = file->find('\n', magic_len);
+  if (newline == std::string::npos) return false;
+  const std::size_t space = magic_len + 16;
+  if (space >= newline || (*file)[space] != ' ') return false;
+  std::uint64_t checksum = 0;
+  for (std::size_t i = magic_len; i < space; ++i) {
+    const char c = (*file)[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    checksum = (checksum << 4) | static_cast<std::uint64_t>(digit);
+  }
+  std::uint64_t size = 0;
+  for (std::size_t i = space + 1; i < newline; ++i) {
+    const char c = (*file)[i];
+    if (c < '0' || c > '9') return false;
+    size = size * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (file->size() - (newline + 1) != size) return false;
+  file->erase(0, newline + 1);
+  if (fnv1a64(*file) != checksum) return false;
+  return true;
 }
 
 }  // namespace
@@ -70,6 +113,7 @@ DiskCacheEngine::Payload DiskCacheEngine::load(const CacheKey& key) {
   const std::string path = dir_ + "/" + file_name(key);
   std::ifstream in(path, std::ios::binary);
   Payload payload;
+  bool corrupt = false;
   if (in) {
     auto body = std::make_shared<std::string>();
     in.seekg(0, std::ios::end);
@@ -78,14 +122,22 @@ DiskCacheEngine::Payload DiskCacheEngine::load(const CacheKey& key) {
       body->resize(static_cast<std::size_t>(size));
       in.seekg(0);
       in.read(body->data(), size);
-      if (in) payload = std::move(body);
+      if (in) {
+        if (check_and_strip_header(body.get()))
+          payload = std::move(body);
+        else
+          corrupt = true;
+      }
     }
+    if (corrupt) ::unlink(path.c_str());
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  if (payload)
+  if (payload) {
     ++stats_.hits;
-  else
+  } else {
     ++stats_.misses;
+    if (corrupt) ++stats_.corrupt;
+  }
   return payload;
 }
 
@@ -126,6 +178,8 @@ void DiskCacheEngine::writer_loop() {
     bool ok = false;
     {
       std::ofstream out(tmp_path_, std::ios::binary | std::ios::trunc);
+      const std::string header = entry_header(*payload);
+      out.write(header.data(), static_cast<std::streamsize>(header.size()));
       out.write(payload->data(),
                 static_cast<std::streamsize>(payload->size()));
       ok = static_cast<bool>(out);

@@ -10,6 +10,14 @@
 // guarantees a reader never observes a torn file.  Reads (load) happen
 // inline on the calling job thread; the caller promotes a disk hit into
 // the in-memory ResultCache.
+//
+// Each file starts with a one-line header, `dvsr1 <fnv1a64-hex> <size>`,
+// followed by the payload verbatim.  load() verifies the header against
+// the bytes that follow; any mismatch — truncation, bit-rot, a foreign
+// or pre-header file — is counted as `corrupt`, unlinked, and reported
+// as a miss, so a damaged entry is recomputed instead of being fed to a
+// client.  (The rename makes torn files unlikely; the checksum makes
+// them and every other corruption mode harmless.)
 #pragma once
 
 #include <condition_variable>
@@ -30,7 +38,8 @@ struct DiskCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t writes = 0;        // files persisted
   std::uint64_t write_errors = 0;  // failed persists (entry dropped)
-  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_written = 0;  // payload bytes (headers excluded)
+  std::uint64_t corrupt = 0;  // checksum/size mismatches unlinked on load
 };
 
 class DiskCacheEngine {
@@ -49,7 +58,9 @@ class DiskCacheEngine {
   DiskCacheEngine& operator=(const DiskCacheEngine&) = delete;
 
   /// Reads the payload for `key` from disk; nullptr on miss (counts a
-  /// miss).  A torn or unreadable file is a miss, never an error.
+  /// miss).  A torn, unreadable, or checksum-mismatched file is a miss,
+  /// never an error; corrupted files are unlinked so they are recomputed
+  /// exactly once.
   Payload load(const CacheKey& key);
 
   /// Enqueues the payload for write-behind persistence and returns

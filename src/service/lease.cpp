@@ -1,0 +1,86 @@
+#include "service/lease.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace dvs {
+
+std::uint64_t LeaseTable::grant(std::uint64_t worker_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t lease = next_++;
+  pending_[lease].worker = worker_id;
+  return lease;
+}
+
+bool LeaseTable::settle(std::uint64_t lease, LeaseOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(lease);
+    if (it == pending_.end() || it->second.outcome) return false;
+    it->second.outcome = std::move(outcome);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void LeaseTable::forfeit(std::uint64_t lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.erase(lease);
+}
+
+LeaseOutcome LeaseTable::await(
+    std::uint64_t lease, std::chrono::steady_clock::time_point deadline,
+    const std::function<bool()>& cancelled) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    auto it = pending_.find(lease);
+    if (it == pending_.end())
+      return {LeaseOutcome::Kind::kCancelled, "lease forfeited"};
+    if (it->second.outcome) {
+      LeaseOutcome out = std::move(*it->second.outcome);
+      pending_.erase(it);
+      return out;
+    }
+    if (cancelled && cancelled()) {
+      pending_.erase(it);
+      return {LeaseOutcome::Kind::kCancelled, "scheduler stopping"};
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      pending_.erase(it);
+      return {LeaseOutcome::Kind::kExpired, "lease expired"};
+    }
+    // Tick at 50ms so the cancel predicate is honoured promptly even
+    // when nothing settles the lease.
+    cv_.wait_until(lock,
+                   std::min(deadline, now + std::chrono::milliseconds(50)));
+  }
+}
+
+void LeaseTable::fail_worker(std::uint64_t worker_id,
+                             const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [lease, pending] : pending_) {
+      if (pending.worker == worker_id && !pending.outcome)
+        pending.outcome = LeaseOutcome{LeaseOutcome::Kind::kWorkerLost,
+                                       message};
+    }
+  }
+  cv_.notify_all();
+}
+
+void LeaseTable::fail_all(const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [lease, pending] : pending_) {
+      if (!pending.outcome)
+        pending.outcome =
+            LeaseOutcome{LeaseOutcome::Kind::kCancelled, message};
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace dvs

@@ -1,0 +1,75 @@
+// Per-job leases for the distributed dispatch path.
+//
+// The scheduler grants a lease when it hands a job to a worker; the
+// dispatching request thread blocks in await() until the worker's
+// channel settles the lease (result or error), the worker is lost, the
+// lease deadline passes, or the scheduler starts draining.  A lease is
+// forfeited the moment await() returns — a result arriving late (a
+// stalled worker finally answering after its lease expired) finds no
+// lease and is ignored, which is what makes "retry on another worker"
+// safe against duplicated execution: both may compute (jobs are pure),
+// only one settles.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace dvs {
+
+struct LeaseOutcome {
+  enum class Kind {
+    kBody,        // payload = the serialized, checksum-verified body
+    kJobError,    // worker executed and failed; payload = message
+    kCorrupt,     // reply checksum mismatch (retryable)
+    kWorkerLost,  // channel closed / heartbeat expired (retryable)
+    kExpired,     // lease deadline passed (retryable)
+    kCancelled,   // scheduler draining or stopping (go local, no retry)
+  };
+  Kind kind = Kind::kCancelled;
+  std::string payload;
+};
+
+class LeaseTable {
+ public:
+  /// Grants a new lease bound to `worker_id`; never returns 0.
+  std::uint64_t grant(std::uint64_t worker_id);
+
+  /// Settles a pending lease (worker channel thread).  False when the
+  /// lease is unknown — already settled, expired, or failed over.
+  bool settle(std::uint64_t lease, LeaseOutcome outcome);
+
+  /// Drops a lease that was never sent anywhere (send failed).
+  void forfeit(std::uint64_t lease);
+
+  /// Blocks until the lease settles, `deadline` passes (kExpired), or
+  /// `cancelled()` turns true (kCancelled, polled every ~50ms).  The
+  /// lease is removed before returning, whatever the outcome.
+  LeaseOutcome await(std::uint64_t lease,
+                     std::chrono::steady_clock::time_point deadline,
+                     const std::function<bool()>& cancelled);
+
+  /// Settles every lease bound to `worker_id` as kWorkerLost.
+  void fail_worker(std::uint64_t worker_id, const std::string& message);
+
+  /// Settles every pending lease as kCancelled (drain path).
+  void fail_all(const std::string& message);
+
+ private:
+  struct Pending {
+    std::uint64_t worker = 0;
+    std::optional<LeaseOutcome> outcome;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace dvs

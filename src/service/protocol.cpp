@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <cstdio>
 #include <set>
 #include <utility>
 
@@ -172,6 +173,21 @@ Request parse_request(const std::string& line) {
     return request;
   }
 
+  if (type == "register_worker") {
+    check_known_keys(json.as_object(), {"type", "id", "name", "capacity"},
+                     "register_worker");
+    request.type = RequestType::kRegisterWorker;
+    if (const Json* v = json.find("name"))
+      request.register_worker.name = v->as_string();
+    if (const Json* v = json.find("capacity")) {
+      const std::int64_t capacity = v->as_int();
+      if (capacity < 1 || capacity > 4096)
+        throw ProtocolError("capacity out of range");
+      request.register_worker.capacity = static_cast<int>(capacity);
+    }
+    return request;
+  }
+
   if (type == "batch") {
     check_known_keys(json.as_object(),
                      {"type", "id", "circuits", "all", "max_gates", "algos",
@@ -331,6 +347,82 @@ std::string finish_response_with_body(Json::Object head,
   }
   out += '\n';
   return out;
+}
+
+std::string optimize_request_json(const OptimizeRequest& request) {
+  Json::Object object;
+  object["type"] = Json("optimize");
+  if (!request.circuit.empty()) object["circuit"] = Json(request.circuit);
+  if (!request.netlist.empty()) object["netlist"] = Json(request.netlist);
+  object["format"] = Json(request.format);
+  if (!request.pipeline.is_null()) {
+    object["pipeline"] = request.pipeline;
+  } else {
+    Json::Array algos;
+    if (request.run_cvs) algos.emplace_back("cvs");
+    if (request.run_dscale) algos.emplace_back("dscale");
+    if (request.run_gscale) algos.emplace_back("gscale");
+    object["algos"] = Json(std::move(algos));
+  }
+  Json::Object options;
+  options["seed"] = Json(request.options.seed);
+  options["freq_mhz"] = Json(request.options.freq_mhz);
+  options["tspec_relax"] = Json(request.options.tspec_relax);
+  options["vectors"] = Json(request.options.vectors);
+  if (!request.options.supplies.empty()) {
+    Json::Array rungs;
+    for (double v : request.options.supplies) rungs.emplace_back(v);
+    options["supplies"] = Json(std::move(rungs));
+  }
+  object["options"] = Json(std::move(options));
+  object["return_netlist"] = Json(request.return_netlist);
+  // The worker runs its own cache; a scheduler-side miss may still be a
+  // worker-side hit, and the bodies are bit-identical either way.
+  object["use_cache"] = Json(request.use_cache);
+  return Json(std::move(object)).dump();
+}
+
+std::string fleet_job_line(std::uint64_t lease,
+                           const std::string& request_json) {
+  std::string out = "{\"type\":\"job\",\"lease\":" + std::to_string(lease) +
+                    ",\"request\":";
+  out += request_json;
+  out += "}\n";
+  return out;
+}
+
+std::string fleet_heartbeat_line(int load, int capacity) {
+  Json::Object object;
+  object["type"] = Json("heartbeat");
+  object["load"] = Json(static_cast<std::int64_t>(load));
+  object["capacity"] = Json(static_cast<std::int64_t>(capacity));
+  return Json(std::move(object)).dump() + "\n";
+}
+
+std::string fleet_result_line(std::uint64_t lease, const std::string& body,
+                              std::uint64_t checksum) {
+  Json::Object object;
+  object["type"] = Json("job_result");
+  object["lease"] = Json(lease);
+  object["checksum"] = Json(checksum_hex(checksum));
+  object["body"] = Json(body);
+  return Json(std::move(object)).dump() + "\n";
+}
+
+std::string fleet_error_line(std::uint64_t lease,
+                             const std::string& message) {
+  Json::Object object;
+  object["type"] = Json("job_error");
+  object["lease"] = Json(lease);
+  object["message"] = Json(message);
+  return Json(std::move(object)).dump() + "\n";
+}
+
+std::string checksum_hex(std::uint64_t checksum) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return std::string(buf, 16);
 }
 
 }  // namespace dvs

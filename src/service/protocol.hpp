@@ -73,7 +73,18 @@ enum class RequestType {
   kMetrics,
   kShutdown,
   kOptimize,
-  kBatch
+  kBatch,
+  kRegisterWorker
+};
+
+/// `{"type":"register_worker", ...}` — a worker joining the fleet.  The
+/// connection stops being a client connection: after the scheduler
+/// acknowledges with {"type":"registered","name":...}, the same socket
+/// becomes the worker channel carrying heartbeats, leased jobs, and
+/// results (see the fleet_* line builders below).
+struct RegisterWorkerRequest {
+  std::string name;  // empty = scheduler assigns "worker-<id>"
+  int capacity = 1;  // max concurrently leased jobs
 };
 
 struct OptimizeRequest {
@@ -123,6 +134,7 @@ struct Request {
   Json id;  // echoed verbatim in every response (null when absent)
   OptimizeRequest optimize;
   BatchRequest batch;
+  RegisterWorkerRequest register_worker;
 };
 
 /// Parses one NDJSON line.  Throws ProtocolError / JsonError.
@@ -176,5 +188,38 @@ std::string finish_response(Json::Object fields);
 /// `body` must be a serialized JSON object ("{...}").
 std::string finish_response_with_body(Json::Object head,
                                       const std::string& body);
+
+// ---- fleet wire format ----------------------------------------------------
+//
+// Once a connection registers as a worker it speaks these lines instead
+// of the client protocol.  Scheduler -> worker:
+//   {"type":"job","lease":L,"request":{...optimize request...}}
+// Worker -> scheduler:
+//   {"type":"heartbeat","load":n,"capacity":N}
+//   {"type":"job_result","lease":L,"checksum":"<fnv1a64 hex>",
+//    "body":"<serialized result body, as a JSON string>"}
+//   {"type":"job_error","lease":L,"message":"..."}
+// The result body travels as an escaped JSON *string*, not a nested
+// object, so the exact bytes the worker computed are what the scheduler
+// caches and serves — bit-identity survives the hop by construction,
+// and the checksum turns any corruption into a retryable failure.
+
+/// Re-serializes an optimize request into a line that parse_request
+/// accepts and that resolves to the same job (same canonical document,
+/// same cache key).  Transport-only fields (deadline_ms, trace, id) are
+/// deliberately dropped: the deadline was already spent at the
+/// scheduler's queue, and tracing is observed scheduler-side.
+std::string optimize_request_json(const OptimizeRequest& request);
+
+std::string fleet_job_line(std::uint64_t lease,
+                           const std::string& request_json);
+std::string fleet_heartbeat_line(int load, int capacity);
+std::string fleet_result_line(std::uint64_t lease, const std::string& body,
+                              std::uint64_t checksum);
+std::string fleet_error_line(std::uint64_t lease,
+                             const std::string& message);
+
+/// 16-digit lowercase hex spelling used for wire checksums.
+std::string checksum_hex(std::uint64_t checksum);
 
 }  // namespace dvs

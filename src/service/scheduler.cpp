@@ -1,0 +1,416 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "support/backoff.hpp"
+
+namespace dvs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Field access for channel messages; a malformed line throws and
+/// condemns the worker (serve_worker's catch), never the scheduler.
+const Json& require_field(const Json& message, const char* key) {
+  const Json* field = message.find(key);
+  if (field == nullptr)
+    throw std::runtime_error(std::string("channel message missing '") + key +
+                             "'");
+  return *field;
+}
+
+const char* failure_suffix(LeaseOutcome::Kind kind) {
+  switch (kind) {
+    case LeaseOutcome::Kind::kBody: return "";
+    case LeaseOutcome::Kind::kJobError: return "error";
+    case LeaseOutcome::Kind::kCorrupt: return "corrupt";
+    case LeaseOutcome::Kind::kWorkerLost: return "lost";
+    case LeaseOutcome::Kind::kExpired: return "expired";
+    case LeaseOutcome::Kind::kCancelled: return "cancelled";
+  }
+  return "";
+}
+
+}  // namespace
+
+bool Scheduler::WorkerEntry::send(const std::string& line) {
+  std::lock_guard<std::mutex> lock(channel_mutex);
+  if (session == nullptr) return false;
+  try {
+    session->write_line(line);
+    return true;
+  } catch (const SocketError&) {
+    return false;
+  }
+}
+
+void Scheduler::WorkerEntry::shutdown_channel() {
+  std::lock_guard<std::mutex> lock(channel_mutex);
+  if (session != nullptr) session->shutdown();
+}
+
+Scheduler::Scheduler(ServiceCore* core) : core_(core) {
+  MetricsRegistry& r = core_->registry;
+  workers_registered_ = &r.counter("dvsd_workers_registered_total",
+                                   "Workers that joined the fleet");
+  workers_expired_ = &r.counter(
+      "dvsd_workers_expired_total",
+      "Workers expired for missing the heartbeat window");
+  workers_lost_ = &r.counter(
+      "dvsd_workers_lost_total",
+      "Worker channels that closed (disconnect, crash, or expiry)");
+  heartbeats_ =
+      &r.counter("dvsd_heartbeats_total", "Worker heartbeats received");
+  dispatches_ = &r.counter("dvsd_dispatches_total",
+                           "Jobs leased out to fleet workers");
+  dispatch_retries_ = &r.counter(
+      "dvsd_dispatch_retries_total",
+      "Dispatch attempts retried after a worker-side failure");
+  remote_ok_ = &r.counter("dvsd_remote_ok_total",
+                          "Jobs answered by a fleet worker");
+  remote_job_errors_ = &r.counter(
+      "dvsd_remote_job_errors_total",
+      "Jobs a worker executed and reported a job error for");
+  lease_expired_ = &r.counter("dvsd_lease_expired_total",
+                              "Job leases that passed their deadline");
+  corrupt_replies_ = &r.counter(
+      "dvsd_corrupt_replies_total",
+      "Worker replies dropped for a body checksum mismatch");
+  fallback_local_ = &r.counter(
+      "dvsd_fallback_local_total",
+      "Jobs that fell back to local execution after fleet dispatch "
+      "failed or was unavailable");
+  workers_active_ =
+      &r.gauge("dvsd_workers_active", "Currently registered fleet workers");
+  fleet_capacity_ = &r.gauge("dvsd_fleet_capacity",
+                             "Sum of registered workers' job capacity");
+  remote_ms_ = &r.histogram("dvsd_remote_ms",
+                            "Successful remote dispatch round-trip time");
+  sweeper_ = std::thread([this] { sweep_loop(); });
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::serve_worker(const RegisterWorkerRequest& info,
+                             Session* session, LineReader* reader) {
+  auto entry = std::make_shared<WorkerEntry>();
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    entry->id = next_worker_id_++;
+    entry->name = info.name.empty() ? "worker-" + std::to_string(entry->id)
+                                    : info.name;
+    entry->capacity.store(std::max(1, info.capacity));
+    entry->last_seen_ns.store(now_ns());
+    {
+      std::lock_guard<std::mutex> channel(entry->channel_mutex);
+      entry->session = session;
+    }
+    workers_.push_back(entry);
+    update_fleet_gauges_locked();
+  }
+  workers_registered_->inc();
+
+  try {
+    Json::Object ack = response_head("registered", Json());
+    ack["name"] = Json(entry->name);
+    ack["capacity"] = Json(static_cast<std::int64_t>(entry->capacity.load()));
+    ack["lease_ms"] = Json(static_cast<std::int64_t>(core_->config.lease_ms));
+    ack["heartbeat_timeout_ms"] =
+        Json(static_cast<std::int64_t>(core_->config.heartbeat_timeout_ms));
+    session->write_line(finish_response(std::move(ack)));
+
+    std::string line;
+    while (!draining_.load(std::memory_order_relaxed) &&
+           !core_->stopping.load(std::memory_order_relaxed)) {
+      if (!reader->read_line(&line)) break;
+      if (line.empty()) continue;
+      entry->last_seen_ns.store(now_ns(), std::memory_order_relaxed);
+      const Json message = Json::parse(line);  // throws: drop the worker
+      const Json* type = message.find("type");
+      const std::string& kind = type ? type->as_string() : "";
+      if (kind == "heartbeat") {
+        heartbeats_->inc();
+        if (const Json* capacity = message.find("capacity")) {
+          const int value =
+              std::max(1, static_cast<int>(capacity->as_int()));
+          if (value != entry->capacity.load()) {
+            std::lock_guard<std::mutex> lock(workers_mutex_);
+            entry->capacity.store(value);
+            update_fleet_gauges_locked();
+          }
+        }
+      } else if (kind == "job_result") {
+        const std::uint64_t lease = require_field(message, "lease").as_uint();
+        const std::string& body = require_field(message, "body").as_string();
+        const std::string& checksum =
+            require_field(message, "checksum").as_string();
+        LeaseOutcome outcome;
+        if (checksum == checksum_hex(fnv1a64(body))) {
+          outcome.kind = LeaseOutcome::Kind::kBody;
+          outcome.payload = body;
+        } else {
+          outcome.kind = LeaseOutcome::Kind::kCorrupt;
+          outcome.payload =
+              "reply checksum mismatch from worker '" + entry->name + "'";
+        }
+        leases_.settle(lease, std::move(outcome));
+      } else if (kind == "job_error") {
+        const std::uint64_t lease = require_field(message, "lease").as_uint();
+        leases_.settle(lease,
+                       {LeaseOutcome::Kind::kJobError,
+                        require_field(message, "message").as_string()});
+      }
+      // Unknown channel messages are ignored for forward compatibility.
+    }
+  } catch (const std::exception&) {
+    // Socket error, malformed channel line, or missing field: the
+    // worker is dropped either way.
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.erase(std::remove(workers_.begin(), workers_.end(), entry),
+                   workers_.end());
+    update_fleet_gauges_locked();
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->channel_mutex);
+    entry->session = nullptr;
+  }
+  leases_.fail_worker(entry->id, "worker '" + entry->name + "' lost");
+  workers_lost_->inc();
+  if (entry->expired.load()) workers_expired_->inc();
+}
+
+std::shared_ptr<Scheduler::WorkerEntry> Scheduler::pick_worker(
+    std::uint64_t exclude_id) {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  std::shared_ptr<WorkerEntry> best;
+  std::shared_ptr<WorkerEntry> excluded;
+  double best_load = 0.0;
+  for (const auto& entry : workers_) {
+    if (entry->expired.load()) continue;
+    const int capacity = entry->capacity.load();
+    const int inflight = entry->inflight.load();
+    if (inflight >= capacity) continue;
+    if (entry->id == exclude_id) {
+      excluded = entry;
+      continue;
+    }
+    const double load = static_cast<double>(inflight) / capacity;
+    if (!best || load < best_load) {
+      best = entry;
+      best_load = load;
+    }
+  }
+  // Retry-on-different-worker is a preference, not a deadlock: when the
+  // failed worker is the only one with capacity, it gets another shot
+  // (its failure may have been transient) before the local fallback.
+  return best ? best : excluded;
+}
+
+std::optional<Scheduler::RemoteResult> Scheduler::run_remote(
+    const OptimizeRequest& request, RequestTrace* trace) {
+  if (draining_.load(std::memory_order_relaxed) ||
+      core_->stopping.load(std::memory_order_relaxed)) {
+    fallback_local_->inc();
+    return std::nullopt;
+  }
+  const std::string request_json = optimize_request_json(request);
+  BackoffPolicy backoff;
+  backoff.max_retries = core_->config.dispatch_retries;
+  backoff.base_ms = static_cast<double>(core_->config.dispatch_backoff_ms);
+  backoff.seed = dispatch_seq_.fetch_add(1, std::memory_order_relaxed);
+  const auto cancelled = [this] {
+    return draining_.load(std::memory_order_relaxed) ||
+           core_->stopping.load(std::memory_order_relaxed);
+  };
+
+  std::uint64_t exclude_id = 0;
+  const int attempts = std::max(0, core_->config.dispatch_retries) + 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      dispatch_retries_->inc();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff.delay_ms(attempt - 1)));
+    }
+    if (cancelled()) break;
+    const auto worker = pick_worker(exclude_id);
+    if (!worker) break;  // no fleet capacity left: go local
+    const auto start = Clock::now();
+    const std::uint64_t lease = leases_.grant(worker->id);
+    worker->inflight.fetch_add(1, std::memory_order_relaxed);
+    dispatches_->inc();
+    LeaseOutcome outcome;
+    if (worker->send(fleet_job_line(lease, request_json))) {
+      outcome = leases_.await(
+          lease,
+          start + std::chrono::milliseconds(core_->config.lease_ms),
+          cancelled);
+    } else {
+      leases_.forfeit(lease);
+      outcome = {LeaseOutcome::Kind::kWorkerLost, "send failed"};
+    }
+    worker->inflight.fetch_sub(1, std::memory_order_relaxed);
+    const auto end = Clock::now();
+    if (trace) {
+      std::string span = "dispatch:" + worker->name;
+      const char* suffix = failure_suffix(outcome.kind);
+      if (*suffix != '\0') span += std::string(":") + suffix;
+      trace->add(span, start, end, 1);
+    }
+    switch (outcome.kind) {
+      case LeaseOutcome::Kind::kBody:
+        worker->jobs_ok.fetch_add(1, std::memory_order_relaxed);
+        remote_ok_->inc();
+        remote_ms_->observe(ms_between(start, end));
+        return RemoteResult{std::move(outcome.payload), worker->name};
+      case LeaseOutcome::Kind::kJobError:
+        // A job error is (almost always) deterministic — retrying it on
+        // another worker would fail identically.  The local fallback
+        // recomputes and raises the authoritative error to the client.
+        worker->jobs_failed.fetch_add(1, std::memory_order_relaxed);
+        remote_job_errors_->inc();
+        attempt = attempts;  // exhaust the loop
+        break;
+      case LeaseOutcome::Kind::kExpired:
+        worker->jobs_failed.fetch_add(1, std::memory_order_relaxed);
+        lease_expired_->inc();
+        exclude_id = worker->id;
+        break;
+      case LeaseOutcome::Kind::kCorrupt:
+        worker->jobs_failed.fetch_add(1, std::memory_order_relaxed);
+        corrupt_replies_->inc();
+        exclude_id = worker->id;
+        break;
+      case LeaseOutcome::Kind::kWorkerLost:
+        worker->jobs_failed.fetch_add(1, std::memory_order_relaxed);
+        exclude_id = worker->id;
+        break;
+      case LeaseOutcome::Kind::kCancelled:
+        attempt = attempts;  // draining: straight to local
+        break;
+    }
+  }
+  fallback_local_->inc();
+  return std::nullopt;
+}
+
+bool Scheduler::has_workers() const {
+  if (draining_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (const auto& entry : workers_)
+    if (!entry->expired.load()) return true;
+  return false;
+}
+
+void Scheduler::begin_drain() {
+  draining_.store(true);
+  leases_.fail_all("scheduler draining");
+  std::vector<std::shared_ptr<WorkerEntry>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    snapshot = workers_;
+  }
+  for (const auto& entry : snapshot) entry->shutdown_channel();
+}
+
+void Scheduler::stop() {
+  begin_drain();
+  {
+    std::lock_guard<std::mutex> lock(sweep_mutex_);
+    sweep_stop_ = true;
+  }
+  sweep_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+void Scheduler::sweep_loop() {
+  std::unique_lock<std::mutex> lock(sweep_mutex_);
+  while (!sweep_cv_.wait_for(lock, std::chrono::milliseconds(200),
+                             [this] { return sweep_stop_; })) {
+    lock.unlock();
+    const std::int64_t deadline_ns =
+        now_ns() -
+        static_cast<std::int64_t>(core_->config.heartbeat_timeout_ms) *
+            1'000'000;
+    std::vector<std::shared_ptr<WorkerEntry>> expired;
+    {
+      std::lock_guard<std::mutex> workers_lock(workers_mutex_);
+      for (const auto& entry : workers_) {
+        if (entry->last_seen_ns.load(std::memory_order_relaxed) <
+                deadline_ns &&
+            !entry->expired.exchange(true))
+          expired.push_back(entry);
+      }
+    }
+    // Shutting the channel unblocks the worker's session thread, which
+    // unregisters the worker and requeues its leases.
+    for (const auto& entry : expired) entry->shutdown_channel();
+    lock.lock();
+  }
+}
+
+void Scheduler::update_fleet_gauges_locked() {
+  double active = 0.0;
+  double capacity = 0.0;
+  for (const auto& entry : workers_) {
+    if (entry->expired.load()) continue;
+    active += 1.0;
+    capacity += entry->capacity.load();
+  }
+  workers_active_->set(active);
+  fleet_capacity_->set(capacity);
+}
+
+Json Scheduler::stats_json() const {
+  Json::Object fleet;
+  fleet["scheduler"] = Json(true);
+  fleet["draining"] = Json(draining_.load());
+  Json::Array workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (const auto& entry : workers_) {
+      Json::Object w;
+      w["name"] = Json(entry->name);
+      w["capacity"] = Json(static_cast<std::int64_t>(entry->capacity.load()));
+      w["inflight"] = Json(static_cast<std::int64_t>(entry->inflight.load()));
+      w["jobs_ok"] = Json(entry->jobs_ok.load());
+      w["jobs_failed"] = Json(entry->jobs_failed.load());
+      w["expired"] = Json(entry->expired.load());
+      workers.emplace_back(std::move(w));
+    }
+  }
+  fleet["workers"] = Json(std::move(workers));
+  fleet["workers_registered"] = Json(workers_registered_->value());
+  fleet["workers_expired"] = Json(workers_expired_->value());
+  fleet["workers_lost"] = Json(workers_lost_->value());
+  fleet["heartbeats"] = Json(heartbeats_->value());
+  fleet["dispatches"] = Json(dispatches_->value());
+  fleet["dispatch_retries"] = Json(dispatch_retries_->value());
+  fleet["remote_ok"] = Json(remote_ok_->value());
+  fleet["remote_job_errors"] = Json(remote_job_errors_->value());
+  fleet["lease_expired"] = Json(lease_expired_->value());
+  fleet["corrupt_replies"] = Json(corrupt_replies_->value());
+  fleet["fallback_local"] = Json(fallback_local_->value());
+  return Json(std::move(fleet));
+}
+
+}  // namespace dvs

@@ -1,0 +1,152 @@
+// Fleet scheduler for dvsd (--scheduler): registers workers over the
+// existing NDJSON listener, leases jobs to them, and falls back to
+// local execution whenever the fleet cannot answer.
+//
+// yadcc-shaped worker lifecycle, scaled to this protocol:
+//   - No static worker list.  A worker is a connection that sent
+//     {"type":"register_worker"}; the same socket then carries
+//     heartbeats and leased jobs (see protocol.hpp "fleet wire
+//     format").  A worker that misses the heartbeat window is expired:
+//     its channel is shut down and every lease it held is requeued.
+//   - Dispatch grants a per-job lease with a deadline.  The requesting
+//     pool thread blocks on the lease; a worker crash, stall, corrupt
+//     reply, or lease expiry surfaces as a retryable failure.
+//   - Retries are bounded (exponential backoff + deterministic jitter)
+//     and prefer a *different* worker than the one that just failed.
+//     When retries are exhausted, no worker is eligible, or the
+//     scheduler is draining, run_remote returns nullopt and the caller
+//     computes on its own ThreadPool — no job ever fails because of
+//     fleet state.
+//
+// Every transition is wired into the metrics registry
+// (dvsd_workers_*, dvsd_dispatch*, dvsd_lease_expired_total,
+// dvsd_corrupt_replies_total, dvsd_fallback_local_total) and into
+// depth-1 "dispatch:<worker>" trace spans under the request's execute
+// phase.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/lease.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/socket.hpp"
+#include "support/trace.hpp"
+
+namespace dvs {
+
+struct ServiceCore;
+class Session;
+
+class Scheduler {
+ public:
+  /// Registers the fleet instruments in core->registry and starts the
+  /// heartbeat sweeper.  `core` must outlive the scheduler.
+  explicit Scheduler(ServiceCore* core);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs a registered worker's channel on the calling session thread:
+  /// acks the registration, then consumes heartbeats and job
+  /// results/errors until the worker disconnects, misses its heartbeat
+  /// window, or the scheduler drains.  On exit the worker is
+  /// unregistered and its leases are requeued (kWorkerLost).
+  void serve_worker(const RegisterWorkerRequest& info, Session* session,
+                    LineReader* reader);
+
+  struct RemoteResult {
+    std::string body;    // serialized result body, checksum-verified
+    std::string worker;  // who computed it (the "executor" wire field)
+  };
+
+  /// Dispatches one job to the fleet with the bounded retry policy.
+  /// Blocks the calling (pool) thread.  nullopt = compute locally.
+  std::optional<RemoteResult> run_remote(const OptimizeRequest& request,
+                                         RequestTrace* trace);
+
+  /// True when at least one live worker is registered (dispatch might
+  /// succeed).  False while draining.
+  bool has_workers() const;
+
+  /// Stops dispatching, cancels every pending lease, and shuts all
+  /// worker channels.  Called at the head of Service::stop(); NOT
+  /// async-signal-safe (takes locks).
+  void begin_drain();
+
+  /// begin_drain + joins the sweeper.  Idempotent; the dtor calls it.
+  void stop();
+
+  /// The "fleet" block of the stats reply: counters plus a per-worker
+  /// snapshot.
+  Json stats_json() const;
+
+ private:
+  struct WorkerEntry {
+    std::uint64_t id = 0;
+    std::string name;
+    std::atomic<int> capacity{1};
+    std::atomic<int> inflight{0};
+    std::atomic<std::uint64_t> jobs_ok{0};
+    std::atomic<std::uint64_t> jobs_failed{0};
+    /// steady_clock time_since_epoch of the last heartbeat (or any
+    /// channel traffic), in nanoseconds.
+    std::atomic<std::int64_t> last_seen_ns{0};
+    std::atomic<bool> expired{false};
+
+    /// Guards `session` (null once the channel thread returned) and
+    /// serializes sends.  Never taken while holding workers_mutex_.
+    std::mutex channel_mutex;
+    Session* session = nullptr;
+
+    /// False once the channel is gone or the send failed.
+    bool send(const std::string& line);
+    void shutdown_channel();
+  };
+
+  std::shared_ptr<WorkerEntry> pick_worker(std::uint64_t exclude_id);
+  void update_fleet_gauges_locked();
+  void sweep_loop();
+
+  ServiceCore* core_;
+  LeaseTable leases_;
+
+  mutable std::mutex workers_mutex_;
+  std::vector<std::shared_ptr<WorkerEntry>> workers_;
+  std::uint64_t next_worker_id_ = 1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> dispatch_seq_{0};  // backoff jitter stream
+
+  std::mutex sweep_mutex_;
+  std::condition_variable sweep_cv_;
+  bool sweep_stop_ = false;
+  std::thread sweeper_;
+
+  Counter* workers_registered_ = nullptr;
+  Counter* workers_expired_ = nullptr;
+  Counter* workers_lost_ = nullptr;
+  Counter* heartbeats_ = nullptr;
+  Counter* dispatches_ = nullptr;
+  Counter* dispatch_retries_ = nullptr;
+  Counter* remote_ok_ = nullptr;
+  Counter* remote_job_errors_ = nullptr;
+  Counter* lease_expired_ = nullptr;
+  Counter* corrupt_replies_ = nullptr;
+  Counter* fallback_local_ = nullptr;
+  Gauge* workers_active_ = nullptr;
+  Gauge* fleet_capacity_ = nullptr;
+  Histogram* remote_ms_ = nullptr;
+};
+
+}  // namespace dvs

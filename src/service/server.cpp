@@ -4,10 +4,30 @@
 #include <cstdio>
 #include <utility>
 
+#include "service/scheduler.hpp"
 #include "service/session.hpp"
+#include "service/worker.hpp"
 #include "support/version.hpp"
 
 namespace dvs {
+
+void ServiceCore::init(const Library* injected) {
+  lib = injected != nullptr ? injected
+                            : &owned_lib.emplace(build_compass_library());
+  pool.emplace(config.num_threads);
+  cache.emplace(config.cache_bytes);
+  if (!config.cache_dir.empty()) disk.emplace(config.cache_dir);
+  backlog_watermark =
+      config.max_backlog > 0
+          ? config.max_backlog
+          : static_cast<std::size_t>(pool->num_threads()) * 8;
+  lib_fingerprint = lib->fingerprint();
+  started = std::chrono::steady_clock::now();
+  init_metrics();
+  if (!config.trace_log_path.empty())
+    trace_log.emplace(config.trace_log_path);
+  if (config.scheduler) scheduler = std::make_shared<Scheduler>(this);
+}
 
 void ServiceCore::init_metrics() {
   ServiceMetrics& m = metrics;
@@ -122,21 +142,7 @@ void ServiceCore::init_metrics() {
 
 Service::Service(ServiceConfig config, const Library* lib) {
   core_.config = std::move(config);
-  if (lib == nullptr) lib = &core_.owned_lib.emplace(build_compass_library());
-  core_.lib = lib;
-  core_.pool.emplace(core_.config.num_threads);
-  core_.cache.emplace(core_.config.cache_bytes);
-  if (!core_.config.cache_dir.empty())
-    core_.disk.emplace(core_.config.cache_dir);
-  core_.backlog_watermark =
-      core_.config.max_backlog > 0
-          ? core_.config.max_backlog
-          : static_cast<std::size_t>(core_.pool->num_threads()) * 8;
-  core_.lib_fingerprint = core_.lib->fingerprint();
-  core_.started = std::chrono::steady_clock::now();
-  core_.init_metrics();
-  if (!core_.config.trace_log_path.empty())
-    core_.trace_log.emplace(core_.config.trace_log_path);
+  core_.init(lib);
   core_.request_stop = [this] { request_stop(); };
 }
 
@@ -150,6 +156,19 @@ void Service::start() {
   if (core_.config.metrics_port >= 0) {
     metrics_listener_ = ListenSocket::listen_tcp(core_.config.metrics_port);
     metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+  if (!core_.config.join.empty()) {
+    WorkerAgentConfig agent_config;
+    agent_config.connect = core_.config.join;
+    agent_config.name = core_.config.worker_name;
+    agent_config.capacity = core_.config.worker_capacity;
+    agent_config.heartbeat_ms = core_.config.heartbeat_ms;
+    agent_config.faults = core_.config.fault_spec.empty()
+                              ? FaultInjector::from_env()
+                              : FaultInjector::parse(core_.config.fault_spec);
+    agent_config.verbose = core_.config.verbose;
+    agent_ = std::make_shared<WorkerAgent>(&core_, std::move(agent_config));
+    agent_->start();
   }
 }
 
@@ -240,6 +259,7 @@ void Service::request_stop() {
   if (core_.stopping.exchange(true)) return;
   listener_.shutdown_listener();
   metrics_listener_.shutdown_listener();
+  if (agent_) agent_->request_stop();  // atomics + shutdown(): still safe
 }
 
 void Service::wait() {
@@ -262,6 +282,13 @@ void Service::stop() {
   request_stop();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (metrics_thread_.joinable()) metrics_thread_.join();
+  // Leave the fleet first: the agent finishes (and answers) its leased
+  // jobs, so a scheduler shutting down never strands work it accepted.
+  if (agent_) agent_->stop();
+  // Stop granting leases before draining sessions: in-flight dispatches
+  // get kCancelled and fall back to local execution, so every busy
+  // session below can still answer its request.
+  if (core_.scheduler) core_.scheduler->begin_drain();
   // Graceful drain: idle sessions are unblocked immediately, busy ones
   // get to finish — and answer — their in-flight request (a mid-batch
   // client receives every item and the batch_done).  Only stragglers
@@ -296,6 +323,11 @@ void Service::stop() {
       if (conn.thread.joinable()) conn.thread.join();
     connections_.clear();
   }
+  // Sessions are gone but fire-and-forget pool work may linger; the
+  // scheduler's sweeper and the metrics collector read pool stats until
+  // the core is torn down, so quiesce the pool before stopping them.
+  if (core_.pool) core_.pool->wait_idle();
+  if (core_.scheduler) core_.scheduler->stop();
   // Every job has finished; persist what the write-behind queue holds
   // so the next daemon run warm-starts from this one's work.
   if (core_.disk) core_.disk->flush();

@@ -42,6 +42,8 @@
 namespace dvs {
 
 class Session;
+class Scheduler;
+class WorkerAgent;
 
 struct ServiceConfig {
   /// >= 0 binds 127.0.0.1:tcp_port (0 = kernel-assigned, see port()).
@@ -80,6 +82,31 @@ struct ServiceConfig {
   /// span collection, so the log line can say *where* the time went.
   double slow_ms = 0.0;
   bool verbose = false;
+
+  // ---- fleet (see service/scheduler.hpp, service/worker.hpp) ----
+  /// Accept register_worker connections and dispatch cache misses to
+  /// the fleet (falling back to local execution whenever it cannot).
+  bool scheduler = false;
+  /// Per-job lease deadline: a worker that has not answered within this
+  /// budget forfeits the job (retried elsewhere or computed locally).
+  int lease_ms = 10'000;
+  /// A worker whose channel is silent this long is expired and its
+  /// leases requeued.  Workers heartbeat at heartbeat_ms.
+  int heartbeat_timeout_ms = 3'000;
+  /// Dispatch retry budget after the first attempt; each retry prefers
+  /// a different worker and backs off exponentially from
+  /// dispatch_backoff_ms with jitter.
+  int dispatch_retries = 2;
+  int dispatch_backoff_ms = 50;
+  /// Non-empty = also join this scheduler address as a worker (the
+  /// daemon lends its pool to a fleet while serving its own clients).
+  std::string join;
+  std::string worker_name;      // identity announced on --join
+  int worker_capacity = 0;      // 0 = num_threads
+  int heartbeat_ms = 500;       // worker heartbeat cadence on --join
+  /// Deterministic fault-injection spec for the --join worker side
+  /// (see support/fault_inject.hpp); empty = DVS_FAULT_INJECT env.
+  std::string fault_spec;
 };
 
 /// Handles into the registry for the service's registry-native
@@ -127,11 +154,22 @@ struct ServiceCore {
   std::optional<ThreadPool> pool;
   std::optional<ResultCache> cache;
   std::optional<DiskCacheEngine> disk;  // set when config.cache_dir is
+  /// Fleet dispatch (set when config.scheduler).  shared_ptr so the
+  /// header can stay ignorant of the Scheduler definition; constructed
+  /// by init() where it is complete.
+  std::shared_ptr<Scheduler> scheduler;
   std::atomic<bool> stopping{false};
   std::chrono::steady_clock::time_point started;
   std::function<void()> request_stop;  // set by Service
 
   std::size_t backlog_watermark = 0;
+
+  /// Builds the core's subsystems from its config: library, pool,
+  /// cache tiers, watermark, fingerprint, instruments, trace log, and
+  /// (when config.scheduler) the fleet scheduler.  Shared by Service
+  /// and the standalone worker, which runs a core with no listener.
+  /// `lib` null = build and own the compass library.
+  void init(const Library* lib);
 
   /// Creates the native instruments and registers the mirror collector.
   /// Must run after pool/cache/disk exist and the watermark is resolved.
@@ -225,6 +263,9 @@ class Service {
   std::thread accept_thread_;
   ListenSocket metrics_listener_;
   std::thread metrics_thread_;
+  /// Set when config.join is non-empty: this daemon also serves a fleet
+  /// as a worker, sharing core_'s pool and cache.
+  std::shared_ptr<WorkerAgent> agent_;
 
   struct Connection {
     std::unique_ptr<Session> session;

@@ -16,6 +16,7 @@
 #include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
 #include "opt/pipeline.hpp"
+#include "service/scheduler.hpp"
 #include "service/server.hpp"
 #include "support/rng.hpp"
 #include "support/version.hpp"
@@ -293,7 +294,7 @@ const char* cache_tier_name(OptimizeOutcome::Tier tier) {
 
 OptimizeOutcome execute_optimize(ServiceCore& core,
                                  const OptimizeRequest& request,
-                                 RequestTrace* trace) {
+                                 RequestTrace* trace, bool allow_remote) {
   // Phase timestamps: each phase starts where the previous one ended, so
   // the spans tile the execution window and their sum tracks wall time.
   using Clock = std::chrono::steady_clock;
@@ -333,8 +334,22 @@ OptimizeOutcome execute_optimize(ServiceCore& core,
   // An explicit cache bypass still warms both tiers below; only the
   // lookups are skipped.
   OptimizeOutcome outcome;
-  outcome.body = std::make_shared<const std::string>(
-      compute_body(request, job, trace));
+  if (allow_remote && core.scheduler && core.scheduler->has_workers()) {
+    // Fleet dispatch first; any fleet-side failure (no worker, lease
+    // expiry, retries exhausted, drain) returns nullopt and the job
+    // computes locally below — workers and the fleet path produce
+    // bit-identical bodies, so either way the cache sees the same bytes.
+    std::optional<Scheduler::RemoteResult> remote =
+        core.scheduler->run_remote(request, trace);
+    if (remote) {
+      outcome.body =
+          std::make_shared<const std::string>(std::move(remote->body));
+      outcome.executor = std::move(remote->worker);
+    }
+  }
+  if (!outcome.body)
+    outcome.body = std::make_shared<const std::string>(
+        compute_body(request, job, trace));
   outcome.tier = OptimizeOutcome::Tier::kMiss;
   t = Clock::now();
   if (trace) trace->add("execute", mark, t);
@@ -394,6 +409,15 @@ void Session::run() {
         if (draining_) break;
       }
       if (is_shutdown) break;
+      if (worker_mode_) {
+        // The connection becomes a fleet worker channel: the scheduler
+        // owns it from here (ack, heartbeats, job results) until the
+        // worker disconnects or the fleet drains.  busy_ stays false,
+        // so a graceful drain shuts this socket immediately — worker
+        // channels don't hold the drain window open.
+        core_->scheduler->serve_worker(worker_info_, this, &reader);
+        break;
+      }
     }
   } catch (const SocketError&) {
     // Peer vanished or service stop shut the socket down: just leave.
@@ -451,6 +475,16 @@ void Session::handle(const Request& request,
     case RequestType::kBatch:
       handle_batch(request);
       break;
+    case RequestType::kRegisterWorker:
+      if (!core_->scheduler)
+        throw ProtocolError(
+            "not a scheduler: start dvsd with --scheduler to accept "
+            "workers");
+      // No ack here: serve_worker sends it once it owns the channel, so
+      // the worker can't observe a registered-but-unowned window.
+      worker_info_ = request.register_worker;
+      worker_mode_ = true;
+      break;
   }
 }
 
@@ -507,6 +541,7 @@ void Session::handle_stats(const Request& request) {
   jobs["completed"] = Json(m.jobs_completed->value());
   jobs["failed"] = Json(m.jobs_failed->value());
   fields["jobs"] = Json(std::move(jobs));
+  if (core_->scheduler) fields["fleet"] = core_->scheduler->stats_json();
   // `requests` predates `requests_total`; both stay so old tooling keeps
   // working, and `requests_total` is the documented monotonic spelling
   // (a restart is visible as the counter falling together with uptime).
@@ -583,6 +618,8 @@ void Session::handle_optimize(const Request& request,
   core_->metrics.service_ms_optimize->observe(wall_ms);
   Json::Object fields = response_head("result", request.id);
   fields["cache"] = Json(cache_tier_name(outcome.tier));
+  if (!outcome.executor.empty())
+    fields["executor"] = Json(outcome.executor);
   fields["wall_ms"] = Json(wall_ms);
   if (trace && request.optimize.trace) fields["trace"] = trace->json();
   write_line(finish_response_with_body(std::move(fields), *outcome.body));
@@ -685,6 +722,8 @@ void Session::handle_batch(const Request& request) {
           fields["index"] = Json(static_cast<std::uint64_t>(i));
           fields["name"] = Json(item.circuit);
           fields["cache"] = Json(cache_tier_name(outcome.tier));
+          if (!outcome.executor.empty())
+            fields["executor"] = Json(outcome.executor);
           fields["wall_ms"] = Json(wall_ms);
           if (trace && wire_trace) fields["trace"] = trace->json();
           line =

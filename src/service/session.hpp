@@ -41,6 +41,9 @@ struct OptimizeOutcome {
 
   std::shared_ptr<const std::string> body;
   Tier tier = Tier::kMiss;
+  /// Non-empty when a fleet worker computed the body (its announced
+  /// name) — surfaced as the response's "executor" field.
+  std::string executor;
   /// When execute_optimize returned — the start of the caller's
   /// "respond" trace span (future wake-up + serialization + send).
   std::chrono::steady_clock::time_point finished{};
@@ -58,9 +61,14 @@ const char* cache_tier_name(OptimizeOutcome::Tier tier);
 /// items, the in-process bench, and tests).  With a non-null `trace`,
 /// appends the resolve / cache_lookup / execute / store phase spans plus
 /// depth-1 per-pass spans; always records the cache-lookup histograms.
+/// With `allow_remote` (and a scheduler with live workers), cache
+/// misses are dispatched to the fleet first, falling back to local
+/// computation whenever the fleet cannot answer; workers call with
+/// allow_remote=false so a job is never re-dispatched.
 OptimizeOutcome execute_optimize(ServiceCore& core,
                                  const OptimizeRequest& request,
-                                 RequestTrace* trace = nullptr);
+                                 RequestTrace* trace = nullptr,
+                                 bool allow_remote = true);
 
 class Session {
  public:
@@ -79,12 +87,15 @@ class Session {
 
   bool finished() const { return finished_.load(); }
 
+  /// Serialized send of one NDJSON line.  Public for the Scheduler,
+  /// which answers and commands a registered worker over the worker's
+  /// own session socket.
+  void write_line(const std::string& line);
+
  private:
   /// Parses and dispatches one request line; returns true when the
   /// request asked for daemon shutdown.
   bool serve_line(const std::string& line);
-
-  void write_line(const std::string& line);
   /// `received`/`parsed` bracket parse_request — the first trace phase.
   void handle(const Request& request,
               std::chrono::steady_clock::time_point received,
@@ -107,6 +118,11 @@ class Session {
   std::mutex state_mutex_;
   bool busy_ = false;
   bool draining_ = false;
+
+  /// Set when this connection registered as a fleet worker: run() hands
+  /// the channel to the Scheduler after the (idle) handshake completes.
+  bool worker_mode_ = false;
+  RegisterWorkerRequest worker_info_;
 };
 
 }  // namespace dvs

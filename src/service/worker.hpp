@@ -1,0 +1,117 @@
+// Fleet worker agent: connects to a dvsd scheduler, registers, and
+// executes leased jobs on a ServiceCore's ThreadPool.
+//
+// Three embeddings share this class:
+//   - the standalone `dvs-worker` binary (a core with no listener),
+//   - `dvsd --join ADDR` (the daemon lends its own core to a fleet
+//     while still serving local clients),
+//   - in-process workers in tests and the service bench.
+//
+// Robustness posture: the agent is a reconnect loop.  A lost scheduler,
+// a refused connect, or a dropped registration just schedules the next
+// attempt with bounded backoff; stop() interrupts any sleep or blocked
+// read promptly.  Jobs execute through the shared execute_optimize path
+// with remote dispatch disabled (a worker never re-dispatches), so a
+// worker's answer bytes are identical to what the scheduler would have
+// computed locally — which is what makes fleet answers cacheable and
+// bit-reproducible.
+//
+// Fault injection (support/fault_inject.hpp) is evaluated at the
+// `register`, `job-accept`, and `job-reply` points so chaos tests can
+// script worker misbehaviour deterministically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "support/backoff.hpp"
+#include "support/fault_inject.hpp"
+#include "support/socket.hpp"
+
+namespace dvs {
+
+struct ServiceCore;
+
+struct WorkerAgentConfig {
+  /// Scheduler address: "host:port", ":port", or a Unix-socket path
+  /// (anything containing '/').
+  std::string connect;
+  /// Announced identity; empty = the scheduler assigns "worker-<id>".
+  std::string name;
+  /// Max concurrently leased jobs (0 = the core's pool thread count).
+  int capacity = 0;
+  int heartbeat_ms = 500;
+  /// Connect timeout per attempt; reconnects use bounded backoff.
+  int connect_timeout_ms = 2000;
+  FaultInjector faults;
+  bool verbose = false;
+};
+
+class WorkerAgent {
+ public:
+  /// `core` must outlive the agent and must already be initialized
+  /// (pool/cache up).  The agent only reads core->config for execution.
+  WorkerAgent(ServiceCore* core, WorkerAgentConfig config);
+  ~WorkerAgent();
+
+  WorkerAgent(const WorkerAgent&) = delete;
+  WorkerAgent& operator=(const WorkerAgent&) = delete;
+
+  /// Spawns the connect/register/serve loop.
+  void start();
+
+  /// Async-signal-safe stop trigger: flips the stop flag and shuts the
+  /// active channel socket (atomics + one syscall, no locks).
+  void request_stop() noexcept;
+
+  /// request_stop + joins the agent thread and waits for in-flight
+  /// leased jobs to leave the pool.  Idempotent; the dtor calls it.
+  void stop();
+
+  bool connected() const { return connected_.load(); }
+  std::uint64_t jobs_executed() const { return jobs_executed_.load(); }
+
+ private:
+  /// One live connection: the socket plus its write lock, shared with
+  /// in-flight job tasks so a reconnect never yanks the socket out from
+  /// under a reply in progress.
+  struct Channel {
+    Socket socket;
+    std::mutex write_mutex;
+    void send_line(const std::string& line);
+  };
+
+  void run_loop();
+  /// One connect + register + serve cycle; sets *registered once the
+  /// scheduler acks.  Returns on any disconnect; throws on setup
+  /// failures (caught by run_loop).
+  void serve_cycle(bool* registered);
+  void heartbeat_loop(const std::shared_ptr<Channel>& channel);
+  void handle_job(const std::shared_ptr<Channel>& channel,
+                  std::uint64_t lease, const std::string& request_line);
+  /// Sleeps up to `ms`, returning early when stop is requested.
+  void interruptible_sleep(int ms);
+
+  ServiceCore* core_;
+  WorkerAgentConfig config_;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<int> channel_fd_{-1};  // for the signal-safe shutdown
+  std::atomic<int> inflight_{0};
+  std::atomic<std::uint64_t> jobs_executed_{0};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+
+  std::mutex heartbeat_mutex_;
+  std::condition_variable heartbeat_cv_;
+};
+
+}  // namespace dvs

@@ -1,0 +1,18 @@
+#include "support/backoff.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace dvs {
+
+double BackoffPolicy::delay_ms(int attempt) const {
+  double cap = base_ms;
+  for (int i = 0; i < attempt && cap < max_ms; ++i) cap *= multiplier;
+  cap = std::min(cap, max_ms);
+  cap = std::max(cap, 0.0);
+  Rng rng(mix_seed(seed, static_cast<std::uint64_t>(attempt)));
+  return cap * 0.5 * (1.0 + rng.next_double());
+}
+
+}  // namespace dvs

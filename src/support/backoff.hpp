@@ -1,0 +1,32 @@
+// Bounded exponential backoff with deterministic jitter.
+//
+// One policy object is shared by every retry loop in the system — the
+// scheduler's retry-on-different-worker dispatch, the worker agent's
+// reconnect loop, and dvs-client's --retries resubmission — so the
+// retry behaviour is tuned in exactly one place.  Jitter is a pure
+// function of (seed, attempt): two processes with different seeds
+// de-synchronize, while a fixed seed makes tests reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace dvs {
+
+struct BackoffPolicy {
+  /// Retry attempts *after* the first try; delay_ms(a) is the pause
+  /// before retry a (0-based).
+  int max_retries = 2;
+  double base_ms = 50.0;
+  double multiplier = 2.0;
+  double max_ms = 2000.0;
+  std::uint64_t seed = 0;
+
+  /// Pause before retry `attempt` (0-based): uniform in (cap/2, cap]
+  /// where cap = min(max_ms, base_ms * multiplier^attempt).  The
+  /// half-open lower bound keeps the expected pause growing with the
+  /// exponential curve while the jitter spreads simultaneous retriers
+  /// across half a period.  Deterministic in (seed, attempt).
+  double delay_ms(int attempt) const;
+};
+
+}  // namespace dvs

@@ -1,15 +1,21 @@
 #include "support/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <ctime>
+#include <mutex>
 
 namespace dvs {
 
@@ -20,9 +26,53 @@ namespace {
 }
 
 int new_stream_socket(int family) {
+  ignore_sigpipe();
   const int fd = ::socket(family, SOCK_STREAM, 0);
   if (fd < 0) fail_errno("socket()");
   return fd;
+}
+
+/// Drives a connect() to completion on `fd`, tolerating EINTR and
+/// enforcing an optional wall-clock timeout.  POSIX forbids restarting
+/// an interrupted connect(); the portable recipe is to wait for
+/// writability and read the pending status out of SO_ERROR.
+void finish_connect(int fd, const sockaddr* addr, socklen_t addr_len,
+                    int timeout_ms, const std::string& what) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    fail_errno("fcntl(" + what + ")");
+  const int rc = ::connect(fd, addr, addr_len);
+  if (rc < 0 && errno != EINPROGRESS && errno != EINTR)
+    fail_errno("connect(" + what + ")");
+  if (rc < 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    pollfd pfd{fd, POLLOUT, 0};
+    while (true) {
+      int wait_ms = -1;
+      if (timeout_ms > 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        wait_ms = static_cast<int>(left.count());
+        if (wait_ms < 0) wait_ms = 0;
+      }
+      const int polled = ::poll(&pfd, 1, wait_ms);
+      if (polled > 0) break;
+      if (polled == 0)
+        throw SocketTimeoutError("connect(" + what + ") timed out after " +
+                                 std::to_string(timeout_ms) + "ms");
+      if (errno != EINTR) fail_errno("poll(connect " + what + ")");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0)
+      fail_errno("getsockopt(SO_ERROR)");
+    if (err != 0) {
+      errno = err;
+      fail_errno("connect(" + what + ")");
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) fail_errno("fcntl(" + what + ")");
 }
 
 sockaddr_in loopback_addr(int port) {
@@ -43,6 +93,11 @@ sockaddr_un unix_addr(const std::string& path) {
 }
 
 }  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
@@ -73,8 +128,20 @@ std::size_t Socket::recv_some(char* buffer, std::size_t max) {
     const ssize_t n = ::recv(fd_, buffer, max, 0);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw SocketTimeoutError("recv() timed out");
     fail_errno("recv()");
   }
+}
+
+void Socket::set_recv_timeout_ms(int timeout_ms) {
+  if (!valid()) throw SocketError("set_recv_timeout_ms on closed socket");
+  if (timeout_ms < 0) timeout_ms = 0;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) < 0)
+    fail_errno("setsockopt(SO_RCVTIMEO)");
 }
 
 void Socket::shutdown_both() noexcept {
@@ -88,33 +155,23 @@ void Socket::close() noexcept {
   }
 }
 
-Socket Socket::connect_tcp(const std::string& host, int port) {
-  const int fd = new_stream_socket(AF_INET);
+Socket Socket::connect_tcp(const std::string& host, int port,
+                           int timeout_ms) {
+  Socket socket(new_stream_socket(AF_INET));
   sockaddr_in addr = loopback_addr(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
     throw SocketError("bad IPv4 address: " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    fail_errno("connect(" + host + ":" + std::to_string(port) + ")");
-  }
-  return Socket(fd);
+  finish_connect(socket.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                 timeout_ms, host + ":" + std::to_string(port));
+  return socket;
 }
 
-Socket Socket::connect_unix(const std::string& path) {
-  const sockaddr_un addr = unix_addr(path);
-  const int fd = new_stream_socket(AF_UNIX);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) < 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    fail_errno("connect(" + path + ")");
-  }
-  return Socket(fd);
+Socket Socket::connect_unix(const std::string& path, int timeout_ms) {
+  sockaddr_un addr = unix_addr(path);
+  Socket socket(new_stream_socket(AF_UNIX));
+  finish_connect(socket.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                 timeout_ms, path);
+  return socket;
 }
 
 bool LineReader::read_line(std::string* line) {

@@ -29,6 +29,15 @@ class SocketError : public std::runtime_error {
       : std::runtime_error(message) {}
 };
 
+/// A blocking operation exceeded its configured timeout (connect with a
+/// timeout_ms, or a recv after set_recv_timeout_ms).  Distinct from other
+/// I/O failures so retry loops can treat "slow" differently from "dead".
+class SocketTimeoutError : public SocketError {
+ public:
+  explicit SocketTimeoutError(const std::string& message)
+      : SocketError(message) {}
+};
+
 /// A line exceeded LineReader's cap.  Distinct from I/O failures so a
 /// server can still send a rejection message before dropping the
 /// connection (the unread remainder of the line makes resync impossible).
@@ -57,8 +66,13 @@ class Socket {
   /// Writes the whole buffer (retrying short writes / EINTR).
   void send_all(std::string_view data);
 
-  /// Reads up to `max` bytes; 0 on orderly peer close.  Throws on error.
+  /// Reads up to `max` bytes; 0 on orderly peer close.  Throws on error;
+  /// SocketTimeoutError if a recv timeout is set and expires.
   std::size_t recv_some(char* buffer, std::size_t max);
+
+  /// Arms SO_RCVTIMEO: a recv that sits idle this long throws
+  /// SocketTimeoutError instead of blocking forever.  0 disarms.
+  void set_recv_timeout_ms(int timeout_ms);
 
   /// Half-closes both directions, unblocking a peer (or own) blocked
   /// recv; safe to call from another thread and on an invalid socket.
@@ -66,12 +80,23 @@ class Socket {
 
   void close() noexcept;
 
-  static Socket connect_tcp(const std::string& host, int port);
-  static Socket connect_unix(const std::string& path);
+  /// Blocking connect.  EINTR is handled (the in-flight connect is
+  /// finished via poll + SO_ERROR, never restarted).  With timeout_ms > 0
+  /// a connect that takes longer throws SocketTimeoutError.
+  static Socket connect_tcp(const std::string& host, int port,
+                            int timeout_ms = 0);
+  static Socket connect_unix(const std::string& path, int timeout_ms = 0);
 
  private:
   int fd_ = -1;
 };
+
+/// Installs a one-time, process-wide SIG_IGN for SIGPIPE.  Called
+/// automatically by every socket constructor path (sends also pass
+/// MSG_NOSIGNAL, but third-party code writing to a dead fd must not be
+/// able to kill the daemon either); exposed for tools that want it
+/// before any socket exists.
+void ignore_sigpipe();
 
 /// Buffered reader returning one '\n'-terminated line at a time.
 class LineReader {

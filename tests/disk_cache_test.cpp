@@ -4,9 +4,11 @@
 // the same request from disk, bit-identical, without recomputing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 
@@ -118,6 +120,117 @@ TEST(DiskCacheEngine, FileNamesAreStableAndDistinct) {
 TEST(DiskCacheEngine, UncreatableDirectoryFailsLoudly) {
   EXPECT_THROW(DiskCacheEngine("/proc/definitely/not/writable"),
                std::runtime_error);
+}
+
+// ---- corruption tolerance --------------------------------------------------
+//
+// Every entry carries a `dvsr1 <fnv1a64> <size>` header; load() verifies
+// it and treats any mismatch as a miss, unlinking the damaged file so the
+// result is recomputed exactly once instead of being served corrupted.
+
+std::string entry_path(const TempDir& dir, const CacheKey& key) {
+  return dir.path() + "/" + DiskCacheEngine::file_name(key);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+}
+
+TEST(DiskCacheEngine, TruncatedEntryIsAMissAndUnlinked) {
+  TempDir dir;
+  DiskCacheEngine engine(dir.path());
+  engine.store(key_n(9), payload("a result body worth protecting"));
+  engine.flush();
+  const std::string path = entry_path(dir, key_n(9));
+  const std::string intact = read_file(path);
+
+  // Sweep truncation points: empty file, mid-header, header-only, and
+  // several partial-payload lengths.  Every one must read as a miss,
+  // count as corrupt, and leave no file behind.
+  const std::size_t cuts[] = {0, 3, intact.find('\n') + 1,
+                              intact.size() - 1, intact.size() / 2};
+  std::uint64_t expected_corrupt = 0;
+  for (const std::size_t cut : cuts) {
+    write_file(path, intact.substr(0, cut));
+    EXPECT_EQ(engine.load(key_n(9)), nullptr) << "cut at " << cut;
+    EXPECT_FALSE(fs::exists(path)) << "cut at " << cut;
+    ++expected_corrupt;
+    EXPECT_EQ(engine.stats().corrupt, expected_corrupt);
+  }
+  EXPECT_EQ(engine.stats().misses, expected_corrupt);
+  EXPECT_EQ(engine.stats().hits, 0u);
+}
+
+TEST(DiskCacheEngine, EveryFlippedByteIsDetected) {
+  TempDir dir;
+  DiskCacheEngine engine(dir.path());
+  engine.store(key_n(10), payload("checksummed payload"));
+  engine.flush();
+  const std::string path = entry_path(dir, key_n(10));
+  const std::string intact = read_file(path);
+
+  // Flip one bit of every byte in turn — magic, checksum digits, size
+  // digits, the header newline, and each payload byte.  No single-byte
+  // corruption anywhere in the file may survive verification.
+  for (std::size_t i = 0; i < intact.size(); ++i) {
+    std::string damaged = intact;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x01);
+    write_file(path, damaged);
+    EXPECT_EQ(engine.load(key_n(10)), nullptr) << "flip at byte " << i;
+    EXPECT_FALSE(fs::exists(path)) << "flip at byte " << i;
+  }
+  EXPECT_EQ(engine.stats().corrupt, intact.size());
+
+  // And the pristine bytes still verify: the detector has no false
+  // positives on this entry.
+  write_file(path, intact);
+  DiskCacheEngine::Payload back = engine.load(key_n(10));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(*back, "checksummed payload");
+}
+
+TEST(DiskCacheEngine, HeaderlessLegacyFileIsAMissAndUnlinked) {
+  TempDir dir;
+  DiskCacheEngine engine(dir.path());
+  // A pre-checksum cache directory holds bare payloads.  They must be
+  // treated as corrupt (miss + unlink), never returned as results.
+  const std::string path = entry_path(dir, key_n(11));
+  write_file(path, "raw payload from an older daemon");
+  EXPECT_EQ(engine.load(key_n(11)), nullptr);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(engine.stats().corrupt, 1u);
+  EXPECT_EQ(engine.stats().misses, 1u);
+}
+
+TEST(DiskCacheEngine, CorruptEntryIsRecomputedExactlyOnce) {
+  TempDir dir;
+  DiskCacheEngine engine(dir.path());
+  engine.store(key_n(12), payload("first answer"));
+  engine.flush();
+  const std::string path = entry_path(dir, key_n(12));
+  write_file(path, read_file(path) + "trailing garbage");
+
+  // The damaged entry misses (and vanishes)...
+  EXPECT_EQ(engine.load(key_n(12)), nullptr);
+  EXPECT_FALSE(fs::exists(path));
+  // ...the caller re-stores the recomputed result...
+  engine.store(key_n(12), payload("first answer"));
+  engine.flush();
+  // ...and from then on it hits again.
+  DiskCacheEngine::Payload back = engine.load(key_n(12));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(*back, "first answer");
+  EXPECT_EQ(engine.stats().corrupt, 1u);
+  EXPECT_EQ(engine.stats().hits, 1u);
 }
 
 // ---- the restart guarantee, end to end ------------------------------------

@@ -17,17 +17,29 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "library/supply.hpp"
 #include "service/protocol.hpp"
+#include "support/backoff.hpp"
 #include "support/json.hpp"
 #include "support/socket.hpp"
+
+#include <unistd.h>
 
 namespace {
 
 void usage(std::FILE* out) {
   std::fputs(
       "usage: dvs-client [--port N | --unix PATH] [--host IP] [--json]\n"
-      "                  COMMAND [args]\n"
+      "                  [--retries N] [--backoff-ms B] COMMAND [args]\n"
+      "\n"
+      "  --retries N     reconnect and resubmit up to N times when the\n"
+      "                  connection is refused/reset or the daemon answers\n"
+      "                  a structured 'overloaded' error (default 0)\n"
+      "  --backoff-ms B  base of the exponential retry backoff with\n"
+      "                  jitter (default 200)\n"
       "\n"
       "commands:\n"
       "  ping                       round-trip check\n"
@@ -59,6 +71,8 @@ struct Cli {
   int port = -1;
   std::string unix_path;
   bool raw_json = false;
+  int retries = 0;
+  int backoff_ms = 200;
 };
 
 dvs::Socket connect(const Cli& cli) {
@@ -298,6 +312,10 @@ int main(int argc, char** argv) {
       cli.unix_path = value("--unix");
     else if (arg == "--json")
       cli.raw_json = true;
+    else if (arg == "--retries")
+      cli.retries = std::atoi(value("--retries").c_str());
+    else if (arg == "--backoff-ms")
+      cli.backoff_ms = std::atoi(value("--backoff-ms").c_str());
     else if (arg == "--stats") {
       // Flag spelling of the stats command, for script ergonomics:
       //   dvs-client --port N --stats
@@ -422,32 +440,65 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    dvs::Socket socket = connect(cli);
-    socket.send_all(dvs::Json(std::move(request)).dump() + "\n");
-
-    dvs::LineReader reader(&socket, 64u << 20);
-    std::string line;
-    bool ok = true;
-    int remaining = expected_responses;
-    while ((remaining != 0) && reader.read_line(&line)) {
-      if (line.empty()) continue;
-      const dvs::Json json = dvs::Json::parse(line);
-      const dvs::Json* type = json.find("type");
-      const std::string type_name = type ? type->as_string() : "?";
-      if (cli.raw_json) {
-        std::printf("%s\n", line.c_str());
-        if (type_name == "error" || json.find("error") != nullptr)
-          ok = false;
-      } else {
-        ok = print_response(line) && ok;
+    const std::string request_line =
+        dvs::Json(std::move(request)).dump() + "\n";
+    // --retries: a refused/reset connection or a structured 'overloaded'
+    // rejection reconnects and resubmits with exponential backoff.
+    // Requests are either read-only or idempotent (optimize/batch are
+    // cached pure functions), so resubmission is always safe — but once
+    // any output has been printed, the retry window is over: replaying a
+    // partially-streamed batch would duplicate rows.
+    dvs::BackoffPolicy backoff;
+    backoff.base_ms = cli.backoff_ms > 0 ? cli.backoff_ms : 1;
+    backoff.max_ms = backoff.base_ms * 32.0;
+    backoff.seed = static_cast<std::uint64_t>(::getpid());
+    for (int attempt = 0;; ++attempt) {
+      bool printed = false;
+      std::string retry_reason;
+      try {
+        dvs::Socket socket = connect(cli);
+        socket.send_all(request_line);
+        dvs::LineReader reader(&socket, 64u << 20);
+        std::string line;
+        bool ok = true;
+        int remaining = expected_responses;
+        while ((remaining != 0) && reader.read_line(&line)) {
+          if (line.empty()) continue;
+          const dvs::Json json = dvs::Json::parse(line);
+          const dvs::Json* type = json.find("type");
+          const std::string type_name = type ? type->as_string() : "?";
+          if (!printed && attempt < cli.retries && type_name == "error") {
+            const dvs::Json* code = json.find("code");
+            if (code != nullptr && code->as_string() == "overloaded") {
+              retry_reason = "daemon overloaded";
+              break;
+            }
+          }
+          printed = true;
+          if (cli.raw_json) {
+            std::printf("%s\n", line.c_str());
+            if (type_name == "error" || json.find("error") != nullptr)
+              ok = false;
+          } else {
+            ok = print_response(line) && ok;
+          }
+          if (remaining > 0) --remaining;
+          // Batch stream: stop after batch_done / top-level error.
+          if (remaining < 0 &&
+              (type_name == "batch_done" || type_name == "error"))
+            break;
+        }
+        if (retry_reason.empty()) return ok ? 0 : 2;
+      } catch (const dvs::SocketError& e) {
+        if (printed || attempt >= cli.retries) throw;
+        retry_reason = e.what();
       }
-      if (remaining > 0) --remaining;
-      // Batch stream: stop after batch_done / top-level error.
-      if (remaining < 0 &&
-          (type_name == "batch_done" || type_name == "error"))
-        break;
+      const int delay_ms = static_cast<int>(backoff.delay_ms(attempt));
+      std::fprintf(stderr, "dvs-client: %s; retry %d/%d in %d ms\n",
+                   retry_reason.c_str(), attempt + 1, cli.retries,
+                   delay_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     }
-    return ok ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dvs-client: %s\n", e.what());
     return 1;

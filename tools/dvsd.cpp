@@ -30,7 +30,10 @@ void usage(std::FILE* out) {
       "            [--max-line-bytes N[K|M|G]] [--max-backlog N]\n"
       "            [--max-inflight N] [--drain-timeout-ms N]\n"
       "            [--metrics-port N] [--trace-log PATH] [--slow-ms X]\n"
-      "            [--verbose]\n"
+      "            [--scheduler] [--lease-ms N] [--heartbeat-timeout-ms N]\n"
+      "            [--dispatch-retries N] [--dispatch-backoff-ms N]\n"
+      "            [--join ADDR] [--worker-name S] [--capacity N]\n"
+      "            [--fault-inject SPEC] [--verbose]\n"
       "\n"
       "Serves dual-Vdd optimization jobs over newline-delimited JSON\n"
       "(protocol: see README.md).  Options:\n"
@@ -56,6 +59,27 @@ void usage(std::FILE* out) {
       "  --trace-log PATH     append one NDJSON trace record (spans,\n"
       "                       wall_ms, cache tier) per request to PATH\n"
       "  --slow-ms X          log requests slower than X ms to stderr\n"
+      "  --scheduler          accept dvs-worker registrations and dispatch\n"
+      "                       cache misses to the fleet (local fallback)\n"
+      "  --lease-ms N         per-job worker lease deadline (default 10000)\n"
+      "  --heartbeat-timeout-ms N\n"
+      "                       expire a silent worker after N ms (default\n"
+      "                       3000) and requeue its leases\n"
+      "  --dispatch-retries N retry budget per dispatch, preferring a\n"
+      "                       different worker each time (default 2)\n"
+      "  --dispatch-backoff-ms N\n"
+      "                       base of the exponential retry backoff\n"
+      "                       (default 50)\n"
+      "  --join ADDR          also register with the scheduler at ADDR\n"
+      "                       (host:port or a Unix-socket path) and lend\n"
+      "                       this daemon's pool to its fleet\n"
+      "  --worker-name S      identity announced on --join\n"
+      "  --capacity N         max concurrently leased jobs on --join\n"
+      "                       (default: worker threads)\n"
+      "  --fault-inject SPEC  deterministic fault injection for the --join\n"
+      "                       worker side, e.g.\n"
+      "                       'job-reply=corrupt-reply@0.5,seed=7'\n"
+      "                       (default: $DVS_FAULT_INJECT)\n"
       "  --verbose            log connections to stderr\n"
       "  --help               this text\n",
       out);
@@ -124,6 +148,26 @@ int main(int argc, char** argv) {
       config.trace_log_path = value();
     else if (flag == "--slow-ms")
       config.slow_ms = std::atof(value());
+    else if (flag == "--scheduler")
+      config.scheduler = true;
+    else if (flag == "--lease-ms")
+      config.lease_ms = std::atoi(value());
+    else if (flag == "--heartbeat-timeout-ms")
+      config.heartbeat_timeout_ms = std::atoi(value());
+    else if (flag == "--dispatch-retries")
+      config.dispatch_retries = std::atoi(value());
+    else if (flag == "--dispatch-backoff-ms")
+      config.dispatch_backoff_ms = std::atoi(value());
+    else if (flag == "--join")
+      config.join = value();
+    else if (flag == "--worker-name")
+      config.worker_name = value();
+    else if (flag == "--capacity")
+      config.worker_capacity = std::atoi(value());
+    else if (flag == "--heartbeat-ms")
+      config.heartbeat_ms = std::atoi(value());
+    else if (flag == "--fault-inject")
+      config.fault_spec = value();
     else if (flag == "--verbose")
       config.verbose = true;
     else if (flag == "--help" || flag == "-h") {
@@ -158,6 +202,10 @@ int main(int argc, char** argv) {
     if (config.metrics_port >= 0)
       std::printf("dvsd: metrics on http://127.0.0.1:%d/metrics\n",
                   service.metrics_port());
+    if (config.scheduler)
+      std::printf("dvsd: scheduler mode (accepting worker registrations)\n");
+    if (!config.join.empty())
+      std::printf("dvsd: joining fleet at %s\n", config.join.c_str());
     std::fflush(stdout);
     service.wait();
     service.stop();
