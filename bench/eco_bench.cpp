@@ -1,0 +1,211 @@
+// ECO bench: what a maintained design session buys.  Opens the largest
+// MCNC circuits as design handles, streams random point edits at them,
+// and times the incremental re-evaluation (the maintained IncrementalSta
+// updating only the changed cones) against the stateless full recompute
+// the daemon would do without a session — asserting along the way that
+// both paths agree on every double, bit for bit.
+//
+//   $ eco_bench [--edits N] [--circuits a,b,c] [--out PATH]
+//
+// Writes a JSON summary (default BENCH_eco.json) with per-circuit
+// incremental/full wall times and the speedup factor; exits non-zero on
+// any incremental-vs-full mismatch.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "library/library.hpp"
+#include "service/design_session.hpp"
+#include "service/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double field(const dvs::Json::Object& fields, const char* key) {
+  return fields.at(key).as_double();
+}
+
+/// Applies one random point edit (rung flip, upsize, or downsize) to a
+/// random gate, retrying addresses that are not gates or edits that are
+/// already at a drive rail.  Returns false if no edit landed.
+bool random_point_edit(dvs::DesignRegistry& registry,
+                       const std::string& handle, int num_rungs,
+                       std::uint64_t id_bound, dvs::Rng& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    dvs::EditRequest request;
+    request.design = handle;
+    dvs::DesignEdit edit;
+    const int kind = rng.next_int(0, 3);
+    if (kind <= 1)  // bias toward rung flips: the classic ECO
+      edit.op = dvs::DesignEdit::Op::kRung;
+    else if (kind == 2)
+      edit.op = dvs::DesignEdit::Op::kUpsize;
+    else
+      edit.op = dvs::DesignEdit::Op::kDownsize;
+    edit.rung = rng.next_int(0, num_rungs - 1);
+    edit.gate = dvs::Json(static_cast<std::int64_t>(
+        rng.next_below(id_bound)));
+    request.edits.push_back(std::move(edit));
+    try {
+      registry.edit(request);
+      return true;
+    } catch (const dvs::ProtocolError&) {
+      // Not a gate / already at a rail — pick again.
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int edits = 50;
+  std::string out = "BENCH_eco.json";
+  std::vector<std::string> circuits = {"des", "i10", "C7552"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--edits") {
+      edits = std::atoi(value());
+    } else if (flag == "--out") {
+      out = value();
+    } else if (flag == "--circuits") {
+      circuits.clear();
+      std::istringstream list(value());
+      std::string name;
+      while (std::getline(list, name, ','))
+        if (!name.empty()) circuits.push_back(name);
+    } else {
+      std::fprintf(stderr,
+                   "usage: eco_bench [--edits N] [--circuits a,b,c] "
+                   "[--out PATH]\n");
+      return 1;
+    }
+  }
+
+  const dvs::Library lib = dvs::build_compass_library();
+  const int num_rungs = lib.supplies().depth();
+  dvs::DesignRegistry registry(&lib, dvs::DesignSessionConfig{});
+  dvs::Rng rng(0xec0);
+
+  std::printf("ECO bench — incremental reoptimize vs stateless full "
+              "recompute, %d edits per circuit\n", edits);
+  std::printf("%-10s | %6s | %12s | %12s | %8s | %s\n", "circuit",
+              "gates", "incremental", "full", "speedup", "identical");
+
+  dvs::Json::Array rows;
+  double total_incremental_ms = 0.0;
+  double total_full_ms = 0.0;
+  bool all_identical = true;
+
+  for (const std::string& name : circuits) {
+    dvs::OpenDesignRequest open;
+    open.circuit = name;
+    const dvs::Json::Object opened = registry.open(open);
+    const std::string handle = opened.at("design").as_string();
+    const std::int64_t gates = opened.at("gates").as_int();
+    // Node ids run past the gate count (inputs are nodes too); double
+    // the gate count comfortably covers the id space to sample from.
+    const std::uint64_t id_bound = static_cast<std::uint64_t>(gates) * 2;
+
+    // Arm the incremental timer outside the measured loop.
+    dvs::ReoptimizeRequest warm;
+    warm.design = handle;
+    warm.mode = "full";
+    registry.reoptimize(warm);
+
+    double incremental_ms = 0.0;
+    double full_ms = 0.0;
+    bool identical = true;
+    for (int step = 0; step < edits; ++step) {
+      if (!random_point_edit(registry, handle, num_rungs, id_bound, rng)) {
+        std::fprintf(stderr, "eco_bench: %s: no edit landed\n",
+                     name.c_str());
+        return 1;
+      }
+      dvs::ReoptimizeRequest request;
+      request.design = handle;
+      request.mode = "incremental";
+      auto start = std::chrono::steady_clock::now();
+      const dvs::DesignReoptimizeResult incr = registry.reoptimize(request);
+      incremental_ms += ms_since(start);
+
+      // The stateless answer: a fresh Design compiled from the current
+      // netlist, exactly what a session-less daemon would compute.
+      request.mode = "full";
+      start = std::chrono::steady_clock::now();
+      const dvs::DesignReoptimizeResult full = registry.reoptimize(request);
+      full_ms += ms_since(start);
+
+      for (const char* key : {"power_uw", "arrival_ns", "slack_ns",
+                              "area_um2", "low", "level_converters"}) {
+        if (field(incr.fields, key) != field(full.fields, key)) {
+          std::fprintf(stderr,
+                       "eco_bench: %s step %d: %s diverged "
+                       "(incremental %.17g vs full %.17g)\n",
+                       name.c_str(), step, key, field(incr.fields, key),
+                       field(full.fields, key));
+          identical = false;
+        }
+      }
+    }
+
+    dvs::CloseDesignRequest close;
+    close.design = handle;
+    registry.close(close);
+
+    const double speedup = incremental_ms > 0 ? full_ms / incremental_ms
+                                              : 0.0;
+    std::printf("%-10s | %6lld | %9.1f ms | %9.1f ms | %7.1fx | %s\n",
+                name.c_str(), static_cast<long long>(gates),
+                incremental_ms, full_ms, speedup,
+                identical ? "yes" : "NO");
+    std::fflush(stdout);
+
+    dvs::Json::Object row;
+    row["name"] = dvs::Json(name);
+    row["gates"] = dvs::Json(gates);
+    row["edits"] = dvs::Json(edits);
+    row["incremental_ms"] = dvs::Json(incremental_ms);
+    row["full_ms"] = dvs::Json(full_ms);
+    row["speedup"] = dvs::Json(speedup);
+    row["identical"] = dvs::Json(identical);
+    rows.emplace_back(std::move(row));
+    total_incremental_ms += incremental_ms;
+    total_full_ms += full_ms;
+    all_identical = all_identical && identical;
+  }
+
+  const double speedup =
+      total_incremental_ms > 0 ? total_full_ms / total_incremental_ms : 0.0;
+  std::printf("overall: incremental %.1f ms, full %.1f ms — %.1fx\n",
+              total_incremental_ms, total_full_ms, speedup);
+
+  dvs::Json::Object summary;
+  summary["bench"] = dvs::Json(std::string("eco"));
+  summary["circuits"] = dvs::Json(std::move(rows));
+  summary["incremental_ms"] = dvs::Json(total_incremental_ms);
+  summary["full_ms"] = dvs::Json(total_full_ms);
+  summary["speedup"] = dvs::Json(speedup);
+  summary["identical"] = dvs::Json(all_identical);
+  std::ofstream file(out);
+  file << dvs::Json(std::move(summary)).dump() << "\n";
+  if (!file) {
+    std::fprintf(stderr, "eco_bench: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return all_identical ? 0 : 1;
+}

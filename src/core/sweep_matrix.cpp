@@ -1,0 +1,197 @@
+#include "core/sweep_matrix.hpp"
+
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "core/job.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dvs {
+
+namespace {
+
+/// One fully-specified grid point, expanded before execution so cells
+/// can run in any order and still land deterministically.
+struct CellSpec {
+  std::vector<double> supplies;
+  double budget = 0.0;
+  PaperAlgo algo = PaperAlgo::kCvs;
+  bool has_budget = false;  // gscale cells only
+};
+
+std::vector<CellSpec> expand(const SweepMatrixSpec& spec,
+                             const Library& base_lib) {
+  std::vector<std::vector<double>> ladders = spec.ladders;
+  if (ladders.empty()) ladders.push_back(base_lib.supplies().voltages());
+  std::vector<double> budgets = spec.area_budgets;
+  if (budgets.empty()) budgets.push_back(spec.base.gscale.area_budget_ratio);
+
+  std::vector<CellSpec> cells;
+  for (const std::vector<double>& ladder : ladders) {
+    SupplyLadder{ladder};  // validate up front: one bad ladder fails all
+    if (spec.run_cvs)
+      cells.push_back({ladder, 0.0, PaperAlgo::kCvs, false});
+    if (spec.run_dscale)
+      cells.push_back({ladder, 0.0, PaperAlgo::kDscale, false});
+    if (spec.run_gscale)
+      for (double budget : budgets)
+        cells.push_back({ladder, budget, PaperAlgo::kGscale, true});
+  }
+  return cells;
+}
+
+SweepCellResult run_cell(
+    const std::function<Network(const Library&)>& source,
+    const Library& base_lib, const SweepMatrixSpec& spec,
+    const CellSpec& cell) {
+  // The cell's operating point: the base library retargeted to the
+  // cell's ladder (skipping the copy when it already matches).
+  SupplyLadder ladder(cell.supplies);
+  const Library* lib = &base_lib;
+  std::optional<Library> adjusted;
+  if (ladder != base_lib.supplies()) {
+    adjusted.emplace(base_lib);
+    adjusted->set_supply_ladder(std::move(ladder));
+    lib = &*adjusted;
+  }
+  const Network net = source(*lib);
+
+  // The suite engine's per-cell seed derivation, so a sweep cell is
+  // comparable to the matching daemon / suite_bench cell.
+  FlowOptions flow = derive_cell_flow(spec.base, spec.circuit_seed,
+                                      cell.algo);
+  if (cell.has_budget) flow.gscale.area_budget_ratio = cell.budget;
+
+  CircuitRunResult row;
+  init_flow_row(net, *lib, flow, &row);
+  Design design = make_flow_design(net, *lib, flow, row.tspec_ns);
+
+  SweepCellResult out;
+  out.supplies = cell.supplies;
+  out.area_budget = cell.has_budget ? cell.budget : 0.0;
+  out.algo = paper_algo_name(cell.algo);
+  out.delay_penalty_pct =
+      100.0 *
+      (lib->voltage_model().delay_factor(lib->supplies().bottom()) - 1.0);
+  out.gates = row.num_gates;
+  out.tspec_ns = row.tspec_ns;
+  out.org_power_uw = row.org_power_uw;
+
+  switch (cell.algo) {
+    case PaperAlgo::kCvs:
+      run_cvs(design, flow.cvs);
+      break;
+    case PaperAlgo::kDscale:
+      run_dscale(design, flow.dscale);
+      break;
+    case PaperAlgo::kGscale: {
+      const GscaleResult r = run_gscale(design, flow.gscale);
+      out.resized = r.num_resized;
+      out.area_increase = r.area_increase_ratio;
+      break;
+    }
+  }
+
+  out.power_uw = design.run_power().total();
+  out.improve_pct = improvement_pct(out.org_power_uw, out.power_uw);
+  out.arrival_ns = design.run_timing().worst_arrival;
+  out.area_um2 = design.total_area();
+  out.low = design.count_low();
+  out.level_converters = design.count_lcs();
+  return out;
+}
+
+/// Marks the non-dominated cells of the (power, delay) minimization and
+/// returns their indices in grid order.
+std::vector<int> mark_pareto(std::vector<SweepCellResult>& cells) {
+  std::vector<int> front;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < cells.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool no_worse = cells[j].power_uw <= cells[i].power_uw &&
+                            cells[j].arrival_ns <= cells[i].arrival_ns;
+      const bool better = cells[j].power_uw < cells[i].power_uw ||
+                          cells[j].arrival_ns < cells[i].arrival_ns;
+      dominated = no_worse && better;
+    }
+    cells[i].pareto = !dominated;
+    if (!dominated) front.push_back(static_cast<int>(i));
+  }
+  return front;
+}
+
+}  // namespace
+
+SweepMatrixResult run_sweep_matrix(
+    const std::function<Network(const Library&)>& source,
+    const Library& base_lib, const SweepMatrixSpec& spec,
+    ThreadPool* pool) {
+  const std::vector<CellSpec> specs = expand(spec, base_lib);
+  SweepMatrixResult result;
+  result.cells.resize(specs.size());
+  if (pool != nullptr && specs.size() > 1) {
+    // One pool task per cell; the caller's thread (a session I/O thread
+    // or a bench main) blocks on the futures, never a pool worker, so a
+    // single-threaded pool cannot deadlock on its own sweep.
+    std::vector<std::future<SweepCellResult>> futures(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      auto promise = std::make_shared<std::promise<SweepCellResult>>();
+      futures[i] = promise->get_future();
+      const CellSpec* cell = &specs[i];
+      pool->submit([&source, &base_lib, &spec, cell, promise] {
+        try {
+          promise->set_value(run_cell(source, base_lib, spec, *cell));
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+      });
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      result.cells[i] = futures[i].get();  // rethrows cell failures
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      result.cells[i] = run_cell(source, base_lib, spec, specs[i]);
+  }
+  result.pareto = mark_pareto(result.cells);
+  return result;
+}
+
+Json sweep_matrix_json(const SweepMatrixResult& result) {
+  Json::Array cells;
+  for (const SweepCellResult& cell : result.cells) {
+    Json::Object entry;
+    Json::Array supplies;
+    for (double v : cell.supplies) supplies.emplace_back(v);
+    entry["supplies"] = Json(std::move(supplies));
+    if (cell.algo == "gscale")
+      entry["area_budget"] = Json(cell.area_budget);
+    entry["algo"] = Json(cell.algo);
+    entry["delay_penalty_pct"] = Json(cell.delay_penalty_pct);
+    entry["gates"] = Json(cell.gates);
+    entry["tspec_ns"] = Json(cell.tspec_ns);
+    entry["org_power_uw"] = Json(cell.org_power_uw);
+    entry["power_uw"] = Json(cell.power_uw);
+    entry["improve_pct"] = Json(cell.improve_pct);
+    entry["arrival_ns"] = Json(cell.arrival_ns);
+    entry["area_um2"] = Json(cell.area_um2);
+    entry["low"] = Json(cell.low);
+    entry["level_converters"] = Json(cell.level_converters);
+    entry["resized"] = Json(cell.resized);
+    entry["area_increase"] = Json(cell.area_increase);
+    entry["pareto"] = Json(cell.pareto);
+    cells.emplace_back(std::move(entry));
+  }
+  Json::Object object;
+  object["cells"] = Json(std::move(cells));
+  Json::Array front;
+  for (int i : result.pareto)
+    front.emplace_back(static_cast<std::int64_t>(i));
+  object["pareto"] = Json(std::move(front));
+  object["count"] =
+      Json(static_cast<std::uint64_t>(result.cells.size()));
+  return Json(std::move(object));
+}
+
+}  // namespace dvs

@@ -106,6 +106,84 @@ std::uint64_t parse_deadline_ms(const Json& json) {
   return deadline;
 }
 
+/// Design-session handle fields: the handle grammar is shared by
+/// open_design's optional `name` and every other verb's required
+/// `design`.
+std::string parse_design_name(const Json& json, const char* field) {
+  const std::string& name = json.as_string();
+  if (name.empty() || name.size() > 64)
+    throw ProtocolError(std::string(field) +
+                        " must be 1-64 characters of [A-Za-z0-9_.-]");
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok)
+      throw ProtocolError(std::string(field) +
+                          " must be 1-64 characters of [A-Za-z0-9_.-]");
+  }
+  return name;
+}
+
+std::string required_design(const Json& json, const char* where) {
+  const Json* v = json.find("design");
+  if (!v)
+    throw ProtocolError(std::string(where) + " needs a 'design' handle");
+  return parse_design_name(*v, "design");
+}
+
+DesignEdit parse_edit(const Json& json, std::size_t index) {
+  if (!json.is_object())
+    throw ProtocolError("edit " + std::to_string(index) +
+                        " must be an object");
+  check_known_keys(json.as_object(), {"op", "gate", "rung", "cell"},
+                   "edit " + std::to_string(index));
+  DesignEdit edit;
+  const Json* op = json.find("op");
+  if (!op)
+    throw ProtocolError("edit " + std::to_string(index) + " without 'op'");
+  const std::string& name = op->as_string();
+  if (name == "rung")
+    edit.op = DesignEdit::Op::kRung;
+  else if (name == "cell")
+    edit.op = DesignEdit::Op::kCell;
+  else if (name == "upsize")
+    edit.op = DesignEdit::Op::kUpsize;
+  else if (name == "downsize")
+    edit.op = DesignEdit::Op::kDownsize;
+  else if (name == "insert_lc")
+    edit.op = DesignEdit::Op::kInsertLc;
+  else if (name == "remove_lc")
+    edit.op = DesignEdit::Op::kRemoveLc;
+  else
+    throw ProtocolError("unknown edit op '" + name + "'");
+  const Json* gate = json.find("gate");
+  if (!gate)
+    throw ProtocolError("edit " + std::to_string(index) +
+                        " without 'gate'");
+  edit.gate = *gate;
+  if (edit.op == DesignEdit::Op::kRung) {
+    const Json* rung = json.find("rung");
+    if (!rung)
+      throw ProtocolError("edit op 'rung' needs a 'rung' index");
+    const std::int64_t value = rung->as_int();
+    if (value < 0 || value > 7)  // SupplyLadder::kMaxRungs - 1
+      throw ProtocolError("rung out of range");
+    edit.rung = static_cast<int>(value);
+  } else if (json.find("rung") != nullptr) {
+    throw ProtocolError("'rung' only applies to edit op 'rung'");
+  }
+  if (edit.op == DesignEdit::Op::kCell) {
+    const Json* cell = json.find("cell");
+    if (!cell) throw ProtocolError("edit op 'cell' needs a 'cell' name");
+    edit.cell = cell->as_string();
+    if (edit.cell.empty()) throw ProtocolError("empty cell name");
+  } else if (json.find("cell") != nullptr) {
+    throw ProtocolError("'cell' only applies to edit op 'cell'");
+  }
+  return edit;
+}
+
 }  // namespace
 
 FlowOptions JobOptions::to_flow_options() const {
@@ -225,6 +303,111 @@ Request parse_request(const std::string& line) {
     if (const Json* v = json.find("deadline_ms"))
       batch.deadline_ms = parse_deadline_ms(*v);
     if (const Json* v = json.find("trace")) batch.trace = v->as_bool();
+    return request;
+  }
+
+  if (type == "open_design") {
+    check_known_keys(json.as_object(),
+                     {"type", "id", "name", "circuit", "netlist", "format",
+                      "options"},
+                     "open_design");
+    request.type = RequestType::kOpenDesign;
+    OpenDesignRequest& open = request.open_design;
+    if (const Json* v = json.find("name"))
+      open.name = parse_design_name(*v, "name");
+    if (const Json* v = json.find("circuit")) open.circuit = v->as_string();
+    if (const Json* v = json.find("netlist")) open.netlist = v->as_string();
+    if (open.circuit.empty() == open.netlist.empty())
+      throw ProtocolError(
+          "open_design needs exactly one of 'circuit' or 'netlist'");
+    if (const Json* v = json.find("format")) open.format = parse_format(*v);
+    if (const Json* v = json.find("options"))
+      open.options = parse_options(*v);
+    return request;
+  }
+
+  if (type == "edit") {
+    check_known_keys(json.as_object(), {"type", "id", "design", "edits"},
+                     "edit");
+    request.type = RequestType::kEdit;
+    request.edit.design = required_design(json, "edit");
+    const Json* edits = json.find("edits");
+    if (!edits || edits->as_array().empty())
+      throw ProtocolError("edit needs a non-empty 'edits' array");
+    const Json::Array& array = edits->as_array();
+    for (std::size_t i = 0; i < array.size(); ++i)
+      request.edit.edits.push_back(parse_edit(array[i], i));
+    return request;
+  }
+
+  if (type == "reoptimize") {
+    check_known_keys(json.as_object(),
+                     {"type", "id", "design", "mode", "algos", "pipeline",
+                      "use_cache", "trace"},
+                     "reoptimize");
+    request.type = RequestType::kReoptimize;
+    ReoptimizeRequest& reopt = request.reoptimize;
+    reopt.design = required_design(json, "reoptimize");
+    if (const Json* v = json.find("mode")) {
+      reopt.mode = v->as_string();
+      if (reopt.mode != "auto" && reopt.mode != "incremental" &&
+          reopt.mode != "full")
+        throw ProtocolError(
+            "mode must be 'auto', 'incremental', or 'full'");
+    }
+    if (const Json* v = json.find("algos")) {
+      reopt.has_algos = true;
+      parse_algos(*v, &reopt.run_cvs, &reopt.run_dscale,
+                  &reopt.run_gscale);
+    }
+    if (const Json* v = json.find("pipeline")) {
+      if (reopt.has_algos)
+        throw ProtocolError(
+            "reoptimize takes 'algos' or 'pipeline', not both");
+      Pipeline::from_spec(*v);  // fail fast on bad specs
+      reopt.pipeline = *v;
+    }
+    if (const Json* v = json.find("use_cache"))
+      reopt.use_cache = v->as_bool();
+    if (const Json* v = json.find("trace")) reopt.trace = v->as_bool();
+    return request;
+  }
+
+  if (type == "sweep") {
+    check_known_keys(json.as_object(),
+                     {"type", "id", "design", "ladders", "vlow",
+                      "area_budgets", "algos"},
+                     "sweep");
+    request.type = RequestType::kSweep;
+    SweepRequest& sweep = request.sweep;
+    sweep.design = required_design(json, "sweep");
+    if (const Json* v = json.find("ladders"))
+      for (const Json& ladder : v->as_array())
+        sweep.ladders.push_back(supply_ladder_from_json(ladder).voltages());
+    if (const Json* v = json.find("vlow"))
+      for (const Json& entry : v->as_array()) {
+        const double vlow = entry.as_double();
+        if (vlow <= 0.0) throw ProtocolError("vlow must be positive");
+        sweep.vlow.push_back(vlow);
+      }
+    if (const Json* v = json.find("area_budgets"))
+      for (const Json& entry : v->as_array()) {
+        const double budget = entry.as_double();
+        if (budget < 0.0 || budget > 10.0)
+          throw ProtocolError("area budget out of range");
+        sweep.area_budgets.push_back(budget);
+      }
+    if (const Json* v = json.find("algos"))
+      parse_algos(*v, &sweep.run_cvs, &sweep.run_dscale,
+                  &sweep.run_gscale);
+    return request;
+  }
+
+  if (type == "close_design") {
+    check_known_keys(json.as_object(), {"type", "id", "design"},
+                     "close_design");
+    request.type = RequestType::kCloseDesign;
+    request.close_design.design = required_design(json, "close_design");
     return request;
   }
 

@@ -11,6 +11,13 @@
 //   {"type":"optimize", ...}         -> {"type":"result", ...}
 //   {"type":"batch", ...}            -> N x {"type":"batch_item", ...}
 //                                       + {"type":"batch_done", ...}
+//   {"type":"open_design", ...}      -> {"type":"design_opened", ...}
+//   {"type":"edit", ...}             -> {"type":"edited", ...}
+//   {"type":"reoptimize", ...}       -> {"type":"reoptimized", ...}
+//   {"type":"sweep", ...}            -> {"type":"sweep_result", ...}
+//   {"type":"close_design", ...}     -> {"type":"design_closed", ...}
+//       (ECO sessions: stateful design handles, README.md "ECO
+//       sessions"; see the request structs below)
 // Anything else (malformed JSON, unknown keys, bad values) produces
 // {"type":"error","message":...} and leaves the connection usable.
 // Overload-control failures additionally carry a machine-readable
@@ -74,7 +81,12 @@ enum class RequestType {
   kShutdown,
   kOptimize,
   kBatch,
-  kRegisterWorker
+  kRegisterWorker,
+  kOpenDesign,
+  kEdit,
+  kReoptimize,
+  kSweep,
+  kCloseDesign
 };
 
 /// `{"type":"register_worker", ...}` — a worker joining the fleet.  The
@@ -129,12 +141,101 @@ struct BatchRequest {
   bool trace = false;             // per-item trace arrays, as above
 };
 
+// ---- ECO design sessions --------------------------------------------------
+//
+// Stateful protocol surface (README.md "ECO sessions"): a design is
+// loaded once with `open_design`, addressed by its handle, edited with
+// streamed deltas, re-evaluated incrementally, swept server-side, and
+// released with `close_design`.  Handles are daemon-global and
+// refcounted: opening an existing name attaches to it, closing
+// decrements, and the design is freed when the last reference closes
+// (or the idle GC expires it first).
+
+/// `{"type":"open_design", ...}` — load a netlist into a named handle.
+/// Exactly one of `circuit` / `netlist`, as in optimize.  `name` is
+/// optional: empty lets the daemon assign "d<N>"; a known name attaches
+/// to the existing design (its netlist/options are then ignored).
+struct OpenDesignRequest {
+  std::string name;
+  std::string circuit;
+  std::string netlist;
+  std::string format = "blif";
+  JobOptions options;
+};
+
+/// One streamed structural delta of an `edit` request.
+struct DesignEdit {
+  enum class Op {
+    kRung,      // set the gate's supply rung
+    kCell,      // swap to a named drive variant of the same function
+    kUpsize,    // one drive step up
+    kDownsize,  // one drive step down
+    kInsertLc,  // materialize a level converter on the gate's output
+    kRemoveLc   // remove a previously inserted level converter
+  };
+  Op op = Op::kRung;
+  /// Gate address: a node id (number) or a node name (string).
+  Json gate;
+  int rung = 0;       // kRung
+  std::string cell;   // kCell
+};
+
+struct EditRequest {
+  std::string design;
+  std::vector<DesignEdit> edits;
+};
+
+/// `{"type":"reoptimize", ...}` — re-evaluate (or re-run a pipeline on)
+/// the design's current state.  Without `pipeline`/`algos` this is the
+/// ECO hot path: evaluate power/delay/area of the edited design, via
+/// the maintained incremental timer when every edit since the last
+/// evaluation was a point edit, falling back to a full recompile after
+/// structural edits.  With `pipeline`/`algos` the named passes re-run
+/// from scratch on the edited netlist (results are cached in the
+/// ResultCache under the design's current content fingerprint).
+struct ReoptimizeRequest {
+  std::string design;
+  std::string mode = "auto";  // "auto" | "incremental" | "full"
+  Json pipeline;
+  bool has_algos = false;
+  bool run_cvs = false;
+  bool run_dscale = false;
+  bool run_gscale = false;
+  bool use_cache = true;
+  bool trace = false;
+};
+
+/// `{"type":"sweep", ...}` — the supply-ladder x area-budget x algorithm
+/// matrix over the design's current network, fanned out on the pool,
+/// answered as one reply carrying every cell plus the power/delay
+/// Pareto front (core/sweep_matrix.hpp).
+struct SweepRequest {
+  std::string design;
+  /// Explicit ladders, and/or `vlow` sugar: each entry v becomes the
+  /// two-rung ladder {design's top voltage, v}.
+  std::vector<std::vector<double>> ladders;
+  std::vector<double> vlow;
+  std::vector<double> area_budgets;
+  bool run_cvs = true;
+  bool run_dscale = true;
+  bool run_gscale = true;
+};
+
+struct CloseDesignRequest {
+  std::string design;
+};
+
 struct Request {
   RequestType type = RequestType::kPing;
   Json id;  // echoed verbatim in every response (null when absent)
   OptimizeRequest optimize;
   BatchRequest batch;
   RegisterWorkerRequest register_worker;
+  OpenDesignRequest open_design;
+  EditRequest edit;
+  ReoptimizeRequest reoptimize;
+  SweepRequest sweep;
+  CloseDesignRequest close_design;
 };
 
 /// Parses one NDJSON line.  Throws ProtocolError / JsonError.

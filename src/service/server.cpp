@@ -21,6 +21,12 @@ void ServiceCore::init(const Library* injected) {
       config.max_backlog > 0
           ? config.max_backlog
           : static_cast<std::size_t>(pool->num_threads()) * 8;
+  DesignSessionConfig design_config;
+  design_config.idle_ms = config.session_idle_ms;
+  design_config.max_bytes = config.design_bytes;
+  design_config.max_open = config.max_open_designs;
+  designs.emplace(lib, design_config, &*pool, &*cache,
+                  disk ? &*disk : nullptr);
   lib_fingerprint = lib->fingerprint();
   started = std::chrono::steady_clock::now();
   init_metrics();
@@ -67,6 +73,8 @@ void ServiceCore::init_metrics() {
   m.cache_lookup_disk_ms = &registry.histogram(
       "dvsd_cache_lookup_ms", "Result-cache probe time (ms).",
       {{"tier", "disk"}});
+  m.service_ms_design = &registry.histogram(
+      "dvsd_service_ms", "Request wall time (ms).", {{"type", "design"}});
   registry.gauge("dvsd_build_info", "Constant 1; the version label is the payload.",
                  {{"version", kDvsVersion}})
       .set(1.0);
@@ -109,12 +117,41 @@ void ServiceCore::init_metrics() {
       "dvsd_pool_tasks_total", "Pool tasks retired since startup.");
   Gauge& uptime =
       registry.gauge("dvsd_uptime_seconds", "Seconds since service start.");
+  // ECO design-session instruments, mirrored from the registry's stats.
+  Gauge& sessions_open = registry.gauge(
+      "dvsd_sessions_open", "Open design handles (ECO sessions).");
+  Gauge& designs_bytes = registry.gauge(
+      "dvsd_designs_resident_bytes",
+      "Estimated resident bytes of open designs.");
+  Counter& design_opened = registry.counter(
+      "dvsd_design_opened_total", "open_design requests honored.");
+  Counter& design_closed = registry.counter(
+      "dvsd_design_closed_total", "Design handles fully closed.");
+  Counter& design_expired = registry.counter(
+      "dvsd_design_expired_total", "Design handles expired by the idle GC.");
+  Counter& design_evicted = registry.counter(
+      "dvsd_design_evicted_total",
+      "Design handles evicted under the byte budget.");
+  Counter& design_edits = registry.counter(
+      "dvsd_design_edits_total", "Design edits applied.");
+  Counter& design_reopt_incr = registry.counter(
+      "dvsd_design_reoptimize_total", "Design reoptimizations served.",
+      {{"mode", "incremental"}});
+  Counter& design_reopt_full = registry.counter(
+      "dvsd_design_reoptimize_total", "Design reoptimizations served.",
+      {{"mode", "full"}});
+  Counter& design_sweep_cells = registry.counter(
+      "dvsd_design_sweep_cells_total", "Sweep matrix cells computed.");
   registry.register_collector([this, &mem_hits, &mem_misses, &disk_hits,
                                &disk_misses, &evictions, &rejected, &entries,
                                &bytes, &capacity, &disk_writes,
                                &disk_write_errors, &disk_bytes_written,
                                &pool_threads, &pool_depth, &pool_peak,
-                               &pool_tasks, &uptime] {
+                               &pool_tasks, &uptime, &sessions_open,
+                               &designs_bytes, &design_opened, &design_closed,
+                               &design_expired, &design_evicted,
+                               &design_edits, &design_reopt_incr,
+                               &design_reopt_full, &design_sweep_cells] {
     const CacheStats cs = cache->stats();
     mem_hits.set(cs.hits);
     mem_misses.set(cs.misses);
@@ -137,6 +174,18 @@ void ServiceCore::init_metrics() {
     uptime.set(std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - started)
                    .count());
+    const DesignRegistryStats drs =
+        designs ? designs->stats() : DesignRegistryStats{};
+    sessions_open.set(static_cast<double>(drs.open_now));
+    designs_bytes.set(static_cast<double>(drs.resident_bytes));
+    design_opened.set(drs.opened);
+    design_closed.set(drs.closed);
+    design_expired.set(drs.expired);
+    design_evicted.set(drs.evicted);
+    design_edits.set(drs.edits);
+    design_reopt_incr.set(drs.reoptimize_incremental);
+    design_reopt_full.set(drs.reoptimize_full);
+    design_sweep_cells.set(drs.sweep_cells);
   });
 }
 
@@ -289,6 +338,10 @@ void Service::stop() {
   // get kCancelled and fall back to local execution, so every busy
   // session below can still answer its request.
   if (core_.scheduler) core_.scheduler->begin_drain();
+  // Refuse new design-session verbs (close_design keeps working) so the
+  // drain window below is spent finishing work, not accepting more; the
+  // surviving handles are force-closed once the sessions are gone.
+  if (core_.designs) core_.designs->begin_drain();
   // Graceful drain: idle sessions are unblocked immediately, busy ones
   // get to finish — and answer — their in-flight request (a mid-batch
   // client receives every item and the batch_done).  Only stragglers
@@ -323,6 +376,9 @@ void Service::stop() {
       if (conn.thread.joinable()) conn.thread.join();
     connections_.clear();
   }
+  // Every connection is gone, so no design verb can be in flight: free
+  // the handles clients did not close within the drain window.
+  if (core_.designs) core_.designs->close_all();
   // Sessions are gone but fire-and-forget pool work may linger; the
   // scheduler's sweeper and the metrics collector read pool stats until
   // the core is torn down, so quiesce the pool before stopping them.

@@ -33,6 +33,7 @@
 
 #include "library/library.hpp"
 #include "service/cache.hpp"
+#include "service/design_session.hpp"
 #include "service/disk_cache.hpp"
 #include "support/metrics.hpp"
 #include "support/socket.hpp"
@@ -83,6 +84,14 @@ struct ServiceConfig {
   double slow_ms = 0.0;
   bool verbose = false;
 
+  // ---- ECO design sessions (see service/design_session.hpp) ----
+  /// Idle expiry for open design handles (0 = never).
+  std::uint64_t session_idle_ms = 600'000;
+  /// Resident-byte budget across open designs (0 = unlimited).
+  std::size_t design_bytes = 1u << 30;
+  /// Cap on simultaneously open design handles.
+  std::size_t max_open_designs = 256;
+
   // ---- fleet (see service/scheduler.hpp, service/worker.hpp) ----
   /// Accept register_worker connections and dispatch cache misses to
   /// the fleet (falling back to local execution whenever it cannot).
@@ -128,6 +137,7 @@ struct ServiceMetrics {
   Histogram* queue_wait_ms = nullptr;
   Histogram* service_ms_optimize = nullptr;
   Histogram* service_ms_batch_item = nullptr;
+  Histogram* service_ms_design = nullptr;
   Histogram* cache_lookup_memory_ms = nullptr;
   Histogram* cache_lookup_disk_ms = nullptr;
 };
@@ -154,6 +164,10 @@ struct ServiceCore {
   std::optional<ThreadPool> pool;
   std::optional<ResultCache> cache;
   std::optional<DiskCacheEngine> disk;  // set when config.cache_dir is
+  /// ECO design sessions (open_design/edit/reoptimize/sweep/close).
+  /// Declared after the subsystems it borrows (pool, caches) so it is
+  /// destroyed before them.
+  std::optional<DesignRegistry> designs;
   /// Fleet dispatch (set when config.scheduler).  shared_ptr so the
   /// header can stay ignorant of the Scheduler definition; constructed
   /// by init() where it is complete.

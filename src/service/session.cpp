@@ -80,6 +80,15 @@ std::string deadline_message(std::uint64_t deadline_ms) {
          " ms expired before the job was dequeued";
 }
 
+/// Response line for a design-session verb: head + the registry's body
+/// fields.
+std::string design_response(const char* type, const Json& id,
+                            Json::Object body) {
+  Json::Object head = response_head(type, id);
+  for (auto& [key, value] : body) head[key] = std::move(value);
+  return finish_response(std::move(head));
+}
+
 /// A resolved job: the effective library (ladder-adjusted when the
 /// request pins a supply ladder), the cache key, plus the circuit (built
 /// lazily for named MCNC circuits — the cache-hit path needs neither the
@@ -219,9 +228,38 @@ std::string compute_body(const OptimizeRequest& request, ResolvedJob& job,
   // inside build_job_cells, matching the suite engine's derivation.
   const FlowOptions base = derive_cell_flow(
       request.options.to_flow_options(), job.circuit_seed, PaperAlgo::kCvs);
-  const PipelineJobResult result =
-      run_pipeline_job(circuit, lib, base,
-                       build_job_cells(request, job.circuit_seed),
+  PipelineJobResult result;
+  Json::Object body = pipeline_body_object(
+      circuit, lib, base, build_job_cells(request, job.circuit_seed), trace,
+      &result);
+
+  if (request.return_netlist) {
+    // Exactly one cell ran (protocol invariant): its final Design is
+    // the netlist the client asked back.
+    const Design& design = *result.cells.front().design;
+    std::vector<char> low_mask;
+    const Network out = materialize_level_converters(design, &low_mask);
+    body["netlist"] = Json(request.format == "verilog"
+                               ? write_verilog_string(out, lib)
+                               : write_blif_string(out));
+    Json::Array low_gates;
+    out.for_each_gate([&](const Node& n) {
+      if (low_mask[n.id]) low_gates.emplace_back(n.name);
+    });
+    body["low_gates"] = Json(std::move(low_gates));
+  }
+  return Json(std::move(body)).dump();
+}
+
+}  // namespace
+
+Json::Object pipeline_body_object(const Network& mapped, const Library& lib,
+                                  const FlowOptions& base_flow,
+                                  std::vector<JobCell> cells,
+                                  RequestTrace* trace,
+                                  PipelineJobResult* result_out) {
+  PipelineJobResult result =
+      run_pipeline_job(mapped, lib, base_flow, std::move(cells),
                        /*capture_designs=*/true);
 
   if (trace) {
@@ -259,26 +297,9 @@ std::string compute_body(const OptimizeRequest& request, ResolvedJob& job,
   }
   body["metrics"] = Json(std::move(metrics));
   body["trajectory"] = Json(std::move(trajectory));
-
-  if (request.return_netlist) {
-    // Exactly one cell ran (protocol invariant): its final Design is
-    // the netlist the client asked back.
-    const Design& design = *result.cells.front().design;
-    std::vector<char> low_mask;
-    const Network out = materialize_level_converters(design, &low_mask);
-    body["netlist"] = Json(request.format == "verilog"
-                               ? write_verilog_string(out, lib)
-                               : write_blif_string(out));
-    Json::Array low_gates;
-    out.for_each_gate([&](const Node& n) {
-      if (low_mask[n.id]) low_gates.emplace_back(n.name);
-    });
-    body["low_gates"] = Json(std::move(low_gates));
-  }
-  return Json(std::move(body)).dump();
+  if (result_out) *result_out = std::move(result);
+  return body;
 }
-
-}  // namespace
 
 const char* cache_tier_name(OptimizeOutcome::Tier tier) {
   switch (tier) {
@@ -485,6 +506,13 @@ void Session::handle(const Request& request,
       worker_info_ = request.register_worker;
       worker_mode_ = true;
       break;
+    case RequestType::kOpenDesign:
+    case RequestType::kEdit:
+    case RequestType::kReoptimize:
+    case RequestType::kSweep:
+    case RequestType::kCloseDesign:
+      handle_design(request, received);
+      break;
   }
 }
 
@@ -541,6 +569,23 @@ void Session::handle_stats(const Request& request) {
   jobs["completed"] = Json(m.jobs_completed->value());
   jobs["failed"] = Json(m.jobs_failed->value());
   fields["jobs"] = Json(std::move(jobs));
+  if (core_->designs) {
+    const DesignRegistryStats d = core_->designs->stats();
+    Json::Object designs;
+    designs["open"] = Json(static_cast<std::uint64_t>(d.open_now));
+    designs["resident_bytes"] =
+        Json(static_cast<std::uint64_t>(d.resident_bytes));
+    designs["opened"] = Json(d.opened);
+    designs["closed"] = Json(d.closed);
+    designs["expired"] = Json(d.expired);
+    designs["evicted"] = Json(d.evicted);
+    designs["edits"] = Json(d.edits);
+    designs["reoptimize_incremental"] = Json(d.reoptimize_incremental);
+    designs["reoptimize_full"] = Json(d.reoptimize_full);
+    designs["sweeps"] = Json(d.sweeps);
+    designs["sweep_cells"] = Json(d.sweep_cells);
+    fields["designs"] = Json(std::move(designs));
+  }
   if (core_->scheduler) fields["fleet"] = core_->scheduler->stats_json();
   // `requests` predates `requests_total`; both stay so old tooling keeps
   // working, and `requests_total` is the documented monotonic spelling
@@ -627,6 +672,106 @@ void Session::handle_optimize(const Request& request,
     emit_trace_record(*core_, "optimize", request.id,
                       job->circuit.empty() ? "<inline>" : job->circuit,
                       cache_tier_name(outcome.tier), wall_ms, *trace);
+}
+
+void Session::handle_design(
+    const Request& request,
+    std::chrono::steady_clock::time_point received) {
+  using Clock = std::chrono::steady_clock;
+  DesignRegistry& designs = *core_->designs;
+  const Json& id = request.id;
+
+  // Lightweight verbs (point edits, handle release) answer inline on
+  // this thread — they are ms-scale and must stay responsive even when
+  // the pool is saturated with long jobs.
+  if (request.type == RequestType::kEdit) {
+    Json::Object fields = designs.edit(request.edit);
+    write_line(design_response("edited", id, std::move(fields)));
+    core_->metrics.service_ms_design->observe(ms_since(received));
+    return;
+  }
+  if (request.type == RequestType::kCloseDesign) {
+    Json::Object fields = designs.close(request.close_design);
+    write_line(design_response("design_closed", id, std::move(fields)));
+    core_->metrics.service_ms_design->observe(ms_since(received));
+    return;
+  }
+
+  if (!core_->admit()) {
+    core_->metrics.overload_rejections->inc();
+    write_line(
+        error_response(id, overloaded_message(*core_), "overloaded"));
+    return;
+  }
+
+  if (request.type == RequestType::kSweep) {
+    // Orchestrated inline: the matrix cells fan out on the pool while
+    // this session thread blocks on their futures — never a pool
+    // worker, so even a single-threaded pool cannot deadlock on its
+    // own sweep.
+    core_->metrics.inflight_jobs->add(1);
+    Json::Object fields;
+    try {
+      fields = designs.sweep(request.sweep);
+    } catch (...) {
+      core_->metrics.inflight_jobs->add(-1);
+      throw;
+    }
+    core_->metrics.inflight_jobs->add(-1);
+    core_->metrics.jobs_completed->inc();
+    const double wall_ms = ms_since(received);
+    fields["wall_ms"] = Json(wall_ms);
+    write_line(design_response("sweep_result", id, std::move(fields)));
+    core_->metrics.service_ms_design->observe(wall_ms);
+    return;
+  }
+
+  // open_design / reoptimize run as pool jobs — a design load or a
+  // pipeline re-run is full flow computation, so connections share the
+  // worker budget exactly as optimize does.
+  const bool is_open = request.type == RequestType::kOpenDesign;
+  std::shared_ptr<RequestTrace> trace;
+  const bool wire_trace = !is_open && request.reoptimize.trace;
+  if (!is_open && core_->want_trace(request.reoptimize.trace))
+    trace = std::make_shared<RequestTrace>(received);
+  auto promise = std::make_shared<std::promise<DesignReoptimizeResult>>();
+  std::future<DesignReoptimizeResult> future = promise->get_future();
+  ServiceCore* core = core_;
+  // One shared copy — an open_design can carry a multi-MB netlist.
+  auto req = std::make_shared<const Request>(request);
+  core_->metrics.inflight_jobs->add(1);
+  core_->pool->submit([core, req, promise, trace] {
+    try {
+      DesignReoptimizeResult result;
+      if (req->type == RequestType::kOpenDesign)
+        result.fields = core->designs->open(req->open_design);
+      else
+        result = core->designs->reoptimize(req->reoptimize, trace.get());
+      promise->set_value(std::move(result));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+    core->metrics.inflight_jobs->add(-1);
+  });
+  DesignReoptimizeResult result = future.get();  // rethrows job errors
+  core_->metrics.jobs_completed->inc();
+
+  const Clock::time_point done = Clock::now();
+  const double wall_ms = ms_between(received, done);
+  core_->metrics.service_ms_design->observe(wall_ms);
+  Json::Object head =
+      response_head(is_open ? "design_opened" : "reoptimized", id);
+  for (auto& [key, value] : result.fields) head[key] = std::move(value);
+  if (result.cache) head["cache"] = Json(result.cache);
+  head["wall_ms"] = Json(wall_ms);
+  if (trace && wire_trace) head["trace"] = trace->json();
+  if (result.body)
+    write_line(finish_response_with_body(std::move(head), *result.body));
+  else
+    write_line(finish_response(std::move(head)));
+  if (trace)
+    emit_trace_record(*core_, "reoptimize", id, req->reoptimize.design,
+                      result.cache ? result.cache : "none", wall_ms, *trace);
 }
 
 void Session::handle_batch(const Request& request) {

@@ -70,6 +70,19 @@ OptimizeOutcome execute_optimize(ServiceCore& core,
                                  RequestTrace* trace = nullptr,
                                  bool allow_remote = true);
 
+/// Runs the pipeline cells on `mapped` and assembles the shared
+/// result-body object (report / metrics / trajectory) — the one body
+/// layout behind optimize responses, batch items, fleet jobs, and
+/// design-session pipeline reoptimizes.  With a non-null `trace`,
+/// appends the depth-1 per-pass spans.  `result_out` (optional)
+/// receives the executed cells, final Designs included, for callers
+/// that need more than the body (netlist export).
+Json::Object pipeline_body_object(const Network& mapped, const Library& lib,
+                                  const FlowOptions& base_flow,
+                                  std::vector<JobCell> cells,
+                                  RequestTrace* trace,
+                                  PipelineJobResult* result_out = nullptr);
+
 class Session {
  public:
   Session(ServiceCore* core, Socket socket);
@@ -106,6 +119,13 @@ class Session {
   void handle_batch(const Request& request);
   void handle_stats(const Request& request);
   void handle_metrics(const Request& request);
+  /// ECO session verbs (service/design_session.hpp).  open_design and
+  /// reoptimize run on the pool behind the admission gate (they can
+  /// carry full compiles / pipeline runs); edit and close_design answer
+  /// inline on this thread (ms-scale); sweep orchestrates inline and
+  /// fans its cells onto the pool.
+  void handle_design(const Request& request,
+                     std::chrono::steady_clock::time_point received);
 
   ServiceCore* core_;
   Socket socket_;

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -62,7 +63,18 @@ void usage(std::FILE* out) {
       "      [--trace]                 request per-phase spans in the reply\n"
       "  batch --circuits a,b,c | --all [--max-gates N]\n"
       "      [--algo ... | --pipeline SPEC] [--seed S] [--vectors N] "
-      "[--supplies L] [--no-cache] [--deadline-ms N] [--trace]\n",
+      "[--supplies L] [--no-cache] [--deadline-ms N] [--trace]\n"
+      "  --session FILE             scripted ECO session (FILE or '-' for\n"
+      "                             stdin); one command per line:\n"
+      "      open CIRCUIT|FILE.blif [as NAME]   open a design handle\n"
+      "      edit rung GATE R | edit cell GATE CELL\n"
+      "      edit upsize|downsize|insert_lc|remove_lc GATE\n"
+      "      reopt [auto|incremental|full] [algos L | pipeline SPEC]\n"
+      "      sweep [vlow V1,V2,..] [budgets B1,B2,..] [algos L]\n"
+      "      close\n"
+      "      # comment; blank lines skipped; lines starting with '{' are\n"
+      "      # sent verbatim as one NDJSON request.  Verbs after `open`\n"
+      "      # target the last opened handle automatically.\n",
       out);
 }
 
@@ -209,6 +221,34 @@ bool print_response(const std::string& line) {
                       sessions->find("active")->as_uint()),
                   static_cast<unsigned long long>(
                       sessions->find("total")->as_uint()));
+    if (const dvs::Json* designs = get(json, "designs"))
+      std::printf(
+          "designs: %llu open (%.1f MiB resident) | %llu opened, "
+          "%llu closed, %llu expired, %llu evicted | %llu edits | "
+          "reopt %llu incr / %llu full | %llu sweeps (%llu cells)\n",
+          static_cast<unsigned long long>(
+              designs->find("open")->as_uint()),
+          static_cast<double>(
+              designs->find("resident_bytes")->as_uint()) /
+              (1 << 20),
+          static_cast<unsigned long long>(
+              designs->find("opened")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("closed")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("expired")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("evicted")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("edits")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("reoptimize_incremental")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("reoptimize_full")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("sweeps")->as_uint()),
+          static_cast<unsigned long long>(
+              designs->find("sweep_cells")->as_uint()));
     const dvs::Json& jobs = *get(json, "jobs");
     std::printf("jobs: %llu completed, %llu failed | requests %llu | "
                 "connections %llu | threads %lld | up %.1fs\n",
@@ -269,6 +309,84 @@ bool print_response(const std::string& line) {
     if (const dvs::Json* netlist = get(json, "netlist"))
       std::printf("--- optimized netlist ---\n%s",
                   netlist->as_string().c_str());
+  } else if (type == "design_opened") {
+    std::printf("opened %s: %s, %lld gates, tspec %.3f ns, "
+                "original %.2f uW, v%llu, refs %lld%s\n",
+                get(json, "design")->as_string().c_str(),
+                get(json, "circuit")->as_string().c_str(),
+                static_cast<long long>(get(json, "gates")->as_int()),
+                dbl(json, "tspec_ns"), dbl(json, "org_power_uw"),
+                static_cast<unsigned long long>(
+                    get(json, "structural_version")->as_uint()),
+                static_cast<long long>(get(json, "refs")->as_int()),
+                get(json, "attached")->as_bool() ? " (attached)" : "");
+  } else if (type == "edited") {
+    std::printf("edited %s: %lld edit%s applied%s, v%llu, %lld gates\n",
+                get(json, "design")->as_string().c_str(),
+                static_cast<long long>(get(json, "applied")->as_int()),
+                get(json, "applied")->as_int() == 1 ? "" : "s",
+                get(json, "structural")->as_bool() ? " (structural)" : "",
+                static_cast<unsigned long long>(
+                    get(json, "structural_version")->as_uint()),
+                static_cast<long long>(get(json, "gates")->as_int()));
+  } else if (type == "reoptimized") {
+    if (const dvs::Json* report = get(json, "report")) {
+      // Pipeline mode carries the full optimize result body.
+      std::printf("reoptimized %s [pipeline, %s, %.1f ms]\n",
+                  get(json, "design")->as_string().c_str(),
+                  get(json, "cache")->as_string().c_str(),
+                  dbl(json, "wall_ms"));
+      print_algo(*report, "cvs");
+      print_algo(*report, "dscale");
+      print_algo(*report, "gscale");
+    } else {
+      std::printf(
+          "reoptimized %s [%s, %.1f ms]: power %.3f uW "
+          "(improve %.2f%%)  arrival %.4f ns vs tspec %.4f ns (%s)  "
+          "low %lld  LCs %lld  resized %lld  area %.1f um2\n",
+          get(json, "design")->as_string().c_str(),
+          get(json, "mode")->as_string().c_str(), dbl(json, "wall_ms"),
+          dbl(json, "power_uw"), dbl(json, "improve_pct"),
+          dbl(json, "arrival_ns"), dbl(json, "tspec_ns"),
+          get(json, "meets_tspec")->as_bool() ? "meets" : "VIOLATES",
+          static_cast<long long>(get(json, "low")->as_int()),
+          static_cast<long long>(
+              get(json, "level_converters")->as_int()),
+          static_cast<long long>(get(json, "resized")->as_int()),
+          dbl(json, "area_um2"));
+    }
+    print_trace(json);
+  } else if (type == "sweep_result") {
+    std::printf("sweep %s: %llu cells, %.1f ms\n",
+                get(json, "design")->as_string().c_str(),
+                static_cast<unsigned long long>(
+                    get(json, "count")->as_uint()),
+                dbl(json, "wall_ms"));
+    for (const dvs::Json& cell : get(json, "cells")->as_array()) {
+      std::string ladder;
+      for (const dvs::Json& v : cell.find("supplies")->as_array()) {
+        if (!ladder.empty()) ladder += ',';
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2f", v.as_double());
+        ladder += buf;
+      }
+      std::printf("  %-7s %-24s", cell.find("algo")->as_string().c_str(),
+                  ladder.c_str());
+      if (cell.find("area_budget"))
+        std::printf(" budget %.2f", dbl(cell, "area_budget"));
+      std::printf("  power %9.3f uW  improve %6.2f%%  arrival %7.4f ns%s\n",
+                  dbl(cell, "power_uw"), dbl(cell, "improve_pct"),
+                  dbl(cell, "arrival_ns"),
+                  cell.find("pareto")->as_bool() ? "  *pareto" : "");
+    }
+  } else if (type == "design_closed") {
+    const long long refs =
+        static_cast<long long>(get(json, "refs")->as_int());
+    if (refs == 0)
+      std::printf("closed %s\n", get(json, "design")->as_string().c_str());
+    else
+      std::printf("released %s (%lld refs remain)\n",
+                  get(json, "design")->as_string().c_str(), refs);
   } else if (type == "batch_done") {
     std::printf("batch done: %llu circuits, %llu cache hits, "
                 "%llu failed, %.1f ms\n",
@@ -283,6 +401,200 @@ bool print_response(const std::string& line) {
     std::printf("%s\n", line.c_str());
   }
   return true;
+}
+
+// ---- scripted ECO sessions (--session FILE) ----
+
+/// Gate operands: an all-digit token is sent as a numeric node id,
+/// anything else as a gate name.
+dvs::Json gate_json(const std::string& token) {
+  bool digits = !token.empty();
+  for (char c : token) digits = digits && c >= '0' && c <= '9';
+  if (digits)
+    return dvs::Json(static_cast<std::int64_t>(
+        std::strtoll(token.c_str(), nullptr, 10)));
+  return dvs::Json(token);
+}
+
+dvs::Json::Array double_list(const std::string& text, const char* what) {
+  dvs::Json::Array out;
+  std::istringstream list(text);
+  std::string item;
+  while (std::getline(list, item, ','))
+    if (!item.empty()) out.emplace_back(std::atof(item.c_str()));
+  if (out.empty())
+    throw std::runtime_error(std::string(what) + " wants V1,V2,...");
+  return out;
+}
+
+dvs::Json::Array algo_list(const std::string& text) {
+  dvs::Json::Array out;
+  std::istringstream list(text);
+  std::string item;
+  while (std::getline(list, item, ','))
+    if (!item.empty()) out.emplace_back(item);
+  return out;
+}
+
+/// Translates one script line into the NDJSON request it stands for.
+/// `current` is the handle threaded from the last design_opened reply.
+std::string session_request(const std::vector<std::string>& words,
+                            const std::string& current) {
+  const std::string& verb = words[0];
+  dvs::Json::Object request;
+  auto need_design = [&]() {
+    if (current.empty())
+      throw std::runtime_error("no open design (use `open` first)");
+    request["design"] = dvs::Json(current);
+  };
+  if (verb == "open") {
+    if (words.size() < 2) throw std::runtime_error("open wants a circuit");
+    request["type"] = dvs::Json(std::string("open_design"));
+    const std::string& what = words[1];
+    // A path-looking operand is a netlist file; a bare word is an MCNC
+    // circuit name.
+    if (what.find('/') != std::string::npos ||
+        what.find('.') != std::string::npos) {
+      request["netlist"] = dvs::Json(read_file(what));
+      if (what.size() > 2 && what.rfind(".v") == what.size() - 2)
+        request["format"] = dvs::Json(std::string("verilog"));
+    } else {
+      request["circuit"] = dvs::Json(what);
+    }
+    if (words.size() == 4 && words[2] == "as")
+      request["name"] = dvs::Json(words[3]);
+    else if (words.size() != 2)
+      throw std::runtime_error("usage: open CIRCUIT|FILE [as NAME]");
+  } else if (verb == "edit") {
+    if (words.size() < 3)
+      throw std::runtime_error("usage: edit OP GATE [ARG]");
+    need_design();
+    request["type"] = dvs::Json(std::string("edit"));
+    dvs::Json::Object edit;
+    const std::string& op = words[1];
+    edit["op"] = dvs::Json(op);
+    edit["gate"] = gate_json(words[2]);
+    if (op == "rung") {
+      if (words.size() != 4)
+        throw std::runtime_error("usage: edit rung GATE R");
+      edit["rung"] = dvs::Json(std::atoi(words[3].c_str()));
+    } else if (op == "cell") {
+      if (words.size() != 4)
+        throw std::runtime_error("usage: edit cell GATE CELL");
+      edit["cell"] = dvs::Json(words[3]);
+    } else if (words.size() != 3) {
+      throw std::runtime_error("usage: edit " + op + " GATE");
+    }
+    dvs::Json::Array edits;
+    edits.emplace_back(std::move(edit));
+    request["edits"] = dvs::Json(std::move(edits));
+  } else if (verb == "reopt") {
+    need_design();
+    request["type"] = dvs::Json(std::string("reoptimize"));
+    for (std::size_t i = 1; i < words.size(); ++i) {
+      const std::string& word = words[i];
+      if (word == "auto" || word == "incremental" || word == "full") {
+        request["mode"] = dvs::Json(word);
+      } else if (word == "algos" && i + 1 < words.size()) {
+        request["algos"] = dvs::Json(algo_list(words[++i]));
+      } else if (word == "pipeline" && i + 1 < words.size()) {
+        // The pipeline spec is the rest of the line, spaces included.
+        std::string spec;
+        while (++i < words.size()) {
+          if (!spec.empty()) spec += ' ';
+          spec += words[i];
+        }
+        request["pipeline"] = dvs::Json(spec);
+      } else {
+        throw std::runtime_error("unknown reopt argument '" + word + "'");
+      }
+    }
+  } else if (verb == "sweep") {
+    need_design();
+    request["type"] = dvs::Json(std::string("sweep"));
+    for (std::size_t i = 1; i < words.size(); ++i) {
+      const std::string& word = words[i];
+      if (word == "vlow" && i + 1 < words.size())
+        request["vlow"] = dvs::Json(double_list(words[++i], "vlow"));
+      else if (word == "budgets" && i + 1 < words.size())
+        request["area_budgets"] =
+            dvs::Json(double_list(words[++i], "budgets"));
+      else if (word == "algos" && i + 1 < words.size())
+        request["algos"] = dvs::Json(algo_list(words[++i]));
+      else
+        throw std::runtime_error("unknown sweep argument '" + word + "'");
+    }
+  } else if (verb == "close") {
+    if (words.size() != 1)
+      throw std::runtime_error("close takes no arguments");
+    need_design();
+    request["type"] = dvs::Json(std::string("close_design"));
+  } else {
+    throw std::runtime_error("unknown session command '" + verb + "'");
+  }
+  return dvs::Json(std::move(request)).dump();
+}
+
+/// Runs a session script over one connection, fail-fast: the first
+/// error response (or unparsable script line) stops the script.
+int run_session(const Cli& cli, const std::string& path) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) throw std::runtime_error("cannot open " + path);
+    in = &file;
+  }
+  dvs::Socket socket = connect(cli);
+  dvs::LineReader reader(&socket, 64u << 20);
+  std::string line;
+  std::string current;  // last opened design handle
+  int lineno = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::string request;
+    if (line[start] == '{') {
+      request = line.substr(start);
+    } else {
+      std::vector<std::string> words;
+      std::istringstream stream(line);
+      std::string word;
+      while (stream >> word) words.push_back(word);
+      try {
+        request = session_request(words, current);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "dvs-client: %s:%d: %s\n", path.c_str(),
+                     lineno, e.what());
+        return 1;
+      }
+    }
+    socket.send_all(request + "\n");
+    std::string reply;
+    if (!reader.read_line(&reply)) {
+      std::fprintf(stderr, "dvs-client: %s:%d: connection closed\n",
+                   path.c_str(), lineno);
+      return 2;
+    }
+    const dvs::Json json = dvs::Json::parse(reply);
+    const dvs::Json* type = json.find("type");
+    if (type && type->as_string() == "design_opened")
+      current = json.find("design")->as_string();
+    bool ok;
+    if (cli.raw_json) {
+      std::printf("%s\n", reply.c_str());
+      ok = !type || type->as_string() != "error";
+    } else {
+      ok = print_response(reply);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "dvs-client: %s:%d: script stopped\n",
+                   path.c_str(), lineno);
+      return 2;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -302,6 +614,7 @@ int main(int argc, char** argv) {
     return args[++at];
   };
   std::string command;
+  std::string session_path;
   for (; at < args.size(); ++at) {
     const std::string& arg = args[at];
     if (arg == "--port")
@@ -316,7 +629,12 @@ int main(int argc, char** argv) {
       cli.retries = std::atoi(value("--retries").c_str());
     else if (arg == "--backoff-ms")
       cli.backoff_ms = std::atoi(value("--backoff-ms").c_str());
-    else if (arg == "--stats") {
+    else if (arg == "--session") {
+      session_path = value("--session");
+      command = "session";
+      ++at;
+      break;
+    } else if (arg == "--stats") {
       // Flag spelling of the stats command, for script ergonomics:
       //   dvs-client --port N --stats
       command = "stats";
@@ -345,6 +663,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (command == "session") {
+      if (at != args.size()) {
+        std::fprintf(stderr, "dvs-client: --session takes no arguments\n");
+        return 1;
+      }
+      return run_session(cli, session_path);
+    }
+
     dvs::Json::Object request;
     int expected_responses = 1;  // batch reads until batch_done instead
 

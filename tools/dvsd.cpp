@@ -29,6 +29,8 @@ void usage(std::FILE* out) {
       "            [--cache-bytes N[K|M|G]] [--cache-dir PATH]\n"
       "            [--max-line-bytes N[K|M|G]] [--max-backlog N]\n"
       "            [--max-inflight N] [--drain-timeout-ms N]\n"
+      "            [--session-idle-ms N] [--design-bytes N[K|M|G]]\n"
+      "            [--max-designs N]\n"
       "            [--metrics-port N] [--trace-log PATH] [--slow-ms X]\n"
       "            [--scheduler] [--lease-ms N] [--heartbeat-timeout-ms N]\n"
       "            [--dispatch-retries N] [--dispatch-backoff-ms N]\n"
@@ -53,6 +55,13 @@ void usage(std::FILE* out) {
       "                       (default 64)\n"
       "  --drain-timeout-ms N graceful-drain budget on SIGTERM/stop\n"
       "                       (default 30000)\n"
+      "  --session-idle-ms N  expire an open design handle after N ms\n"
+      "                       idle (0 = never; default 600000)\n"
+      "  --design-bytes N     resident-byte budget across open designs;\n"
+      "                       oldest-idle handles are evicted above it\n"
+      "                       (0 = unlimited; default 1G)\n"
+      "  --max-designs N      cap on simultaneously open design handles\n"
+      "                       (default 256)\n"
       "  --metrics-port N     serve the Prometheus text exposition on\n"
       "                       127.0.0.1:N (0 = kernel-assigned, printed;\n"
       "                       default: disabled)\n"
@@ -142,6 +151,13 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
     else if (flag == "--drain-timeout-ms")
       config.drain_timeout_ms = std::atoi(value());
+    else if (flag == "--session-idle-ms")
+      config.session_idle_ms = std::strtoull(value(), nullptr, 0);
+    else if (flag == "--design-bytes")
+      bytes_value(&config.design_bytes);
+    else if (flag == "--max-designs")
+      config.max_open_designs =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
     else if (flag == "--metrics-port")
       config.metrics_port = std::atoi(value());
     else if (flag == "--trace-log")
