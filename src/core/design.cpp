@@ -131,6 +131,11 @@ void Design::set_activity_options(const ActivityOptions& options) {
   activity_valid_ = false;
 }
 
+void Design::adopt_activity(Activity activity) {
+  activity_ = std::move(activity);
+  activity_valid_ = true;
+}
+
 PowerBreakdown Design::run_power() const {
   PowerContext ctx;
   ctx.net = &net_;

@@ -91,6 +91,13 @@ class Design {
   /// once (lazily) and reused across voltage/size changes.
   const Activity& activity() const;
   void set_activity_options(const ActivityOptions& options);
+  /// Seeds the lazy activity cache with an estimate computed elsewhere.
+  /// Caller contract: `activity` must equal what this design would
+  /// compute itself — same logic network, same options, same topological
+  /// order — as when several Designs of one job are copies of one mapped
+  /// circuit.  A later structural edit (sync_with_network) discards it
+  /// and recomputes as usual.
+  void adopt_activity(Activity activity);
 
   PowerBreakdown run_power() const;
 

@@ -24,35 +24,76 @@ struct LoweringEffect {
   double delay_increase = 0.0;
 };
 
+/// One (gate, committed rung, strictly deeper target rung) probe of a
+/// batched scan round.
+struct LoweringProbe {
+  NodeId id = kNoNode;
+  SupplyId from = 0;
+  SupplyId to = 0;
+};
+
+/// Per-library constants of the lowering model, hoisted once per Dscale
+/// round instead of re-derived per probe: the rung tables (voltage,
+/// squared voltage, leakage factor) are filled from the same ladder
+/// voltages the per-probe code used to look up, so every term below is
+/// the same double it always was.
+struct LoweringModel {
+  explicit LoweringModel(const Design& design,
+                         const std::vector<double>& delay_factor)
+      : lib(design.library()),
+        ladder(lib.supplies()),
+        wire(lib.wire_load()),
+        factor(delay_factor),
+        v_top(ladder.top()),
+        freq(design.freq_mhz()),
+        lc(lib.level_converter() >= 0 ? &lib.cell(lib.level_converter())
+                                      : nullptr) {
+    const VoltageModel& vm = lib.voltage_model();
+    const int depth = ladder.depth();
+    voltage.resize(depth);
+    v2.resize(depth);
+    leak.resize(depth);
+    for (int r = 0; r < depth; ++r) {
+      voltage[r] = ladder.voltage(static_cast<SupplyId>(r));
+      v2[r] = voltage[r] * voltage[r];
+      leak[r] = vm.leakage_factor(voltage[r]);
+    }
+  }
+
+  const Library& lib;
+  const SupplyLadder& ladder;
+  const WireLoadModel& wire;
+  const std::vector<double>& factor;
+  // Converters restore to the top rung (timing and power model them
+  // there), whatever rungs they bridge.
+  double v_top;
+  double freq;
+  const Cell* lc;
+  std::vector<double> voltage;
+  std::vector<double> v2;
+  std::vector<double> leak;
+};
+
 /// `graph` is the design's compiled timing graph with a current cell
-/// snapshot; `factor` carries the voltage model's per-rung delay factors.
-/// Both are hoisted by the caller out of the per-candidate loop.  `from`
+/// snapshot; `model` carries the hoisted per-rung constants.  `from`
 /// is the gate's committed rung, `to` the strictly deeper rung under
 /// evaluation.
 LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
                                  const StaResult& sta,
-                                 const Activity& activity, NodeId id,
+                                 const Activity& activity,
+                                 const LoweringModel& model, NodeId id,
                                  double slack_margin, SupplyId from,
-                                 SupplyId to,
-                                 const std::vector<double>& factor) {
+                                 SupplyId to) {
   const Network& net = design.network();
-  const Library& lib = design.library();
+  const Library& lib = model.lib;
   const Node& gate = net.node(id);
   DVS_EXPECTS(gate.is_gate() && gate.cell >= 0);
   DVS_EXPECTS(from < to);
   const Cell& cell = lib.cell(gate.cell);
-  const SupplyLadder& ladder = lib.supplies();
-  const double v_from = ladder.voltage(from);
-  const double v_to = ladder.voltage(to);
-  // Converters restore to the top rung (timing and power model them
-  // there), whatever rungs they bridge.
-  const double v_top = ladder.top();
-  const double f_from = factor[from];
-  const double f_to = factor[to];
-  const VoltageModel& vm = lib.voltage_model();
-  const Cell* lc = lib.level_converter() >= 0
-                       ? &lib.cell(lib.level_converter())
-                       : nullptr;
+  const double v_top = model.v_top;
+  const double f_from = model.factor[from];
+  const double f_to = model.factor[to];
+  const Cell* lc = model.lc;
 
   // ---- fanout split after lowering -------------------------------------
   // Gate fanouts left on strictly shallower rungs than `to` move behind a
@@ -102,11 +143,11 @@ LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
   if (needs_lc) {
     new_direct += lc->input_cap[0];
     ++new_direct_count;
-    new_lc_load = lc_pins + lib.wire_load().wire_cap(lc_count);
+    new_lc_load = lc_pins + model.wire.wire_cap(lc_count);
   }
-  new_direct += lib.wire_load().wire_cap(new_direct_count);
+  new_direct += model.wire.wire_cap(new_direct_count);
   const double old_lc_load =
-      had_lc ? old_lc_pins + lib.wire_load().wire_cap(old_lc_count) : 0.0;
+      had_lc ? old_lc_pins + model.wire.wire_cap(old_lc_count) : 0.0;
 
   // ---- timing -----------------------------------------------------------
   double self_increase = 0.0;
@@ -140,13 +181,13 @@ LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
 
   // ---- power ------------------------------------------------------------
   const double a = activity.alpha01[id];
-  const double f = design.freq_mhz();
-  const double vf2 = v_from * v_from;
-  const double vt2 = v_to * v_to;
+  const double f = model.freq;
+  const double vf2 = model.v2[from];
+  const double vt2 = model.v2[to];
   double before =
       a * f * (sta.load[id] + cell.internal_cap) * vf2 *
           kSwitchPowerToMicrowatt +
-      cell.leakage * vm.leakage_factor(v_from);
+      cell.leakage * model.leak[from];
   if (had_lc) {
     // The committed state already pays for a converter; count it on the
     // before side so the move is scored on the converter *growth* only.
@@ -157,7 +198,7 @@ LoweringEffect evaluate_lowering(const Design& design, const TimingGraph& graph,
   const double after_gate =
       a * f * (new_direct + cell.internal_cap) * vt2 *
           kSwitchPowerToMicrowatt +
-      cell.leakage * vm.leakage_factor(v_to);
+      cell.leakage * model.leak[to];
   double lc_cost = 0.0;
   if (needs_lc) {
     // Everything behind the converter (the rerouted pins, its wire, its
@@ -271,6 +312,7 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
   const SupplyId deepest = ladder.deepest();
   const std::vector<double> factor =
       ladder.delay_factors(lib.voltage_model());
+  const LoweringModel model(design, factor);
   // The candidate scans read pin caps off the compiled graph; Dscale
   // itself never resizes, so one sync up front keeps the snapshot
   // current for the whole run.
@@ -287,27 +329,44 @@ DscaleResult run_dscale(Design& design, const DscaleOptions& options) {
       break;
     const StaResult& sta = timer.result();
 
-    // getSlkSet + check_timing + weight_with_power_gain, fused: collect
-    // every gate whose move to a deeper rung fits its slack with positive
-    // gain, taking the deepest feasible rung per gate.
+    // getSlkSet + check_timing + weight_with_power_gain, fused and
+    // batched: collect every gate whose move to a deeper rung fits its
+    // slack with positive gain, taking the deepest feasible rung per
+    // gate.  Instead of walking each gate's rung ladder independently,
+    // the scan runs deepest-first rounds over one shared target rung —
+    // each round is a homogeneous lane group probing every unresolved
+    // gate at that rung with the model constants hoisted — and a gate
+    // resolved in an earlier (deeper) round drops out, which is exactly
+    // the per-gate "deepest feasible wins" break.  Probe math and probe
+    // set are unchanged, so the candidate list is identical.
     std::vector<Candidate> candidates;
+    std::vector<NodeId> eligible;
     net.for_each_gate([&](const Node& gate) {
       const SupplyId current = design.level(gate.id);
       if (gate.cell < 0 || current == deepest) return;
       if (sta.slack[gate.id] <= options.slack_margin) return;
-      for (SupplyId target = deepest; target > current; --target) {
+      eligible.push_back(gate.id);
+    });
+    std::vector<Candidate> pick(net.size());
+    std::vector<char> resolved(net.size(), 0);
+    for (SupplyId target = deepest; target > kTopRung; --target) {
+      for (NodeId id : eligible) {
+        const SupplyId current = design.level(id);
+        if (resolved[id] != 0 || current >= target) continue;
         const LoweringEffect effect =
-            evaluate_lowering(design, graph, sta, activity, gate.id,
-                              options.slack_margin, current, target, factor);
+            evaluate_lowering(design, graph, sta, activity, model, id,
+                              options.slack_margin, current, target);
         const double weight = options.lc_aware_weights
                                   ? effect.net_gain_uw
                                   : effect.gross_gain_uw;
         if (effect.feasible && weight > options.min_gain_uw) {
-          candidates.push_back({gate.id, weight, current, target});
-          break;  // deepest feasible rung wins
+          pick[id] = {id, weight, current, target};
+          resolved[id] = 1;
         }
       }
-    });
+    }
+    for (NodeId id : eligible)
+      if (resolved[id] != 0) candidates.push_back(pick[id]);
     if (candidates.empty()) break;
     ++result.rounds;
 

@@ -15,7 +15,8 @@ Design make_flow_design(const Network& mapped, const Library& lib,
 }
 
 void init_flow_row(const Network& mapped, const Library& lib,
-                   const FlowOptions& options, CircuitRunResult* row) {
+                   const FlowOptions& options, CircuitRunResult* row,
+                   Activity* activity_out) {
   row->name = mapped.name();
   row->num_gates = mapped.num_gates();
 
@@ -26,6 +27,7 @@ void init_flow_row(const Network& mapped, const Library& lib,
   // Original power: everything at vdd_high.
   Design original = make_flow_design(mapped, lib, options, row->tspec_ns);
   row->org_power_uw = original.run_power().total();
+  if (activity_out != nullptr) *activity_out = original.activity();
 }
 
 }  // namespace dvs

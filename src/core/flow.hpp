@@ -62,8 +62,13 @@ enum class PaperAlgo { kCvs, kDscale, kGscale };
 /// Fills the shared columns of a row: name, gate count, the timing
 /// constraint frozen at the mapped delay, and the original (all-high)
 /// power.  Every pipeline cell of the matrix starts from this state.
+/// Switching activity is a function of the logic alone, so the estimate
+/// the original-power measurement already paid for can be handed out via
+/// `activity_out` and adopted by every per-cell Design of the same job
+/// (Design::adopt_activity) instead of being recomputed per cell.
 void init_flow_row(const Network& mapped, const Library& lib,
-                   const FlowOptions& options, CircuitRunResult* row);
+                   const FlowOptions& options, CircuitRunResult* row,
+                   Activity* activity_out = nullptr);
 
 /// Fresh per-cell starting state: the mapped circuit with every gate at
 /// vdd_high, the activity options / frequency applied, and the timing

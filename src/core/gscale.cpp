@@ -7,7 +7,7 @@
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 #include "timing/cpn.hpp"
-#include "timing/incremental.hpp"
+#include "timing/graph.hpp"
 #include "timing/tcb.hpp"
 
 namespace dvs {
@@ -43,18 +43,43 @@ int apply_cut_resizes(Design& design, const StaResult& sta,
             [](const AppliedResize& a, const AppliedResize& b) {
               return a.delay_gain < b.delay_gain;
             });
-  // One full analysis of the post-resize state; each revert then only
-  // re-times the reverted gate's neighborhood.
-  IncrementalSta timer(design.timing_context(), design.tspec());
+  // Candidate states are the revert prefixes (first k resizes undone, in
+  // ascending delay-gain order), all known up front — so instead of
+  // re-timing after every single revert, score them in lane groups: one
+  // multi-lane sweep checks up to kLanes prefixes at once and the
+  // smallest feasible prefix wins.  Lane arrivals are bit-identical to
+  // the per-revert walks, so the chosen prefix is the same one the
+  // sequential loop found.
+  MultiLaneSta lanes(design.timing_context(), design.tspec());
+  lanes.run();
   std::size_t reverted = 0;
-  while (!timer.result().meets_constraint(1e-9) &&
-         reverted < applied.size()) {
-    design.network().set_cell(applied[reverted].id,
-                              applied[reverted].old_cell);
-    timer.on_node_changed(applied[reverted].id);
-    ++reverted;
+  double final_worst = lanes.base_worst_arrival();
+  if (final_worst > design.tspec() + 1e-9) {
+    constexpr std::size_t kLanes = 16;
+    reverted = applied.size();  // fallback: undo everything
+    bool found = false;
+    for (std::size_t g0 = 0; g0 < applied.size() && !found; g0 += kLanes) {
+      const std::size_t g1 = std::min(applied.size(), g0 + kLanes);
+      lanes.reset_lanes();
+      for (std::size_t k = g0; k < g1; ++k) {
+        const int lane = lanes.add_lane();
+        for (std::size_t j = 0; j <= k; ++j)
+          lanes.set_cell(lane, applied[j].id, applied[j].old_cell);
+      }
+      lanes.run();
+      for (std::size_t k = g0; k < g1; ++k) {
+        final_worst = lanes.worst_arrival(static_cast<int>(k - g0));
+        if (final_worst <= design.tspec() + 1e-9) {
+          reverted = k + 1;
+          found = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < reverted; ++j)
+      design.network().set_cell(applied[j].id, applied[j].old_cell);
   }
-  DVS_ASSERT(timer.result().meets_constraint(1e-6));
+  DVS_ASSERT(final_worst <= design.tspec() + 1e-6);
   *area_used = design.total_area();
   return static_cast<int>(applied.size() - reverted);
 }

@@ -80,17 +80,36 @@ FlowOptions derive_cell_flow(const FlowOptions& base,
   return flow;
 }
 
+JobInit make_job_init(const Network& mapped, const Library& lib,
+                      const FlowOptions& flow) {
+  JobInit init;
+  init_flow_row(mapped, lib, flow, &init.row, &init.activity);
+  return init;
+}
+
 PipelineJobResult run_pipeline_job(const Network& mapped, const Library& lib,
                                    const FlowOptions& base_flow,
                                    std::vector<JobCell> cells,
-                                   bool capture_designs) {
+                                   bool capture_designs,
+                                   const JobInit* init) {
   PipelineJobResult out;
-  init_flow_row(mapped, lib, base_flow, &out.row);
+  // Activity depends only on the logic and the job-wide options, so the
+  // estimate paid for by the original-power measurement is shared by
+  // every cell instead of being recomputed per Design — and by every
+  // job of the same circuit when the caller hands in a JobInit.
+  Activity activity;
+  if (init != nullptr) {
+    out.row = init->row;
+    activity = init->activity;
+  } else {
+    init_flow_row(mapped, lib, base_flow, &out.row, &activity);
+  }
   out.cells.reserve(cells.size());
   for (JobCell& cell : cells) {
     DVS_EXPECTS(!cell.pipeline.empty());
     Design design =
         make_flow_design(mapped, lib, base_flow, out.row.tspec_ns);
+    design.adopt_activity(activity);
     JobCellResult result;
     result.label = cell.label;
     result.spec = cell.pipeline.canonical_spec();
@@ -105,14 +124,16 @@ PipelineJobResult run_pipeline_job(const Network& mapped, const Library& lib,
 }
 
 CircuitRunResult run_single_job(const Network& mapped, const Library& lib,
-                                const JobSpec& spec) {
+                                const JobSpec& spec, const JobInit* init) {
   std::vector<JobCell> cells;
   const PaperAlgo algos[] = {PaperAlgo::kCvs, PaperAlgo::kDscale,
                              PaperAlgo::kGscale};
   const bool enabled[] = {spec.run_cvs, spec.run_dscale, spec.run_gscale};
   for (int i = 0; i < 3; ++i)
     if (enabled[i]) cells.push_back(make_paper_cell(algos[i], spec.flow));
-  return run_pipeline_job(mapped, lib, spec.flow, std::move(cells)).row;
+  return run_pipeline_job(mapped, lib, spec.flow, std::move(cells), false,
+                          init)
+      .row;
 }
 
 CircuitRunResult run_paper_flow(const Network& mapped, const Library& lib,

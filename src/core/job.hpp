@@ -82,17 +82,37 @@ struct PipelineJobResult {
 FlowOptions derive_cell_flow(const FlowOptions& base,
                              std::uint64_t circuit_seed, PaperAlgo algo);
 
+/// Precomputed circuit-shared job state: init_flow_row's columns plus
+/// the switching-activity estimate.  Both are pure functions of the
+/// mapped circuit and the job-wide options (never of the per-algorithm
+/// seeds), so one computation can be shared by every job the suite runs
+/// on the same circuit — the values are identical to what each job would
+/// compute itself.
+struct JobInit {
+  CircuitRunResult row;
+  Activity activity;
+};
+
+/// Computes the shared state once (one STA for the constraint, one power
+/// measurement, one activity estimate).
+JobInit make_job_init(const Network& mapped, const Library& lib,
+                      const FlowOptions& flow);
+
 /// Runs every cell on a fresh copy of `mapped` (shared columns from
 /// `base_flow`) and returns the filled row plus the per-cell results.
 /// `capture_designs` moves each cell's final Design into its result.
+/// `init`, when given, supplies the precomputed shared columns/activity
+/// instead of recomputing them.
 PipelineJobResult run_pipeline_job(const Network& mapped, const Library& lib,
                                    const FlowOptions& base_flow,
                                    std::vector<JobCell> cells,
-                                   bool capture_designs = false);
+                                   bool capture_designs = false,
+                                   const JobInit* init = nullptr);
 
 /// Legacy three-boolean adapter: compiles `spec` into the canonical
 /// paper pipelines and executes them through run_pipeline_job.
 CircuitRunResult run_single_job(const Network& mapped, const Library& lib,
-                                const JobSpec& spec);
+                                const JobSpec& spec,
+                                const JobInit* init = nullptr);
 
 }  // namespace dvs

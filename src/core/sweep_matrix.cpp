@@ -1,6 +1,8 @@
 #include "core/sweep_matrix.hpp"
 
+#include <algorithm>
 #include <future>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -64,8 +66,10 @@ SweepCellResult run_cell(
   if (cell.has_budget) flow.gscale.area_budget_ratio = cell.budget;
 
   CircuitRunResult row;
-  init_flow_row(net, *lib, flow, &row);
+  Activity activity;
+  init_flow_row(net, *lib, flow, &row, &activity);
   Design design = make_flow_design(net, *lib, flow, row.tspec_ns);
+  design.adopt_activity(std::move(activity));
 
   SweepCellResult out;
   out.supplies = cell.supplies;
@@ -102,27 +106,43 @@ SweepCellResult run_cell(
   return out;
 }
 
-/// Marks the non-dominated cells of the (power, delay) minimization and
-/// returns their indices in grid order.
+}  // namespace
+
 std::vector<int> mark_pareto(std::vector<SweepCellResult>& cells) {
-  std::vector<int> front;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < cells.size() && !dominated; ++j) {
-      if (i == j) continue;
-      const bool no_worse = cells[j].power_uw <= cells[i].power_uw &&
-                            cells[j].arrival_ns <= cells[i].arrival_ns;
-      const bool better = cells[j].power_uw < cells[i].power_uw ||
-                          cells[j].arrival_ns < cells[i].arrival_ns;
-      dominated = no_worse && better;
+  // Sort-then-sweep over (power, arrival) ascending.  A cell is
+  // dominated iff some other cell is no worse on both axes and strictly
+  // better on one; exact duplicates therefore keep each other on the
+  // front, which the equal-power grouping below preserves (a point can
+  // only be knocked out by a *strictly* smaller arrival inside its own
+  // power group, or by any earlier group's arrival <= its own).
+  const std::size_t n = cells.size();
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (cells[a].power_uw != cells[b].power_uw)
+      return cells[a].power_uw < cells[b].power_uw;
+    return cells[a].arrival_ns < cells[b].arrival_ns;
+  });
+  double best_prev = std::numeric_limits<double>::infinity();
+  std::size_t g = 0;
+  while (g < n) {
+    std::size_t end = g;
+    while (end < n &&
+           cells[order[end]].power_uw == cells[order[g]].power_uw)
+      ++end;
+    const double group_best = cells[order[g]].arrival_ns;  // sorted asc
+    for (std::size_t k = g; k < end; ++k) {
+      const double a = cells[order[k]].arrival_ns;
+      cells[order[k]].pareto = best_prev > a && group_best >= a;
     }
-    cells[i].pareto = !dominated;
-    if (!dominated) front.push_back(static_cast<int>(i));
+    best_prev = std::min(best_prev, group_best);
+    g = end;
   }
+  std::vector<int> front;
+  for (std::size_t i = 0; i < n; ++i)
+    if (cells[i].pareto) front.push_back(static_cast<int>(i));
   return front;
 }
-
-}  // namespace
 
 SweepMatrixResult run_sweep_matrix(
     const std::function<Network(const Library&)>& source,

@@ -70,6 +70,14 @@ struct SweepMatrixResult {
   std::vector<int> pareto;             // indices of the power/delay front
 };
 
+/// Marks the non-dominated cells of the (power, delay) minimization —
+/// a cell is on the front iff no other cell is <= on both axes and
+/// strictly < on at least one (exact duplicates stay on the front
+/// together) — and returns the front's indices in grid order.
+/// Sort-then-sweep, O(n log n); exposed for the membership-identity
+/// tests against the quadratic pairwise definition.
+std::vector<int> mark_pareto(std::vector<SweepCellResult>& cells);
+
 /// Runs the grid.  `source` is called once per cell with the cell's
 /// effective library and must return the circuit to optimize; it must be
 /// thread-safe when `pool` is non-null (cells run concurrently).  A null

@@ -424,11 +424,13 @@ Json::Object DesignRegistry::open(const OpenDesignRequest& request) {
           derive_cell_flow(request.options.to_flow_options(),
                            handle->circuit_seed, PaperAlgo::kCvs);
       CircuitRunResult row;
-      init_flow_row(mapped, lib, handle->base_flow, &row);
+      Activity activity;
+      init_flow_row(mapped, lib, handle->base_flow, &row, &activity);
       handle->tspec = row.tspec_ns;
       handle->org_power_uw = row.org_power_uw;
       handle->design.emplace(
           make_flow_design(mapped, lib, handle->base_flow, handle->tspec));
+      handle->design->adopt_activity(std::move(activity));
       const Network& net = handle->design->network();
       handle->original_cells.assign(net.size(), -1);
       net.for_each_gate(

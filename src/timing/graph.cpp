@@ -1,8 +1,12 @@
 #include "timing/graph.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "netlist/topo.hpp"
 #include "support/contracts.hpp"
 #include "timing/arc_eval.hpp"
+#include "timing/loads.hpp"
 
 namespace dvs {
 
@@ -137,6 +141,551 @@ void TimingGraph::sync_node(NodeId id) const {
 void TimingGraph::sync_cells() const {
   for (NodeId id : topo_order_)
     if (cell_[id] != net_->node(id).cell) patch_cell(id);
+}
+
+// ===========================================================================
+// MultiLaneSta
+// ===========================================================================
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using timing_detail::ArcView;
+using timing_detail::DelayFactorCache;
+using timing_detail::kVoltEps;
+using timing_detail::propagate;
+
+}  // namespace
+
+MultiLaneSta::MultiLaneSta(const TimingContext& ctx, double tspec)
+    : ctx_(ctx), tspec_(tspec) {
+  DVS_EXPECTS(ctx_.net != nullptr && ctx_.lib != nullptr);
+  DVS_EXPECTS(static_cast<int>(ctx_.node_vdd.size()) >= ctx_.net->size());
+}
+
+MultiLaneSta::~MultiLaneSta() = default;
+
+int MultiLaneSta::add_lane() {
+  lanes_.emplace_back();
+  lane_has_level_.push_back(0);
+  return static_cast<int>(lanes_.size()) - 1;
+}
+
+void MultiLaneSta::reset_lanes() {
+  lanes_.clear();
+  lane_has_level_.clear();
+}
+
+void MultiLaneSta::set_level(int lane, NodeId id, SupplyId rung) {
+  DVS_EXPECTS(lane >= 0 && lane < num_lanes());
+  DVS_EXPECTS(ctx_.net->is_valid(id) && ctx_.net->node(id).is_gate());
+  DVS_EXPECTS(rung < ctx_.lib->supplies().depth());
+  // Rung overrides shift LC boundaries, so the committed flags/levels must
+  // be available to re-derive from.
+  DVS_EXPECTS(static_cast<int>(ctx_.node_level.size()) >= ctx_.net->size());
+  DVS_EXPECTS(static_cast<int>(ctx_.lc_on_output.size()) >=
+              ctx_.net->size());
+  for (Override& o : lanes_[lane])
+    if (o.node == id) {
+      o.level = rung;
+      o.has_level = 1;
+      lane_has_level_[lane] = 1;
+      return;
+    }
+  lanes_[lane].push_back({id, rung, -1, 1, 0});
+  lane_has_level_[lane] = 1;
+}
+
+void MultiLaneSta::set_cell(int lane, NodeId id, int cell) {
+  DVS_EXPECTS(lane >= 0 && lane < num_lanes());
+  DVS_EXPECTS(ctx_.net->is_valid(id) && ctx_.net->node(id).is_gate());
+  for (Override& o : lanes_[lane])
+    if (o.node == id) {
+      o.cell = cell;
+      o.has_cell = 1;
+      return;
+    }
+  lanes_[lane].push_back({id, 0, cell, 0, 1});
+}
+
+const TimingGraph& MultiLaneSta::resolve_graph() {
+  recompiled_ = false;
+  if (ctx_.graph != nullptr && ctx_.graph->describes(*ctx_.net, *ctx_.lib))
+    return *ctx_.graph;
+  if (fallback_ && fallback_->describes(*ctx_.net, *ctx_.lib))
+    return *fallback_;
+  // Structural edit since compile: all previously computed lane state is
+  // stale — drop it with the old graph and recompile.
+  lane_ar_.clear();
+  lane_af_.clear();
+  lane_lr_.clear();
+  lane_lf_.clear();
+  fallback_ = std::make_shared<const TimingGraph>(*ctx_.net, *ctx_.lib);
+  recompiled_ = true;
+  return *fallback_;
+}
+
+/// Marks every node any lane's overrides can influence directly: the
+/// overridden node itself (arcs / supply / LC flag / load split) plus its
+/// gate fanins (their pin caps toward it, their LC flags, their LC load
+/// splits).  Everything else either sits below the dirty rank or is
+/// recomputed with operand-identical arithmetic.
+void MultiLaneSta::build_closure(const TimingGraph& g) {
+  const int n = ctx_.net->size();
+  touched_.assign(n, 0);
+  touch_row_.assign(n, -1);
+  touch_list_.clear();
+  auto touch = [&](NodeId id) {
+    if (touched_[id]) return;
+    touched_[id] = 1;
+    touch_row_[id] = static_cast<int>(touch_list_.size());
+    touch_list_.push_back(id);
+  };
+  for (const std::vector<Override>& lane : lanes_)
+    for (const Override& o : lane) {
+      touch(o.node);
+      for (NodeId fi : g.fanins(o.node))
+        if (g.is_gate(fi)) touch(fi);
+    }
+}
+
+/// Per-(touched node, lane) effective state: rung/supply/cell from the
+/// lane's explicit overrides, LC flags re-derived with the lc_needed rule,
+/// and loads re-accumulated in compute_loads_presynced's exact per-node
+/// operation order with the lane's pin caps and LC split.
+void MultiLaneSta::fill_effective(const TimingGraph& g) {
+  const Library& lib = *ctx_.lib;
+  const int nl = num_lanes();
+  const int rows = static_cast<int>(touch_list_.size());
+  eff_vdd_.resize(static_cast<std::size_t>(rows) * nl);
+  eff_level_.resize(static_cast<std::size_t>(rows) * nl);
+  eff_cell_.resize(static_cast<std::size_t>(rows) * nl);
+  eff_load_.resize(static_cast<std::size_t>(rows) * nl);
+  eff_lc_load_.resize(static_cast<std::size_t>(rows) * nl);
+  eff_lc_on_.resize(static_cast<std::size_t>(rows) * nl);
+  eff_lc_active_.resize(static_cast<std::size_t>(rows) * nl);
+
+  const bool any_lc = !ctx_.lc_on_output.empty();
+  const bool have_levels = !ctx_.node_level.empty();
+  for (int r = 0; r < rows; ++r) {
+    const NodeId id = touch_list_[r];
+    for (int l = 0; l < nl; ++l) {
+      const std::size_t s = static_cast<std::size_t>(r) * nl + l;
+      eff_vdd_[s] = ctx_.node_vdd[id];
+      eff_level_[s] = have_levels ? ctx_.node_level[id] : kTopRung;
+      eff_cell_[s] = kBaseCell;
+      eff_lc_on_[s] = any_lc ? ctx_.lc_on_output[id] : 0;
+      eff_lc_active_[s] =
+          eff_lc_on_[s] && base_loads_.lc_fanout_pins[id] > 0;
+      eff_load_[s] = base_loads_.direct[id];
+      eff_lc_load_[s] = base_loads_.lc[id];
+    }
+  }
+  for (int l = 0; l < nl; ++l)
+    for (const Override& o : lanes_[l]) {
+      const std::size_t s =
+          static_cast<std::size_t>(touch_row_[o.node]) * nl + l;
+      if (o.has_level) {
+        eff_level_[s] = o.level;
+        // Same assignment Design::set_level performs, so the double is
+        // identical to the committed vector's.
+        eff_vdd_[s] = lib.supplies().voltage(o.level);
+      }
+      if (o.has_cell) eff_cell_[s] = o.cell;
+    }
+
+  auto eff_level_of = [&](NodeId id, int l) -> SupplyId {
+    const int r = touch_row_[id];
+    if (r >= 0) return eff_level_[static_cast<std::size_t>(r) * nl + l];
+    return ctx_.node_level[id];
+  };
+  auto eff_vdd_of = [&](NodeId id, int l) -> double {
+    const int r = touch_row_[id];
+    if (r >= 0) return eff_vdd_[static_cast<std::size_t>(r) * nl + l];
+    return ctx_.node_vdd[id];
+  };
+
+  // LC flags: only lanes that move rungs can change them, and only on
+  // touched nodes (a flag depends on the node's and its fanouts' rungs;
+  // nodes with an overridden fanout are exactly the touched fanins).
+  for (int l = 0; l < nl; ++l) {
+    if (!lane_has_level_[l]) continue;
+    for (int r = 0; r < rows; ++r) {
+      const NodeId id = touch_list_[r];
+      const std::size_t s = static_cast<std::size_t>(r) * nl + l;
+      const SupplyId driver = eff_level_[s];
+      char flag = 0;
+      if (driver != kTopRung)
+        for (NodeId fo : g.unique_fanouts(id))
+          if (g.is_gate(fo) &&
+              SupplyLadder::converter_needed(driver, eff_level_of(fo, l))) {
+            flag = 1;
+            break;
+          }
+      eff_lc_on_[s] = flag;
+    }
+  }
+
+  // Loads, replicating compute_loads_presynced per node: split the entry
+  // caps in entry order, then the driven ports, then the LC input cap and
+  // the two wire loads.
+  const Cell* lc_cell =
+      lib.level_converter() >= 0 ? &lib.cell(lib.level_converter()) : nullptr;
+  for (int r = 0; r < rows; ++r) {
+    const NodeId u = touch_list_[r];
+    const auto pins = g.fanout_pins(u);
+    const auto caps = g.fanout_pin_caps(u);
+    for (int l = 0; l < nl; ++l) {
+      const std::size_t s = static_cast<std::size_t>(r) * nl + l;
+      const bool u_has_lc = eff_lc_on_[s] != 0;
+      const double u_vdd = eff_vdd_[s];
+      double direct = 0.0, lc = 0.0;
+      int dcount = 0, lcount = 0;
+      for (std::size_t e = 0; e < pins.size(); ++e) {
+        const NodeId sink = pins[e].sink;
+        double cap = caps[e];
+        const int sr = touch_row_[sink];
+        if (sr >= 0) {
+          const int c = eff_cell_[static_cast<std::size_t>(sr) * nl + l];
+          if (c != kBaseCell)
+            cap = c >= 0 ? lib.cell(c).input_cap[pins[e].pin]
+                         : timing_detail::kDefaultPinCap;
+        }
+        if (u_has_lc && eff_vdd_of(sink, l) > u_vdd + kVoltEps) {
+          lc += cap;
+          ++lcount;
+        } else {
+          direct += cap;
+          ++dcount;
+        }
+      }
+      for (int p = 0; p < g.port_fanout_count(u); ++p) {
+        direct += ctx_.output_port_load;
+        ++dcount;
+      }
+      if (lcount > 0) {
+        DVS_ASSERT(lc_cell != nullptr);
+        direct += lc_cell->input_cap[0];
+        ++dcount;
+        lc += lib.wire_load().wire_cap(lcount);
+      }
+      direct += lib.wire_load().wire_cap(dcount);
+      eff_load_[s] = direct;
+      eff_lc_load_[s] = lc;
+      eff_lc_active_[s] = u_has_lc && lcount > 0;
+    }
+  }
+}
+
+/// The committed state's forward sweep — operation-for-operation the
+/// forward half of run_sta_flat, so base arrivals (and with them every
+/// lane's below-dirty-rank reads) are bit-identical to run_sta.
+void MultiLaneSta::sweep_base(const TimingGraph& g) {
+  const Network& net = *ctx_.net;
+  const Library& lib = *ctx_.lib;
+  const int n = net.size();
+  DelayFactorCache delay_factor(lib.voltage_model(), lib.supplies());
+
+  const bool any_lc = !ctx_.lc_on_output.empty();
+  auto has_lc = [&](NodeId id) {
+    return any_lc && ctx_.lc_on_output[id] != 0;
+  };
+  const Cell* lc_cell =
+      lib.level_converter() >= 0 ? &lib.cell(lib.level_converter()) : nullptr;
+
+  base_arr_.assign(n, RiseFall{});
+  base_lc_.assign(n, RiseFall{});
+  const std::vector<double>& load = base_loads_.direct;
+  const std::vector<int>& lc_count = base_loads_.lc_fanout_pins;
+  const double vdd_high = lib.vdd_high();
+  for (NodeId id : g.topo_order()) {
+    const std::span<const NodeId> fi = g.fanins(id);
+    RiseFall arr{0.0, 0.0};
+    if (g.is_gate(id) && !fi.empty()) {
+      arr = {-kInf, -kInf};
+      const double vf = delay_factor(ctx_.node_vdd[id]);
+      const std::span<const TimingArc> arcs = g.arcs(id);
+      const double ld = load[id];
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        const NodeId uid = fi[pin];
+        const TimingArc& arc = arcs[pin];
+        const RiseFall d = ArcView{arc, vf, ld}.delay();
+        const bool through_lc =
+            has_lc(uid) &&
+            ctx_.node_vdd[id] > ctx_.node_vdd[uid] + kVoltEps;
+        const RiseFall& in = through_lc ? base_lc_[uid] : base_arr_[uid];
+        const RiseFall cand = propagate(in, arc, d);
+        arr.rise = std::max(arr.rise, cand.rise);
+        arr.fall = std::max(arr.fall, cand.fall);
+      }
+    }
+    base_arr_[id] = arr;
+    if (has_lc(id) && lc_count[id] > 0) {
+      const double vf = delay_factor(vdd_high);
+      const RiseFall d =
+          ArcView{lc_cell->arcs[0], vf, base_loads_.lc[id]}.delay();
+      base_lc_[id] = propagate(arr, lc_cell->arcs[0], d);
+    }
+  }
+  base_worst_ = 0.0;
+  for (const OutputPort& port : net.outputs())
+    base_worst_ = std::max(base_worst_, base_arr_[port.driver].max());
+}
+
+void MultiLaneSta::sweep_lanes(const TimingGraph& g) {
+  const Network& net = *ctx_.net;
+  const Library& lib = *ctx_.lib;
+  const int nl = num_lanes();
+  const std::vector<NodeId>& order = g.topo_order();
+  const std::vector<int>& rank = g.topo_ranks();
+
+  start_rank_ = static_cast<int>(order.size());
+  for (NodeId id : touch_list_)
+    start_rank_ = std::min(start_rank_, rank[id]);
+  const int span = static_cast<int>(order.size()) - start_rank_;
+  lane_ar_.assign(static_cast<std::size_t>(span) * nl, 0.0);
+  lane_af_.assign(static_cast<std::size_t>(span) * nl, 0.0);
+  lane_lr_.assign(static_cast<std::size_t>(span) * nl, 0.0);
+  lane_lf_.assign(static_cast<std::size_t>(span) * nl, 0.0);
+  lane_worst_.assign(nl, 0.0);
+  if (nl == 0) return;
+
+  DelayFactorCache delay_factor(lib.voltage_model(), lib.supplies());
+  const bool any_lc = !ctx_.lc_on_output.empty();
+  auto has_lc = [&](NodeId id) {
+    return any_lc && ctx_.lc_on_output[id] != 0;
+  };
+  const Cell* lc_cell =
+      lib.level_converter() >= 0 ? &lib.cell(lib.level_converter()) : nullptr;
+  const double vdd_high = lib.vdd_high();
+  const std::vector<double>& base_load = base_loads_.direct;
+  const std::vector<int>& base_lcc = base_loads_.lc_fanout_pins;
+
+  auto lane_row = [&](std::vector<double>& v, NodeId id) -> double* {
+    return v.data() + static_cast<std::size_t>(rank[id] - start_rank_) * nl;
+  };
+
+  for (int oi = start_rank_; oi < static_cast<int>(order.size()); ++oi) {
+    const NodeId id = order[oi];
+    double* ar = lane_ar_.data() + static_cast<std::size_t>(oi - start_rank_) * nl;
+    double* af = lane_af_.data() + static_cast<std::size_t>(oi - start_rank_) * nl;
+    double* lr = lane_lr_.data() + static_cast<std::size_t>(oi - start_rank_) * nl;
+    double* lf = lane_lf_.data() + static_cast<std::size_t>(oi - start_rank_) * nl;
+    const std::span<const NodeId> fi = g.fanins(id);
+    const int row = touch_row_[id];
+
+    if (!g.is_gate(id) || fi.empty()) {
+      // Inputs / constant gates arrive at t=0 in every lane.
+      for (int l = 0; l < nl; ++l) ar[l] = 0.0;
+      for (int l = 0; l < nl; ++l) af[l] = 0.0;
+    } else if (row < 0) {
+      // Fast path: the node itself is identical in all lanes — scalar
+      // supply factor, load and arcs; only the inputs vary by lane.
+      const double vf = delay_factor(ctx_.node_vdd[id]);
+      const std::span<const TimingArc> arcs = g.arcs(id);
+      const double ld = base_load[id];
+      for (int l = 0; l < nl; ++l) ar[l] = -kInf;
+      for (int l = 0; l < nl; ++l) af[l] = -kInf;
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        const NodeId uid = fi[pin];
+        const TimingArc& arc = arcs[pin];
+        const RiseFall d = ArcView{arc, vf, ld}.delay();
+        const int urow = touch_row_[uid];
+        if (urow < 0) {
+          const bool through_lc =
+              has_lc(uid) &&
+              ctx_.node_vdd[id] > ctx_.node_vdd[uid] + kVoltEps;
+          if (rank[uid] < start_rank_) {
+            // Below the dirty rank every lane reads the base arrival.
+            const RiseFall& in =
+                through_lc ? base_lc_[uid] : base_arr_[uid];
+            const RiseFall cand = propagate(in, arc, d);
+            for (int l = 0; l < nl; ++l)
+              ar[l] = std::max(ar[l], cand.rise);
+            for (int l = 0; l < nl; ++l)
+              af[l] = std::max(af[l], cand.fall);
+          } else {
+            const double* inr =
+                through_lc ? lane_row(lane_lr_, uid) : lane_row(lane_ar_, uid);
+            const double* inf =
+                through_lc ? lane_row(lane_lf_, uid) : lane_row(lane_af_, uid);
+            // Contiguous per-lane runs with no lane-dependent branches:
+            // the auto-vectorizable core of the engine.
+            switch (arc.sense) {
+              case ArcSense::kPositiveUnate:
+                for (int l = 0; l < nl; ++l)
+                  ar[l] = std::max(ar[l], inr[l] + d.rise);
+                for (int l = 0; l < nl; ++l)
+                  af[l] = std::max(af[l], inf[l] + d.fall);
+                break;
+              case ArcSense::kNegativeUnate:
+                for (int l = 0; l < nl; ++l)
+                  ar[l] = std::max(ar[l], inf[l] + d.rise);
+                for (int l = 0; l < nl; ++l)
+                  af[l] = std::max(af[l], inr[l] + d.fall);
+                break;
+              case ArcSense::kNonUnate:
+              default:
+                for (int l = 0; l < nl; ++l) {
+                  const double worst = std::max(inr[l], inf[l]);
+                  ar[l] = std::max(ar[l], worst + d.rise);
+                  af[l] = std::max(af[l], worst + d.fall);
+                }
+                break;
+            }
+          }
+        } else {
+          // Overridden fanin: its LC flag / supply differ per lane, so
+          // the through-LC routing is resolved lane by lane.
+          for (int l = 0; l < nl; ++l) {
+            const std::size_t us = static_cast<std::size_t>(urow) * nl + l;
+            const bool through_lc =
+                eff_lc_on_[us] != 0 &&
+                ctx_.node_vdd[id] > eff_vdd_[us] + kVoltEps;
+            const RiseFall in =
+                through_lc
+                    ? RiseFall{lane_row(lane_lr_, uid)[l],
+                               lane_row(lane_lf_, uid)[l]}
+                    : RiseFall{lane_row(lane_ar_, uid)[l],
+                               lane_row(lane_af_, uid)[l]};
+            const RiseFall cand = propagate(in, arc, d);
+            ar[l] = std::max(ar[l], cand.rise);
+            af[l] = std::max(af[l], cand.fall);
+          }
+        }
+      }
+    } else {
+      // Slow path: the node carries overrides in some lane — evaluate
+      // each lane with its effective supply, cell, loads and flags,
+      // replicating run_sta_flat's per-node recipe exactly.
+      const std::span<const TimingArc> base_arcs = g.arcs(id);
+      for (int l = 0; l < nl; ++l) {
+        const std::size_t s = static_cast<std::size_t>(row) * nl + l;
+        const double vf = delay_factor(eff_vdd_[s]);
+        const double ld = eff_load_[s];
+        const int c = eff_cell_[s];
+        const TimingArc* arcs = base_arcs.data();
+        if (c != kBaseCell) {
+          if (c >= 0) {
+            arcs = lib.cell(c).arcs.data();
+          } else {
+            scratch_arcs_.clear();
+            const Node& node = net.node(id);
+            for (std::size_t pin = 0; pin < fi.size(); ++pin)
+              scratch_arcs_.push_back(timing_detail::default_arc(
+                  node.function, static_cast<int>(pin)));
+            arcs = scratch_arcs_.data();
+          }
+        }
+        RiseFall arr{-kInf, -kInf};
+        for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+          const NodeId uid = fi[pin];
+          const TimingArc& arc = arcs[pin];
+          const RiseFall d = ArcView{arc, vf, ld}.delay();
+          const int urow = touch_row_[uid];
+          bool through_lc;
+          if (urow < 0) {
+            through_lc =
+                has_lc(uid) && eff_vdd_[s] > ctx_.node_vdd[uid] + kVoltEps;
+          } else {
+            const std::size_t us = static_cast<std::size_t>(urow) * nl + l;
+            through_lc =
+                eff_lc_on_[us] != 0 && eff_vdd_[s] > eff_vdd_[us] + kVoltEps;
+          }
+          RiseFall in;
+          if (rank[uid] < start_rank_) {
+            in = through_lc ? base_lc_[uid] : base_arr_[uid];
+          } else if (through_lc) {
+            in = {lane_row(lane_lr_, uid)[l], lane_row(lane_lf_, uid)[l]};
+          } else {
+            in = {lane_row(lane_ar_, uid)[l], lane_row(lane_af_, uid)[l]};
+          }
+          const RiseFall cand = propagate(in, arc, d);
+          arr.rise = std::max(arr.rise, cand.rise);
+          arr.fall = std::max(arr.fall, cand.fall);
+        }
+        ar[l] = arr.rise;
+        af[l] = arr.fall;
+      }
+    }
+
+    // Level-converter output arrivals.
+    if (row < 0) {
+      if (has_lc(id) && base_lcc[id] > 0) {
+        const double vf = delay_factor(vdd_high);
+        const RiseFall d =
+            ArcView{lc_cell->arcs[0], vf, base_loads_.lc[id]}.delay();
+        for (int l = 0; l < nl; ++l) {
+          const RiseFall out =
+              propagate({ar[l], af[l]}, lc_cell->arcs[0], d);
+          lr[l] = out.rise;
+          lf[l] = out.fall;
+        }
+      }
+    } else {
+      for (int l = 0; l < nl; ++l) {
+        const std::size_t s = static_cast<std::size_t>(row) * nl + l;
+        if (!eff_lc_active_[s]) {
+          lr[l] = 0.0;
+          lf[l] = 0.0;
+          continue;
+        }
+        const double vf = delay_factor(vdd_high);
+        const RiseFall d =
+            ArcView{lc_cell->arcs[0], vf, eff_lc_load_[s]}.delay();
+        const RiseFall out = propagate({ar[l], af[l]}, lc_cell->arcs[0], d);
+        lr[l] = out.rise;
+        lf[l] = out.fall;
+      }
+    }
+  }
+
+  for (const OutputPort& port : net.outputs()) {
+    const NodeId d = port.driver;
+    if (rank[d] < start_rank_) {
+      const double w = base_arr_[d].max();
+      for (int l = 0; l < nl; ++l)
+        lane_worst_[l] = std::max(lane_worst_[l], w);
+    } else {
+      const double* ar = lane_row(lane_ar_, d);
+      const double* af = lane_row(lane_af_, d);
+      for (int l = 0; l < nl; ++l)
+        lane_worst_[l] = std::max(lane_worst_[l], std::max(ar[l], af[l]));
+    }
+  }
+}
+
+void MultiLaneSta::run() {
+  const TimingGraph& g = resolve_graph();
+  g.sync_cells();
+  LoadContext lctx{ctx_.net,  ctx_.lib, ctx_.node_vdd, ctx_.lc_on_output,
+                   ctx_.output_port_load, &g};
+  base_loads_ = timing_detail::compute_loads_presynced(lctx, g);
+  sweep_base(g);
+  build_closure(g);
+  fill_effective(g);
+  sweep_lanes(g);
+  ran_lanes_ = num_lanes();
+}
+
+double MultiLaneSta::worst_arrival(int lane) const {
+  DVS_EXPECTS(lane >= 0 && lane < static_cast<int>(lane_worst_.size()));
+  return lane_worst_[lane];
+}
+
+RiseFall MultiLaneSta::arrival(int lane, NodeId id) const {
+  DVS_EXPECTS(lane >= 0 && lane < ran_lanes_);
+  const TimingGraph* g =
+      ctx_.graph != nullptr && ctx_.graph->describes(*ctx_.net, *ctx_.lib)
+          ? ctx_.graph
+          : fallback_.get();
+  DVS_EXPECTS(g != nullptr);
+  const int rank = g->topo_ranks()[id];
+  if (rank < start_rank_) return base_arr_[id];
+  const std::size_t s =
+      static_cast<std::size_t>(rank - start_rank_) * ran_lanes_ + lane;
+  return {lane_ar_[s], lane_af_[s]};
 }
 
 }  // namespace dvs

@@ -30,11 +30,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "library/library.hpp"
 #include "netlist/network.hpp"
+#include "timing/loads.hpp"
+#include "timing/sta.hpp"
 
 namespace dvs {
 
@@ -170,6 +173,118 @@ class TimingGraph {
 
   // Mapped-cell snapshot the arcs/caps were resolved against.
   mutable std::vector<std::int32_t> cell_;
+};
+
+/// N-lane arrival-time engine: scores N candidate (rung, cell)
+/// assignments against a committed base state in one topological sweep
+/// over the compiled CSR arcs.
+///
+/// Layout: a lane-major structure-of-arrays block — for every node at or
+/// above the sparse "dirty-from" start rank (the minimum topological rank
+/// any lane's overrides touch, shared across lanes) the engine keeps
+/// `num_lanes` contiguous rise/fall arrival doubles, so the inner loop
+/// over lanes is a branch-free contiguous run that the compiler can
+/// auto-vectorize.  Nodes below the start rank are never re-walked: all
+/// lanes read the base arrivals computed once per run().
+///
+/// Exactness: lane results are bit-identical to re-running the full
+/// single-assignment STA on a design carrying the lane's overrides —
+/// not approximately equal.  This holds because every per-lane value is
+/// produced by the same operation sequence run_sta_flat uses: delay
+/// factors come from the same pre-seeded DelayFactorCache, per-node
+/// loads replicate compute_loads_presynced's entry-order accumulation
+/// with the lane's effective pin caps and LC split, LC boundary flags are
+/// re-derived with the same `lc_needed` rule Design maintains, and the
+/// max-folds over pins and output ports are order-insensitive.  Nodes a
+/// lane does not influence are either skipped (below the start rank) or
+/// recomputed with operand-identical arithmetic, so they reproduce the
+/// base doubles byte-for-byte.
+///
+/// The context's spans must stay alive and describe the committed state
+/// for the engine's lifetime; point cell edits in the underlying network
+/// are absorbed by the sync_cells() every run() performs.  A structural
+/// network edit invalidates the compiled graph: run() detects the
+/// `structural_version()` bump, discards all lane state, and recompiles a
+/// private fallback graph (observable via recompiled()).
+class MultiLaneSta {
+ public:
+  /// `tspec` is the required time used by worst_slack(); pass the
+  /// design's constraint.  Lane overrides start empty.
+  MultiLaneSta(const TimingContext& ctx, double tspec);
+  ~MultiLaneSta();
+
+  int add_lane();
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  /// Drops every lane and its overrides (buffers are kept for reuse).
+  void reset_lanes();
+
+  /// Overrides gate `id`'s supply rung in `lane`.  Requires the context
+  /// to carry `node_level` and `lc_on_output` spans (Design contexts do).
+  void set_level(int lane, NodeId id, SupplyId rung);
+  /// Overrides gate `id`'s mapped cell in `lane` (arcs + pin caps);
+  /// `cell < 0` means unmapped (default arcs / default pin caps).
+  void set_cell(int lane, NodeId id, int cell);
+
+  /// One base sweep + one lane sweep from the dirty rank.  Recompiles a
+  /// private graph first if the context's graph went stale.
+  void run();
+
+  double tspec() const { return tspec_; }
+  /// Worst arrival of the committed (no-override) state, from the last
+  /// run().
+  double base_worst_arrival() const { return base_worst_; }
+  double worst_arrival(int lane) const;
+  double worst_slack(int lane) const { return tspec_ - worst_arrival(lane); }
+  /// Arrival at `id`'s output in `lane`, from the last run().
+  RiseFall arrival(int lane, NodeId id) const;
+  /// True iff the last run() had to recompile (stale context graph).
+  bool recompiled() const { return recompiled_; }
+
+ private:
+  struct Override {
+    NodeId node = kNoNode;
+    SupplyId level = 0;
+    int cell = -1;
+    char has_level = 0;
+    char has_cell = 0;
+  };
+
+  const TimingGraph& resolve_graph();
+  void build_closure(const TimingGraph& g);
+  void fill_effective(const TimingGraph& g);
+  void sweep_base(const TimingGraph& g);
+  void sweep_lanes(const TimingGraph& g);
+
+  TimingContext ctx_;
+  double tspec_ = 0.0;
+  std::shared_ptr<const TimingGraph> fallback_;
+  bool recompiled_ = false;
+
+  std::vector<std::vector<Override>> lanes_;
+  std::vector<char> lane_has_level_;  // lane carries >=1 level override
+
+  // ---- products of the last run() ---------------------------------------
+  NodeLoads base_loads_;
+  std::vector<RiseFall> base_arr_;
+  std::vector<RiseFall> base_lc_;
+  double base_worst_ = 0.0;
+  int start_rank_ = 0;
+  int ran_lanes_ = 0;
+  // Lane block: node (by rank - start_rank_) major, lane minor.
+  std::vector<double> lane_ar_, lane_af_, lane_lr_, lane_lf_;
+  std::vector<double> lane_worst_;
+
+  // ---- override closure + per-(touched node, lane) effective state ------
+  std::vector<char> touched_;    // per node id: overridden/adjacent, any lane
+  std::vector<int> touch_row_;   // node id -> row in eff arrays, or -1
+  std::vector<NodeId> touch_list_;
+  static constexpr int kBaseCell = -2;  // eff_cell_ sentinel: no override
+  std::vector<double> eff_vdd_, eff_load_, eff_lc_load_;
+  std::vector<SupplyId> eff_level_;
+  std::vector<int> eff_cell_;
+  std::vector<char> eff_lc_on_;      // lane LC flag (lc_needed)
+  std::vector<char> eff_lc_active_;  // flag && lane lc fanout pins > 0
+  std::vector<TimingArc> scratch_arcs_;
 };
 
 }  // namespace dvs

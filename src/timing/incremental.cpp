@@ -54,6 +54,7 @@ void IncrementalSta::full_recompute() {
     graph_ = owned_graph_.get();
   }
   result_ = analyze_full();
+  port_arrival_moved_ = false;
 }
 
 bool IncrementalSta::recompute_load(NodeId id) {
@@ -136,6 +137,12 @@ bool IncrementalSta::recompute_arrival(NodeId id, DelayFactorCache& df) {
 
   const bool changed = differs(arr, result_.arrival[id]) ||
                        differs(lc_arr, result_.lc_arrival[id]);
+  // Even a sub-kEps wiggle on a port driver shifts the worst-arrival
+  // fold, so the staleness test is bitwise, not tolerance-based.
+  if (g.port_fanout_count(id) > 0 &&
+      (arr.rise != result_.arrival[id].rise ||
+       arr.fall != result_.arrival[id].fall))
+    port_arrival_moved_ = true;
   result_.arrival[id] = arr;
   result_.lc_arrival[id] = lc_arr;
   result_.slack[id] = std::min(result_.required[id].rise - arr.rise,
@@ -183,6 +190,10 @@ bool IncrementalSta::recompute_required(NodeId id, DelayFactorCache& df) {
 }
 
 void IncrementalSta::refresh_worst_arrival() {
+  // The fold reads only port-driver arrivals; when none of them moved
+  // bitwise since the last refresh the cached value is exact already.
+  if (!port_arrival_moved_) return;
+  port_arrival_moved_ = false;
   result_.worst_arrival = 0.0;
   for (const OutputPort& port : ctx_.net->outputs())
     result_.worst_arrival =

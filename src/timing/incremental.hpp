@@ -47,7 +47,10 @@ class IncrementalSta {
 
  private:
   /// Recomputes arrival (and LC arrival) of one node from its fanins.
-  /// Returns true when the stored value moved by more than kEps.
+  /// Returns true when the stored value moved by more than kEps.  Sets
+  /// `port_arrival_moved_` when a port driver's arrival changed at all
+  /// (bitwise), which is the exact condition under which the cached
+  /// worst_arrival could be stale.
   bool recompute_arrival(NodeId id, timing_detail::DelayFactorCache& df);
   /// Recomputes required time of one node from its fanouts (pull).
   bool recompute_required(NodeId id, timing_detail::DelayFactorCache& df);
@@ -62,6 +65,9 @@ class IncrementalSta {
   StaResult result_;
   const TimingGraph* graph_ = nullptr;
   std::unique_ptr<TimingGraph> owned_graph_;  // when the caller gave none
+  /// Set by recompute_arrival when any output-port driver's arrival
+  /// changed bitwise since the last refresh_worst_arrival.
+  bool port_arrival_moved_ = false;
 };
 
 }  // namespace dvs

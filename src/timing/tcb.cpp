@@ -54,17 +54,55 @@ std::vector<NodeId> compute_tcb(const TimingContext& ctx,
   std::vector<char> drives_port(net.size(), 0);
   for (const OutputPort& port : net.outputs()) drives_port[port.driver] = 1;
 
-  std::vector<NodeId> tcb;
+  // Rungs are memoized per node (the naive sweep re-derives a node's
+  // rung once per fanin), and the deepen probes run as one batched pass
+  // per current-rung group with the factor pair hoisted, instead of a
+  // table lookup per gate.  The probe math is word-for-word
+  // can_deepen_one_rung's, and membership is emitted in the original
+  // gate order, so the TCB is identical.
+  std::vector<SupplyId> rung(net.size(), kTopRung);
+  std::vector<char> have_rung(net.size(), 0);
+  const auto rung_of_node = [&](NodeId id) {
+    if (have_rung[id] == 0) {
+      rung[id] = rung_at(ctx, id);
+      have_rung[id] = 1;
+    }
+    return rung[id];
+  };
+
+  std::vector<NodeId> adjacent;  // for_each_gate order
+  std::vector<std::vector<NodeId>> by_rung(ladder.depth());
   net.for_each_gate([&](const Node& n) {
-    const SupplyId cur = rung_at(ctx, n.id);
+    const SupplyId cur = rung_of_node(n.id);
     if (cur == deepest) return;  // already on the deepest rung
     bool adjacent_to_low = drives_port[n.id] != 0;
     for (NodeId fo : n.fanouts)
-      if (rung_at(ctx, fo) > cur) adjacent_to_low = true;
+      if (rung_of_node(fo) > cur) adjacent_to_low = true;
     if (!adjacent_to_low) return;
-    if (can_deepen_one_rung(factor, ctx, sta, n.id)) return;  // not blocked
-    tcb.push_back(n.id);
+    adjacent.push_back(n.id);
+    by_rung[cur].push_back(n.id);
   });
+
+  std::vector<char> blocked(net.size(), 0);
+  for (SupplyId cur = kTopRung; cur < deepest; ++cur) {
+    if (by_rung[cur].empty()) continue;
+    const double f_cur = factor[cur];
+    const double f_next = factor[cur + 1];
+    for (NodeId id : by_rung[cur]) {
+      const Node& n = net.node(id);
+      if (n.cell < 0) {
+        blocked[id] = 1;  // unmapped: cannot deepen, always in the TCB
+        continue;
+      }
+      const double increase = worst_delay_increase(
+          f_cur, f_next, ctx.lib->cell(n.cell), sta.load[id]);
+      if (increase > sta.slack[id] + 1e-12) blocked[id] = 1;
+    }
+  }
+
+  std::vector<NodeId> tcb;
+  for (NodeId id : adjacent)
+    if (blocked[id] != 0) tcb.push_back(id);
   return tcb;
 }
 

@@ -1,0 +1,298 @@
+// Byte-equality suite for the N-lane arrival engine: every lane of a
+// MultiLaneSta run must reproduce — with EXACT double equality, not
+// epsilon-closeness — the arrivals and worst arrival of a full
+// single-assignment STA on a design carrying that lane's overrides.
+// Exercised across the whole 39-circuit MCNC suite and 200-step random
+// flip sequences on dual and 3-rung ladders, with multi-override lanes
+// (the Gscale revert-prefix shape) and lane-count sweeps.
+#include <gtest/gtest.h>
+
+#include "dual_ladder.hpp"
+
+#include <string>
+#include <vector>
+
+#include "benchgen/mcnc.hpp"
+#include "benchgen/random_dag.hpp"
+#include "core/design.hpp"
+#include "support/rng.hpp"
+#include "timing/graph.hpp"
+#include "timing/sta.hpp"
+
+namespace dvs {
+namespace {
+
+/// One candidate point change, in both representations: applied to a lane
+/// via set_level/set_cell and to a reference Design via the committed
+/// mutation path.
+struct Flip {
+  NodeId node = kNoNode;
+  bool is_level = false;
+  SupplyId level = 0;
+  int cell = -1;
+};
+
+void apply_to_lane(MultiLaneSta& lanes, int lane, const Flip& flip) {
+  if (flip.is_level)
+    lanes.set_level(lane, flip.node, flip.level);
+  else
+    lanes.set_cell(lane, flip.node, flip.cell);
+}
+
+void apply_to_design(Design& design, const Flip& flip) {
+  if (flip.is_level)
+    design.set_level(flip.node, flip.level);
+  else
+    design.network().set_cell(flip.node, flip.cell);
+}
+
+/// Exact comparison of one lane against the full single-assignment walk
+/// on a design copy carrying the lane's flips.
+::testing::AssertionResult lane_bit_identical(
+    const MultiLaneSta& lanes, int lane, const Design& base,
+    const std::vector<Flip>& flips) {
+  Design ref = base;  // fresh graph slot: recompiles from scratch
+  for (const Flip& flip : flips) apply_to_design(ref, flip);
+  const StaResult full = ref.run_timing();
+  if (lanes.worst_arrival(lane) != full.worst_arrival)
+    return ::testing::AssertionFailure()
+           << "lane " << lane << " worst_arrival "
+           << lanes.worst_arrival(lane) << " != " << full.worst_arrival;
+  if (lanes.worst_slack(lane) != full.worst_slack())
+    return ::testing::AssertionFailure()
+           << "lane " << lane << " worst_slack differs";
+  const Network& net = ref.network();
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (!net.is_valid(id)) continue;
+    const RiseFall got = lanes.arrival(lane, id);
+    if (got.rise != full.arrival[id].rise ||
+        got.fall != full.arrival[id].fall)
+      return ::testing::AssertionFailure()
+             << "lane " << lane << " node " << id << " arrival ("
+             << got.rise << ", " << got.fall << ") != ("
+             << full.arrival[id].rise << ", " << full.arrival[id].fall
+             << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Random candidate flip against the design's current state.
+Flip random_flip(const Design& design, const Library& lib, Rng& rng) {
+  const Network& net = design.network();
+  std::vector<NodeId> gates;
+  net.for_each_gate([&](const Node& g) {
+    if (g.cell >= 0) gates.push_back(g.id);
+  });
+  if (gates.empty()) return {};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const NodeId id = gates[rng.next_below(gates.size())];
+    switch (rng.next_below(3)) {
+      case 0: {
+        const int depth = lib.supplies().depth();
+        const SupplyId to =
+            static_cast<SupplyId>(rng.next_below(depth));
+        if (to == design.level(id)) continue;
+        return {id, true, to, -1};
+      }
+      case 1: {
+        const int up = lib.upsize(net.node(id).cell);
+        if (up < 0) continue;
+        return {id, false, 0, up};
+      }
+      default: {
+        const int down = lib.downsize(net.node(id).cell);
+        if (down < 0) continue;
+        return {id, false, 0, down};
+      }
+    }
+  }
+  return {};
+}
+
+/// Scatters part of the design to deeper rungs so LC boundaries exist in
+/// the committed state the lanes perturb.
+void seed_levels(Design& design, Rng& rng) {
+  const int depth = design.supplies().depth();
+  design.network().for_each_gate([&](const Node& g) {
+    if (rng.next_below(3) == 0)
+      design.set_level(
+          g.id, static_cast<SupplyId>(1 + rng.next_below(depth - 1)));
+  });
+}
+
+class MultiLaneStaTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_compass_library();
+
+  Network random_circuit(std::uint64_t seed) {
+    HybridSpec spec;
+    spec.gates = 150;
+    spec.pis = 14;
+    spec.pos = 8;
+    spec.critical_fraction = 0.4;
+    spec.seed = seed;
+    return build_hybrid_circuit(lib_, spec,
+                                "ml" + std::to_string(seed));
+  }
+};
+
+TEST_F(MultiLaneStaTest, BaseSweepMatchesFullStaAcrossMcncSuite) {
+  for (const McncDescriptor& d : mcnc_suite()) {
+    Network net = build_mcnc_circuit(lib_, d);
+    Design design(std::move(net), lib_);
+    Rng rng(d.seed ^ 0x9e3779b9u);
+    seed_levels(design, rng);
+    MultiLaneSta lanes(design.timing_context(), design.tspec());
+    lanes.run();
+    const StaResult full = design.run_timing();
+    ASSERT_EQ(lanes.base_worst_arrival(), full.worst_arrival)
+        << d.name;
+    ASSERT_FALSE(lanes.recompiled()) << d.name;
+  }
+}
+
+TEST_F(MultiLaneStaTest, EightLanesBitIdenticalAcrossMcncSuite) {
+  for (const McncDescriptor& d : mcnc_suite()) {
+    Network net = build_mcnc_circuit(lib_, d);
+    Design design(std::move(net), lib_);
+    Rng rng(d.seed ^ 0x51ed2701u);
+    seed_levels(design, rng);
+
+    MultiLaneSta lanes(design.timing_context(), design.tspec());
+    std::vector<std::vector<Flip>> per_lane;
+    for (int l = 0; l < 8; ++l) {
+      const Flip flip = random_flip(design, lib_, rng);
+      if (flip.node == kNoNode) continue;
+      const int lane = lanes.add_lane();
+      apply_to_lane(lanes, lane, flip);
+      per_lane.push_back({flip});
+    }
+    lanes.run();
+    for (int l = 0; l < lanes.num_lanes(); ++l)
+      ASSERT_TRUE(lane_bit_identical(lanes, l, design, per_lane[l]))
+          << d.name;
+  }
+}
+
+TEST_F(MultiLaneStaTest, TwoHundredRandomFlipSequences) {
+  // 200 committed steps; before each commit the candidate (and three
+  // siblings) are scored as lanes and checked byte-for-byte against full
+  // walks, so the engine tracks a drifting committed state.
+  Network net = random_circuit(77);
+  Design design(std::move(net), lib_);
+
+  int committed = 0;
+  Rng seq(1234577);
+  while (committed < 200) {
+    MultiLaneSta lanes(design.timing_context(), design.tspec());
+    std::vector<std::vector<Flip>> per_lane;
+    for (int l = 0; l < 4; ++l) {
+      const Flip flip = random_flip(design, lib_, seq);
+      if (flip.node == kNoNode) continue;
+      const int lane = lanes.add_lane();
+      apply_to_lane(lanes, lane, flip);
+      per_lane.push_back({flip});
+    }
+    if (per_lane.empty()) continue;
+    lanes.run();
+    for (int l = 0; l < lanes.num_lanes(); ++l)
+      ASSERT_TRUE(lane_bit_identical(lanes, l, design, per_lane[l]))
+          << "after commit " << committed;
+    // Commit lane 0's flip and move on.
+    apply_to_design(design, per_lane[0][0]);
+    ++committed;
+  }
+}
+
+TEST_F(MultiLaneStaTest, CumulativePrefixLanesMatchOnThreeRungLadder) {
+  // The Gscale revert shape: lane k carries the first k+1 overrides of
+  // one override sequence, on a 3-rung ladder.
+  Library lib3 = build_compass_library();
+  lib3.set_supply_ladder(SupplyLadder{{5.0, 4.3, 3.6}});
+  HybridSpec spec;
+  spec.gates = 150;
+  spec.pis = 14;
+  spec.pos = 8;
+  spec.critical_fraction = 0.4;
+  spec.seed = 901;
+  Network net = build_hybrid_circuit(lib3, spec, "ml3");
+  Design design(std::move(net), lib3);
+  Rng rng(5511);
+  seed_levels(design, rng);
+
+  MultiLaneSta lanes(design.timing_context(), design.tspec());
+  std::vector<Flip> prefix;
+  std::vector<std::vector<Flip>> per_lane;
+  while (static_cast<int>(per_lane.size()) < 12) {
+    const Flip flip = random_flip(design, lib3, rng);
+    if (flip.node == kNoNode) continue;
+    prefix.push_back(flip);
+    const int lane = lanes.add_lane();
+    for (const Flip& f : prefix) apply_to_lane(lanes, lane, f);
+    per_lane.push_back(prefix);
+  }
+  lanes.run();
+  for (int l = 0; l < lanes.num_lanes(); ++l)
+    ASSERT_TRUE(lane_bit_identical(lanes, l, design, per_lane[l]))
+        << "prefix lane " << l;
+}
+
+TEST_F(MultiLaneStaTest, LaneCountSweepAgreesAcrossWidths) {
+  // The same candidates scored at width 1 (one run per candidate) and
+  // width 16 (one run) must produce identical doubles: lane results do
+  // not depend on how candidates are packed.
+  Network net = random_circuit(311);
+  Design design(std::move(net), lib_);
+  Rng rng(40312);
+  seed_levels(design, rng);
+
+  std::vector<Flip> flips;
+  while (static_cast<int>(flips.size()) < 16) {
+    const Flip flip = random_flip(design, lib_, rng);
+    if (flip.node != kNoNode) flips.push_back(flip);
+  }
+
+  MultiLaneSta wide(design.timing_context(), design.tspec());
+  for (int l = 0; l < 16; ++l)
+    apply_to_lane(wide, wide.add_lane(), flips[l]);
+  wide.run();
+
+  for (int l = 0; l < 16; ++l) {
+    MultiLaneSta narrow(design.timing_context(), design.tspec());
+    apply_to_lane(narrow, narrow.add_lane(), flips[l]);
+    narrow.run();
+    ASSERT_EQ(narrow.worst_arrival(0), wide.worst_arrival(l));
+    for (NodeId id = 0; id < design.network().size(); ++id) {
+      if (!design.network().is_valid(id)) continue;
+      const RiseFall a = narrow.arrival(0, id);
+      const RiseFall b = wide.arrival(l, id);
+      ASSERT_EQ(a.rise, b.rise);
+      ASSERT_EQ(a.fall, b.fall);
+    }
+  }
+}
+
+TEST_F(MultiLaneStaTest, ReusedEngineTracksCommittedPointChanges) {
+  // One engine instance reused across committed cell edits (the service
+  // shape): sync_cells absorbs the edits without a recompile.
+  Network net = random_circuit(55);
+  Design design(std::move(net), lib_);
+  MultiLaneSta lanes(design.timing_context(), design.tspec());
+  Rng rng(660001);
+  for (int step = 0; step < 20; ++step) {
+    const Flip flip = random_flip(design, lib_, rng);
+    if (flip.node == kNoNode) continue;
+    apply_to_design(design, flip);
+    lanes.reset_lanes();
+    const Flip cand = random_flip(design, lib_, rng);
+    if (cand.node == kNoNode) continue;
+    apply_to_lane(lanes, lanes.add_lane(), cand);
+    lanes.run();
+    ASSERT_FALSE(lanes.recompiled());
+    ASSERT_TRUE(lane_bit_identical(lanes, 0, design, {cand}))
+        << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace dvs
