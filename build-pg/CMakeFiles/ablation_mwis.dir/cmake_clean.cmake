@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mwis.dir/bench/ablation_mwis.cpp.o"
+  "CMakeFiles/ablation_mwis.dir/bench/ablation_mwis.cpp.o.d"
+  "ablation_mwis"
+  "ablation_mwis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mwis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

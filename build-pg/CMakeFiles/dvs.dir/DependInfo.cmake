@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/mcnc.cpp" "CMakeFiles/dvs.dir/src/benchgen/mcnc.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/benchgen/mcnc.cpp.o.d"
+  "/root/repo/src/benchgen/random_dag.cpp" "CMakeFiles/dvs.dir/src/benchgen/random_dag.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/benchgen/random_dag.cpp.o.d"
+  "/root/repo/src/benchgen/structured.cpp" "CMakeFiles/dvs.dir/src/benchgen/structured.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/benchgen/structured.cpp.o.d"
+  "/root/repo/src/core/boundary.cpp" "CMakeFiles/dvs.dir/src/core/boundary.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/boundary.cpp.o.d"
+  "/root/repo/src/core/cvs.cpp" "CMakeFiles/dvs.dir/src/core/cvs.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/cvs.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "CMakeFiles/dvs.dir/src/core/design.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/design.cpp.o.d"
+  "/root/repo/src/core/dscale.cpp" "CMakeFiles/dvs.dir/src/core/dscale.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/dscale.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "CMakeFiles/dvs.dir/src/core/flow.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/flow.cpp.o.d"
+  "/root/repo/src/core/gscale.cpp" "CMakeFiles/dvs.dir/src/core/gscale.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/gscale.cpp.o.d"
+  "/root/repo/src/core/job.cpp" "CMakeFiles/dvs.dir/src/core/job.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/job.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "CMakeFiles/dvs.dir/src/core/report.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/report.cpp.o.d"
+  "/root/repo/src/core/sizing.cpp" "CMakeFiles/dvs.dir/src/core/sizing.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/sizing.cpp.o.d"
+  "/root/repo/src/core/suite.cpp" "CMakeFiles/dvs.dir/src/core/suite.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/suite.cpp.o.d"
+  "/root/repo/src/core/sweep_matrix.cpp" "CMakeFiles/dvs.dir/src/core/sweep_matrix.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/core/sweep_matrix.cpp.o.d"
+  "/root/repo/src/graph/antichain.cpp" "CMakeFiles/dvs.dir/src/graph/antichain.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/graph/antichain.cpp.o.d"
+  "/root/repo/src/graph/dinic.cpp" "CMakeFiles/dvs.dir/src/graph/dinic.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/graph/dinic.cpp.o.d"
+  "/root/repo/src/graph/edmonds_karp.cpp" "CMakeFiles/dvs.dir/src/graph/edmonds_karp.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/graph/edmonds_karp.cpp.o.d"
+  "/root/repo/src/graph/flow_network.cpp" "CMakeFiles/dvs.dir/src/graph/flow_network.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/graph/flow_network.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "CMakeFiles/dvs.dir/src/graph/reachability.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/graph/reachability.cpp.o.d"
+  "/root/repo/src/graph/separator.cpp" "CMakeFiles/dvs.dir/src/graph/separator.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/graph/separator.cpp.o.d"
+  "/root/repo/src/library/compass.cpp" "CMakeFiles/dvs.dir/src/library/compass.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/library/compass.cpp.o.d"
+  "/root/repo/src/library/level_converter.cpp" "CMakeFiles/dvs.dir/src/library/level_converter.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/library/level_converter.cpp.o.d"
+  "/root/repo/src/library/library.cpp" "CMakeFiles/dvs.dir/src/library/library.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/library/library.cpp.o.d"
+  "/root/repo/src/library/supply.cpp" "CMakeFiles/dvs.dir/src/library/supply.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/library/supply.cpp.o.d"
+  "/root/repo/src/library/voltage_model.cpp" "CMakeFiles/dvs.dir/src/library/voltage_model.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/library/voltage_model.cpp.o.d"
+  "/root/repo/src/netlist/blif.cpp" "CMakeFiles/dvs.dir/src/netlist/blif.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/netlist/blif.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "CMakeFiles/dvs.dir/src/netlist/dot.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/netlist/dot.cpp.o.d"
+  "/root/repo/src/netlist/network.cpp" "CMakeFiles/dvs.dir/src/netlist/network.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/netlist/network.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "CMakeFiles/dvs.dir/src/netlist/stats.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/topo.cpp" "CMakeFiles/dvs.dir/src/netlist/topo.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/netlist/topo.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "CMakeFiles/dvs.dir/src/netlist/verilog.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/netlist/verilog.cpp.o.d"
+  "/root/repo/src/opt/option_schema.cpp" "CMakeFiles/dvs.dir/src/opt/option_schema.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/opt/option_schema.cpp.o.d"
+  "/root/repo/src/opt/passes.cpp" "CMakeFiles/dvs.dir/src/opt/passes.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/opt/passes.cpp.o.d"
+  "/root/repo/src/opt/pipeline.cpp" "CMakeFiles/dvs.dir/src/opt/pipeline.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/opt/pipeline.cpp.o.d"
+  "/root/repo/src/opt/registry.cpp" "CMakeFiles/dvs.dir/src/opt/registry.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/opt/registry.cpp.o.d"
+  "/root/repo/src/power/activity.cpp" "CMakeFiles/dvs.dir/src/power/activity.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/power/activity.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "CMakeFiles/dvs.dir/src/power/power_model.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/power/power_model.cpp.o.d"
+  "/root/repo/src/power/report.cpp" "CMakeFiles/dvs.dir/src/power/report.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/power/report.cpp.o.d"
+  "/root/repo/src/service/cache.cpp" "CMakeFiles/dvs.dir/src/service/cache.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/cache.cpp.o.d"
+  "/root/repo/src/service/design_session.cpp" "CMakeFiles/dvs.dir/src/service/design_session.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/design_session.cpp.o.d"
+  "/root/repo/src/service/disk_cache.cpp" "CMakeFiles/dvs.dir/src/service/disk_cache.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/disk_cache.cpp.o.d"
+  "/root/repo/src/service/lease.cpp" "CMakeFiles/dvs.dir/src/service/lease.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/lease.cpp.o.d"
+  "/root/repo/src/service/protocol.cpp" "CMakeFiles/dvs.dir/src/service/protocol.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/protocol.cpp.o.d"
+  "/root/repo/src/service/scheduler.cpp" "CMakeFiles/dvs.dir/src/service/scheduler.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/scheduler.cpp.o.d"
+  "/root/repo/src/service/server.cpp" "CMakeFiles/dvs.dir/src/service/server.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/server.cpp.o.d"
+  "/root/repo/src/service/session.cpp" "CMakeFiles/dvs.dir/src/service/session.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/session.cpp.o.d"
+  "/root/repo/src/service/worker.cpp" "CMakeFiles/dvs.dir/src/service/worker.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/service/worker.cpp.o.d"
+  "/root/repo/src/sim/bitsim.cpp" "CMakeFiles/dvs.dir/src/sim/bitsim.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/sim/bitsim.cpp.o.d"
+  "/root/repo/src/support/backoff.cpp" "CMakeFiles/dvs.dir/src/support/backoff.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/backoff.cpp.o.d"
+  "/root/repo/src/support/fault_inject.cpp" "CMakeFiles/dvs.dir/src/support/fault_inject.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/fault_inject.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "CMakeFiles/dvs.dir/src/support/json.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/json.cpp.o.d"
+  "/root/repo/src/support/metrics.cpp" "CMakeFiles/dvs.dir/src/support/metrics.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/metrics.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/dvs.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/support/socket.cpp" "CMakeFiles/dvs.dir/src/support/socket.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/socket.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/dvs.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/thread_pool.cpp.o.d"
+  "/root/repo/src/support/trace.cpp" "CMakeFiles/dvs.dir/src/support/trace.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/trace.cpp.o.d"
+  "/root/repo/src/support/units.cpp" "CMakeFiles/dvs.dir/src/support/units.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/support/units.cpp.o.d"
+  "/root/repo/src/synth/decompose.cpp" "CMakeFiles/dvs.dir/src/synth/decompose.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/synth/decompose.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "CMakeFiles/dvs.dir/src/synth/mapper.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/synth/mapper.cpp.o.d"
+  "/root/repo/src/synth/sweep.cpp" "CMakeFiles/dvs.dir/src/synth/sweep.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/synth/sweep.cpp.o.d"
+  "/root/repo/src/timing/cpn.cpp" "CMakeFiles/dvs.dir/src/timing/cpn.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/timing/cpn.cpp.o.d"
+  "/root/repo/src/timing/graph.cpp" "CMakeFiles/dvs.dir/src/timing/graph.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/timing/graph.cpp.o.d"
+  "/root/repo/src/timing/incremental.cpp" "CMakeFiles/dvs.dir/src/timing/incremental.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/timing/incremental.cpp.o.d"
+  "/root/repo/src/timing/loads.cpp" "CMakeFiles/dvs.dir/src/timing/loads.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/timing/loads.cpp.o.d"
+  "/root/repo/src/timing/reference.cpp" "CMakeFiles/dvs.dir/src/timing/reference.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/timing/reference.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "CMakeFiles/dvs.dir/src/timing/sta.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/timing/sta.cpp.o.d"
+  "/root/repo/src/timing/tcb.cpp" "CMakeFiles/dvs.dir/src/timing/tcb.cpp.o" "gcc" "CMakeFiles/dvs.dir/src/timing/tcb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

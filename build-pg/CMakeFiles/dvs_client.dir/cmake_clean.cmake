@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_client.dir/tools/dvs_client.cpp.o"
+  "CMakeFiles/dvs_client.dir/tools/dvs_client.cpp.o.d"
+  "dvs-client"
+  "dvs-client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

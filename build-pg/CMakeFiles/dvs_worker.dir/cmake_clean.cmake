@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_worker.dir/tools/dvs_worker.cpp.o"
+  "CMakeFiles/dvs_worker.dir/tools/dvs_worker.cpp.o.d"
+  "dvs-worker"
+  "dvs-worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

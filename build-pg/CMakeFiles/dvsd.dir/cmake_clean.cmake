@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvsd.dir/tools/dvsd.cpp.o"
+  "CMakeFiles/dvsd.dir/tools/dvsd.cpp.o.d"
+  "dvsd"
+  "dvsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_bench.dir/bench/eco_bench.cpp.o"
+  "CMakeFiles/eco_bench.dir/bench/eco_bench.cpp.o.d"
+  "eco_bench"
+  "eco_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_engines.dir/bench/perf_engines.cpp.o"
+  "CMakeFiles/perf_engines.dir/bench/perf_engines.cpp.o.d"
+  "perf_engines"
+  "perf_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

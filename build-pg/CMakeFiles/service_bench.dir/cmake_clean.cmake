@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_bench.dir/bench/service_bench.cpp.o"
+  "CMakeFiles/service_bench.dir/bench/service_bench.cpp.o.d"
+  "service_bench"
+  "service_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

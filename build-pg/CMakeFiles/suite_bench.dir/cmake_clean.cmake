@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_bench.dir/bench/suite_bench.cpp.o"
+  "CMakeFiles/suite_bench.dir/bench/suite_bench.cpp.o.d"
+  "suite_bench"
+  "suite_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

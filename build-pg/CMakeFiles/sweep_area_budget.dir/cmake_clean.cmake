@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_area_budget.dir/bench/sweep_area_budget.cpp.o"
+  "CMakeFiles/sweep_area_budget.dir/bench/sweep_area_budget.cpp.o.d"
+  "sweep_area_budget"
+  "sweep_area_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_area_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

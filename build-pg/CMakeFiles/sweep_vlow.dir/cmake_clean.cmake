@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_vlow.dir/bench/sweep_vlow.cpp.o"
+  "CMakeFiles/sweep_vlow.dir/bench/sweep_vlow.cpp.o.d"
+  "sweep_vlow"
+  "sweep_vlow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_vlow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

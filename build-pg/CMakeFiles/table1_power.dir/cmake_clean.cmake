@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_power.dir/bench/table1_power.cpp.o"
+  "CMakeFiles/table1_power.dir/bench/table1_power.cpp.o.d"
+  "table1_power"
+  "table1_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

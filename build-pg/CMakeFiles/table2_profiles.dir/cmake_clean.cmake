@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_profiles.dir/bench/table2_profiles.cpp.o"
+  "CMakeFiles/table2_profiles.dir/bench/table2_profiles.cpp.o.d"
+  "table2_profiles"
+  "table2_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
